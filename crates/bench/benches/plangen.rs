@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the client-side Scheduling Plan Generator:
+//! one `generate_reqs` pass and the full min-feasible binary search, on
+//! the 33-job Fig 7 workflow and a large 1400+-task workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woha_core::{generate_plan, generate_reqs, CapMode, JobPriorities, PriorityPolicy};
+use woha_model::{JobSpec, SimDuration, WorkflowBuilder, WorkflowSpec};
+use woha_trace::topology::paper_fig7;
+
+fn big_workflow() -> WorkflowSpec {
+    let mut b = WorkflowBuilder::new("big");
+    for i in 0..20 {
+        b.add_job(JobSpec::new(
+            format!("j{i}"),
+            70,
+            7,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(60),
+        ));
+    }
+    b.relative_deadline(SimDuration::from_mins(200));
+    b.build().unwrap()
+}
+
+fn bench_plangen(c: &mut Criterion) {
+    let fig7 = paper_fig7("w")
+        .relative_deadline(SimDuration::from_mins(60))
+        .build()
+        .unwrap();
+    let big = big_workflow();
+    let mut group = c.benchmark_group("plangen");
+    for (name, w) in [("fig7_33jobs", &fig7), ("big_1540tasks", &big)] {
+        let pri = JobPriorities::compute(w, PriorityPolicy::Lpf);
+        group.bench_function(format!("{name}/single_pass_cap96"), |b| {
+            b.iter(|| black_box(generate_reqs(w, &pri, 96)));
+        });
+        group.bench_function(format!("{name}/binary_search"), |b| {
+            b.iter(|| black_box(generate_plan(w, &pri, 96, CapMode::MinFeasible)));
+        });
+    }
+    group.bench_function("priorities/fig7_all_policies", |b| {
+        b.iter(|| {
+            for policy in PriorityPolicy::ALL {
+                black_box(JobPriorities::compute(&fig7, policy));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plangen);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmarks for the cluster simulator: full Fig 11 runs per
+//! scheduler (measuring end-to-end events/second of the discrete-event
+//! core under real scheduling decisions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use woha_bench::scenarios::{demo_cluster, fig11_workflows};
+use woha_bench::{run_one, SchedulerKind};
+use woha_sim::SimConfig;
+
+fn bench_fig11_runs(c: &mut Criterion) {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig::default();
+    let mut group = c.benchmark_group("sim_fig11");
+    group.sample_size(10);
+    for kind in SchedulerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(run_one(kind, &workflows, &cluster, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_runs);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablation studies of WOHA's design choices (DESIGN.md §5): the resource
+//! cap, the plan safety slack, and the heartbeat interval, all on the
+//! Fig 11 scenario.
+
+use woha_bench::experiments::ablation::{
+    cap_ablation, heartbeat_ablation, replan_ablation, slack_ablation,
+};
+
+fn main() {
+    println!("Ablation 1 — resource cap mode (Fig 11 scenario, WOHA-LPF)\n");
+    print!("{}", cap_ablation().render());
+    println!("\nAblation 2 — plan safety slack\n");
+    print!("{}", slack_ablation().render());
+    println!("\nAblation 3 — TaskTracker heartbeat interval\n");
+    print!("{}", heartbeat_ablation().render());
+    println!("\nAblation 4 — mid-flight replanning under 25% estimation error\n");
+    print!("{}", replan_ablation(0.25, 0..6).render());
+}

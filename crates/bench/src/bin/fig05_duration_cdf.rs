@@ -1,0 +1,13 @@
+//! Regenerates the paper's Fig 5: CDFs of task execution time (a) and of
+//! the within-job reduce/map duration ratio (b) for the synthetic trace.
+
+use woha_bench::experiments::tracestats::{run_trace_stats, TRACE_JOBS};
+
+fn main() {
+    let s = run_trace_stats(2024);
+    println!("Fig 5 — task execution time statistics ({TRACE_JOBS} synthetic jobs)\n");
+    println!("(a) CDF of task execution time:");
+    print!("{}", s.fig5a_table().render());
+    println!("\n(b) CDF of reduce duration / map duration within a job:");
+    print!("{}", s.fig5b_table().render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Fig 6: CDFs of task counts (a) and of the
+//! within-job map/reduce count ratio (b) for the synthetic trace.
+
+use woha_bench::experiments::tracestats::{run_trace_stats, TRACE_JOBS};
+
+fn main() {
+    let s = run_trace_stats(2024);
+    println!("Fig 6 — task count statistics ({TRACE_JOBS} synthetic jobs)\n");
+    println!("(a) CDF of task number:");
+    print!("{}", s.fig6a_table().render());
+    println!("\n(b) CDF of map number / reduce number within a job:");
+    print!("{}", s.fig6b_table().render());
+}

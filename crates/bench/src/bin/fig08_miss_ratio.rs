@@ -1,0 +1,14 @@
+//! Regenerates the paper's Fig 8: deadline-miss ratio over the Yahoo-like
+//! workload, per cluster size and scheduler.
+
+use woha_bench::experiments::deadline::run_trace_sweep;
+use woha_bench::scenarios::YahooScenario;
+
+fn main() {
+    let sweep = run_trace_sweep(&YahooScenario::default(), 0.1);
+    println!(
+        "Fig 8 — deadline miss ratio ({} multi-job Yahoo-like workflows)\n",
+        sweep.workflow_count
+    );
+    print!("{}", sweep.fig8_table().render());
+}

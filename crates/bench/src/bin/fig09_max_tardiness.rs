@@ -1,0 +1,14 @@
+//! Regenerates the paper's Fig 9: maximum tardiness over the Yahoo-like
+//! workload, per cluster size and scheduler.
+
+use woha_bench::experiments::deadline::run_trace_sweep;
+use woha_bench::scenarios::YahooScenario;
+
+fn main() {
+    let sweep = run_trace_sweep(&YahooScenario::default(), 0.1);
+    println!(
+        "Fig 9 — max tardiness in seconds ({} multi-job Yahoo-like workflows)\n",
+        sweep.workflow_count
+    );
+    print!("{}", sweep.fig9_table().render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig 11: workspans of the three Fig-7 workflows
+//! under the six schedulers on the 32-slave demo cluster.
+
+fn main() {
+    let result = woha_bench::experiments::demo::run_fig11(false);
+    println!("Fig 11 — synthetic workflow workspans (32 slaves: 64 map + 32 reduce slots)");
+    println!(
+        "relative deadlines: W-1 {}, W-2 {}, W-3 {} ('*' = deadline missed)\n",
+        result.relative_deadlines[0], result.relative_deadlines[1], result.relative_deadlines[2]
+    );
+    print!("{}", result.table().render());
+}

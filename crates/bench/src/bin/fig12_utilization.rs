@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig 12: cluster utilization of the demo
+//! workload with 3 recurrences, per scheduler.
+
+use woha_bench::experiments::demo::run_fig12;
+
+fn main() {
+    let r = run_fig12();
+    println!("Fig 12 — cluster utilization with 3 recurrences (32-slave demo cluster)\n");
+    print!("{}", r.table().render());
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig 13(a): AssignTask throughput versus
+//! workflow queue length for the DSL, BST, and naive schedulers.
+//!
+//! Queue lengths sweep 10^2..10^6 like the paper; pass `--quick` to stop
+//! at 10^4 (the naive scheduler needs minutes beyond that).
+
+use std::time::Duration;
+use woha_bench::experiments::throughput::{fig13a_table, run_fig13a};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let lens: &[usize] = if quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+    let budget = Duration::from_millis(if quick { 100 } else { 300 });
+    println!("Fig 13(a) — scheduler throughput (AssignTask calls/second)\n");
+    let points = run_fig13a(lens, budget);
+    print!("{}", fig13a_table(&points).render());
+}

@@ -1,0 +1,62 @@
+//! Regenerates the paper's Figs 14-19: per-workflow slot-allocation
+//! timelines of the Fig 11 scenario under all six schedulers, rendered as
+//! sparkline panels (full numeric tables with `--table`).
+//!
+//! Pass a scheduler name (EDF, FIFO, Fair, WOHA-LPF, WOHA-HLF, WOHA-MPF)
+//! to print just that panel; default prints all six.
+
+use woha_bench::chart::panel;
+use woha_bench::experiments::demo::{run_fig11, timeline_table};
+use woha_model::{SlotKind, WorkflowId};
+use woha_sim::SimReport;
+
+fn spark_panel(report: &SimReport, kind: SlotKind, max: u32) -> String {
+    let timelines = report.timelines.as_ref().expect("timelines tracked");
+    let rows: Vec<(String, Vec<u32>)> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            (
+                o.name.clone(),
+                timelines.series(WorkflowId::new(i as u64), kind).to_vec(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, &[u32])> = rows
+        .iter()
+        .map(|(l, s)| (l.as_str(), s.as_slice()))
+        .collect();
+    panel(&borrowed, max, 100)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let table_mode = args.iter().any(|a| a == "--table");
+    let filter: Option<&String> = args.iter().find(|a| !a.starts_with("--"));
+
+    let result = run_fig11(true);
+    println!("Figs 14-19 — slot allocation over time (one column ≈ 55s; scale:");
+    println!("map rows 0..64 slots, reduce rows 0..32 slots)\n");
+    for (kind, report) in &result.reports {
+        let name = kind.to_string();
+        if let Some(f) = filter {
+            if !name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        if table_mode {
+            println!("=== {name}: map slots per workflow over time ===");
+            print!("{}", timeline_table(report, SlotKind::Map).render());
+            println!("=== {name}: reduce slots per workflow over time ===");
+            print!("{}", timeline_table(report, SlotKind::Reduce).render());
+        } else {
+            println!("=== {name} ===");
+            println!("map slots:");
+            print!("{}", spark_panel(report, SlotKind::Map, 64));
+            println!("reduce slots:");
+            print!("{}", spark_panel(report, SlotKind::Reduce, 32));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Master-node scheduling overhead (§V: WOHA "adds negligible overhead to
+//! the master node"): mean wall-clock time per AssignTask consultation
+//! during the full Fig 11 run, per scheduler.
+
+use woha_bench::scenarios::{demo_cluster, fig11_workflows};
+use woha_bench::table::Table;
+use woha_bench::{run_one, SchedulerKind};
+use woha_sim::SimConfig;
+
+fn main() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig::default();
+    let mut t = Table::new(vec![
+        "scheduler",
+        "assign calls",
+        "mean ns/call",
+        "total scheduler ms",
+    ]);
+    for kind in SchedulerKind::ALL {
+        let report = run_one(kind, &workflows, &cluster, &config);
+        t.row(vec![
+            kind.to_string(),
+            report.assign_calls.to_string(),
+            format!("{:.0}", report.mean_assign_nanos()),
+            format!("{:.1}", report.scheduler_nanos as f64 / 1e6),
+        ]);
+    }
+    println!("Master scheduling overhead — Fig 11 scenario (~80 min simulated)\n");
+    print!("{}", t.render());
+    println!("\nWOHA's extra bookkeeping must stay within the same order of");
+    println!("magnitude as the baselines for the paper's scalability story.");
+}

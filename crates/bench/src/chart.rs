@@ -1,0 +1,120 @@
+//! Tiny ASCII chart rendering for slot-allocation timelines (Figs 14–19).
+
+/// Unicode block ramp used for vertical resolution.
+const RAMP: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `series` as a single sparkline row scaled to `max` (values are
+/// clamped). An empty series renders as an empty string.
+///
+/// # Examples
+///
+/// ```
+/// use woha_bench::chart::sparkline;
+/// let s = sparkline(&[0, 2, 4, 8], 8);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.ends_with('█'));
+/// assert!(s.starts_with(' '));
+/// ```
+pub fn sparkline(series: &[u32], max: u32) -> String {
+    let max = max.max(1);
+    series
+        .iter()
+        .map(|&v| {
+            let clamped = v.min(max);
+            let idx = (u64::from(clamped) * (RAMP.len() as u64 - 1)).div_ceil(u64::from(max));
+            RAMP[idx as usize]
+        })
+        .collect()
+}
+
+/// Downsamples `series` to at most `width` points by taking the maximum of
+/// each bucket (peaks matter for slot-allocation plots).
+pub fn downsample_max(series: &[u32], width: usize) -> Vec<u32> {
+    if width == 0 || series.is_empty() {
+        return Vec::new();
+    }
+    if series.len() <= width {
+        return series.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * series.len() / width;
+            let hi = ((i + 1) * series.len() / width).max(lo + 1);
+            series[lo..hi].iter().copied().max().unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Renders a labelled multi-row panel: one sparkline per `(label, series)`
+/// pair, all scaled to the shared `max`, downsampled to `width` columns.
+pub fn panel(rows: &[(&str, &[u32])], max: u32, width: usize) -> String {
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, series) in rows {
+        let compact = downsample_max(series, width);
+        out.push_str(&format!(
+            "{label:<label_width$} |{}|\n",
+            sparkline(&compact, max)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s: Vec<char> = sparkline(&[0, 4, 8], 8).chars().collect();
+        assert_eq!(s[0], ' ');
+        assert_eq!(s[2], '█');
+        // Midpoint lands mid-ramp.
+        assert!(s[1] != ' ' && s[1] != '█');
+    }
+
+    #[test]
+    fn sparkline_clamps_overflow() {
+        let s = sparkline(&[100], 8);
+        assert_eq!(s, "█");
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        assert_eq!(sparkline(&[], 8), "");
+    }
+
+    #[test]
+    fn nonzero_values_are_visible() {
+        // Even a 1-out-of-64 value must render as a non-space glyph.
+        let s = sparkline(&[1], 64);
+        assert_eq!(s, "▁");
+    }
+
+    #[test]
+    fn downsample_keeps_peaks() {
+        let series: Vec<u32> = (0..100).map(|i| if i == 57 { 99 } else { 1 }).collect();
+        let down = downsample_max(&series, 10);
+        assert_eq!(down.len(), 10);
+        assert_eq!(*down.iter().max().unwrap(), 99);
+    }
+
+    #[test]
+    fn downsample_short_series_passthrough() {
+        assert_eq!(downsample_max(&[1, 2, 3], 10), vec![1, 2, 3]);
+        assert_eq!(downsample_max(&[], 10), Vec::<u32>::new());
+        assert_eq!(downsample_max(&[1, 2], 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn panel_aligns_labels() {
+        let a = [1u32, 2, 3];
+        let b = [3u32, 2, 1];
+        let text = panel(&[("W-1", &a), ("W-10", &b)], 4, 80);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let bar0 = lines[0].find('|').unwrap();
+        let bar1 = lines[1].find('|').unwrap();
+        assert_eq!(bar0, bar1, "bars align");
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per group of paper figures; each exposes `run_*` functions
+//! returning printable results.
+
+pub mod ablation;
+pub mod deadline;
+pub mod demo;
+pub mod plans;
+pub mod throughput;
+pub mod tracestats;

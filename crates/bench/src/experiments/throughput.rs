@@ -1,0 +1,287 @@
+//! Fig 13(a): scheduler throughput (AssignTask calls per second) versus
+//! workflow queue length, for the Double Skip List, the BST alternative,
+//! and the naive recompute-and-sort scheduler.
+//!
+//! This is a microbenchmark of the master-side ordering machinery in
+//! isolation, exactly as the paper measures it: `n_w` workflows queue with
+//! synthetic progress requirement lists; each AssignTask invocation walks
+//! the due ct-list heads, picks the top-priority workflow, advances its
+//! true progress, and re-inserts it.
+
+use crate::table::Table;
+use std::time::{Duration, Instant};
+use woha_core::index::{BstIndex, DslIndex, WorkflowIndex};
+use woha_core::plan::{ProgressRequirement, SchedulingPlan};
+use woha_core::priority::PriorityPolicy;
+use woha_core::progress::WorkflowProgress;
+use woha_core::QueueStrategy;
+use woha_model::{SimDuration, SimTime, WorkflowId};
+
+/// A standalone Algorithm-2 driver over synthetic workflows, used to
+/// measure queue-structure throughput without a cluster simulation.
+#[derive(Debug)]
+pub struct QueueHarness {
+    records: Vec<WorkflowProgress>,
+    index: Option<Box<dyn WorkflowIndex + Send>>,
+    strategy: QueueStrategy,
+    now: SimTime,
+    /// Virtual time advanced per AssignTask call, driving ct-list churn.
+    tick: SimDuration,
+}
+
+/// Builds a synthetic plan with `entries` requirement changes spread over
+/// `span`.
+fn synthetic_plan(entries: usize, span: SimDuration, tasks_per_entry: u64) -> SchedulingPlan {
+    let requirements: Vec<ProgressRequirement> = (0..entries)
+        .map(|i| ProgressRequirement {
+            ttd: SimDuration::from_millis(
+                span.as_millis() - span.as_millis() * i as u64 / entries as u64,
+            ),
+            cumulative: (i as u64 + 1) * tasks_per_entry,
+        })
+        .collect();
+    SchedulingPlan::new(
+        PriorityPolicy::Hlf,
+        8,
+        vec![],
+        requirements,
+        span,
+        entries as u64 * tasks_per_entry,
+    )
+}
+
+impl QueueHarness {
+    /// Creates a harness with `queue_len` synthetic workflows. Deadlines
+    /// and plan spans are staggered so requirement changes keep firing as
+    /// virtual time advances (the regime the ct list exists for).
+    pub fn new(strategy: QueueStrategy, queue_len: usize) -> Self {
+        let mut index: Option<Box<dyn WorkflowIndex + Send>> = match strategy {
+            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
+            QueueStrategy::Bst => Some(Box::new(BstIndex::new())),
+            QueueStrategy::Naive => None,
+        };
+        let mut records = Vec::with_capacity(queue_len);
+        for i in 0..queue_len {
+            let id = WorkflowId::new(i as u64);
+            // Plans with ~30 entries over ~30 minutes; deadlines staggered
+            // across an hour so the head of the ct list keeps changing.
+            let span = SimDuration::from_secs(1_200 + (i as u64 % 600));
+            let plan = synthetic_plan(30, span, 50_000);
+            let deadline = SimTime::from_secs(2_000 + (i as u64 * 7) % 3_600);
+            let record = WorkflowProgress::new(id, plan, deadline, SimTime::ZERO);
+            if let Some(index) = index.as_mut() {
+                index.insert(id, record.next_change(), record.lag(), deadline);
+            }
+            records.push(record);
+        }
+        QueueHarness {
+            records,
+            index,
+            strategy,
+            now: SimTime::ZERO,
+            tick: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Number of queued workflows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// One AssignTask invocation: advance virtual time, refresh due
+    /// workflows, pick the top-priority workflow, account one scheduled
+    /// task. Returns the chosen workflow.
+    pub fn assign_task(&mut self) -> WorkflowId {
+        self.now = self.now.saturating_add(self.tick);
+        let now = self.now;
+        match self.strategy {
+            QueueStrategy::Naive => {
+                // Recompute every workflow's priority and take the max —
+                // the paper's naive strawman (sorting is what the paper's
+                // naive does; a max-scan is already its lower bound).
+                let mut order: Vec<(i64, SimTime, usize)> = self
+                    .records
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        r.catch_up(now);
+                        (r.lag(), r.deadline(), i)
+                    })
+                    .collect();
+                order.sort_by(|a, b| {
+                    b.0.cmp(&a.0)
+                        .then_with(|| a.1.cmp(&b.1))
+                        .then_with(|| a.2.cmp(&b.2))
+                });
+                let best = order[0].2;
+                self.records[best].on_task_assigned();
+                self.records[best].id()
+            }
+            QueueStrategy::Dsl | QueueStrategy::Bst => {
+                let index = self.index.as_mut().expect("indexed strategy");
+                // Algorithm 2 lines 4-19.
+                while let Some((t, wf)) = index.min_ct() {
+                    if t > now {
+                        break;
+                    }
+                    let record = &mut self.records[wf.as_u64() as usize];
+                    let (old_ct, old_lag) = (record.next_change(), record.lag());
+                    record.catch_up(now);
+                    index.update(
+                        wf,
+                        old_ct,
+                        old_lag,
+                        record.next_change(),
+                        record.lag(),
+                        record.deadline(),
+                    );
+                }
+                // Lines 20-23.
+                let (_, wf) = index.max_priority().expect("non-empty queue");
+                let record = &mut self.records[wf.as_u64() as usize];
+                let (ct, old_lag) = (record.next_change(), record.lag());
+                record.on_task_assigned();
+                index.update(wf, ct, old_lag, ct, record.lag(), record.deadline());
+                wf
+            }
+        }
+    }
+}
+
+/// One Fig 13(a) measurement: calls per second at a queue length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Queue length (number of workflows).
+    pub queue_len: usize,
+    /// Strategy measured.
+    pub strategy: QueueStrategy,
+    /// AssignTask invocations per second of wall-clock time.
+    pub calls_per_sec: f64,
+}
+
+/// Measures AssignTask throughput for `strategy` at `queue_len`, running
+/// for at least `budget` wall-clock time.
+pub fn measure_throughput(
+    strategy: QueueStrategy,
+    queue_len: usize,
+    budget: Duration,
+) -> ThroughputPoint {
+    let mut harness = QueueHarness::new(strategy, queue_len);
+    // Warm up.
+    for _ in 0..10 {
+        harness.assign_task();
+    }
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < budget {
+        // Batch to amortize the clock reads.
+        for _ in 0..16 {
+            harness.assign_task();
+        }
+        calls += 16;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ThroughputPoint {
+        queue_len,
+        strategy,
+        calls_per_sec: calls as f64 / secs,
+    }
+}
+
+/// Runs the full Fig 13(a) sweep over the given queue lengths.
+pub fn run_fig13a(queue_lens: &[usize], budget: Duration) -> Vec<ThroughputPoint> {
+    let mut points = Vec::new();
+    for &len in queue_lens {
+        for strategy in QueueStrategy::ALL {
+            points.push(measure_throughput(strategy, len, budget));
+        }
+    }
+    points
+}
+
+/// Renders the Fig 13(a) table: one row per queue length, one column per
+/// strategy.
+pub fn fig13a_table(points: &[ThroughputPoint]) -> Table {
+    let mut lens: Vec<usize> = points.iter().map(|p| p.queue_len).collect();
+    lens.sort_unstable();
+    lens.dedup();
+    let mut t = Table::new(vec![
+        "queue length",
+        "DSL (calls/s)",
+        "BST (calls/s)",
+        "Naive (calls/s)",
+    ]);
+    for len in lens {
+        let get = |s: QueueStrategy| {
+            points
+                .iter()
+                .find(|p| p.queue_len == len && p.strategy == s)
+                .map(|p| format!("{:.0}", p.calls_per_sec))
+                .unwrap_or_default()
+        };
+        t.row(vec![
+            len.to_string(),
+            get(QueueStrategy::Dsl),
+            get(QueueStrategy::Bst),
+            get(QueueStrategy::Naive),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_all_strategies() {
+        for strategy in QueueStrategy::ALL {
+            let mut h = QueueHarness::new(strategy, 50);
+            assert_eq!(h.len(), 50);
+            assert!(!h.is_empty());
+            for _ in 0..200 {
+                let wf = h.assign_task();
+                assert!(wf.as_u64() < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_pick_the_same_workflows() {
+        let mut dsl = QueueHarness::new(QueueStrategy::Dsl, 40);
+        let mut bst = QueueHarness::new(QueueStrategy::Bst, 40);
+        let mut naive = QueueHarness::new(QueueStrategy::Naive, 40);
+        for step in 0..500 {
+            let a = dsl.assign_task();
+            let b = bst.assign_task();
+            let c = naive.assign_task();
+            assert_eq!(a, b, "step {step}");
+            assert_eq!(a, c, "step {step}");
+        }
+    }
+
+    #[test]
+    fn throughput_measurement_is_positive() {
+        let p = measure_throughput(QueueStrategy::Dsl, 100, Duration::from_millis(20));
+        assert!(p.calls_per_sec > 1_000.0, "{p:?}");
+    }
+
+    #[test]
+    #[ignore = "wall-clock benchmark; run explicitly with --ignored"]
+    fn dsl_beats_naive_at_scale() {
+        let budget = Duration::from_millis(200);
+        let dsl = measure_throughput(QueueStrategy::Dsl, 10_000, budget);
+        let naive = measure_throughput(QueueStrategy::Naive, 10_000, budget);
+        assert!(
+            dsl.calls_per_sec > naive.calls_per_sec * 10.0,
+            "dsl {:.0} naive {:.0}",
+            dsl.calls_per_sec,
+            naive.calls_per_sec
+        );
+    }
+}

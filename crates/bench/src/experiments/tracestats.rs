@@ -1,0 +1,162 @@
+//! Trace characterization experiments: Fig 5 (task durations) and Fig 6
+//! (task counts), comparing the synthetic trace against every reference
+//! point the paper publishes about the Yahoo! WebScope data.
+
+use crate::table::{fmt_f64, Table};
+use woha_model::JobSpec;
+use woha_trace::stats::Cdf;
+use woha_trace::yahoo::YahooTraceConfig;
+use woha_trace::Rng;
+
+/// Number of jobs in the paper's trace ("more than 4000 jobs").
+pub const TRACE_JOBS: usize = 4_000;
+
+/// The generated trace plus its derived statistics.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// The synthetic jobs.
+    pub jobs: Vec<JobSpec>,
+    /// CDF of per-job map task duration (seconds).
+    pub map_duration: Cdf,
+    /// CDF of per-job reduce task duration (seconds; reduce-less jobs
+    /// excluded).
+    pub reduce_duration: Cdf,
+    /// CDF of reduce/map duration ratio within each job.
+    pub duration_ratio: Cdf,
+    /// CDF of mapper counts.
+    pub map_count: Cdf,
+    /// CDF of reducer counts.
+    pub reduce_count: Cdf,
+    /// CDF of map/reduce count ratio within each job.
+    pub count_ratio: Cdf,
+}
+
+/// Generates the trace and computes the Fig 5/6 statistics.
+pub fn run_trace_stats(seed: u64) -> TraceStats {
+    let jobs = YahooTraceConfig::default().generate_jobs(&mut Rng::new(seed), TRACE_JOBS);
+    let with_reduces: Vec<&JobSpec> = jobs.iter().filter(|j| !j.is_map_only()).collect();
+    TraceStats {
+        map_duration: Cdf::from_samples(jobs.iter().map(|j| j.map_duration().as_secs_f64())),
+        reduce_duration: Cdf::from_samples(
+            with_reduces.iter().map(|j| j.reduce_duration().as_secs_f64()),
+        ),
+        duration_ratio: Cdf::from_samples(with_reduces.iter().map(|j| {
+            j.reduce_duration().as_secs_f64() / j.map_duration().as_secs_f64().max(1e-9)
+        })),
+        map_count: Cdf::from_samples(jobs.iter().map(|j| f64::from(j.map_tasks()))),
+        reduce_count: Cdf::from_samples(jobs.iter().map(|j| f64::from(j.reduce_tasks()))),
+        count_ratio: Cdf::from_samples(with_reduces.iter().map(|j| {
+            f64::from(j.map_tasks()) / f64::from(j.reduce_tasks()).max(1.0)
+        })),
+        jobs,
+    }
+}
+
+impl TraceStats {
+    /// The Fig 5(a) table: CDF points of task execution time, with the
+    /// paper's qualitative reference points.
+    pub fn fig5a_table(&self) -> Table {
+        let mut t = Table::new(vec!["duration", "F(map)", "F(reduce)", "paper reference"]);
+        let probes: [(f64, &str); 4] = [
+            (10.0, "most mappers finish in 10s-100s"),
+            (100.0, ">50% of reducers take >100s"),
+            (1_000.0, "~10% of reducers take >1000s"),
+            (3_000.0, ""),
+        ];
+        for (secs, note) in probes {
+            t.row(vec![
+                format!("{secs:.0}s"),
+                fmt_f64(self.map_duration.fraction_at_or_below(secs)),
+                fmt_f64(self.reduce_duration.fraction_at_or_below(secs)),
+                note.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The Fig 5(b) table: CDF of reduce/map duration ratio.
+    pub fn fig5b_table(&self) -> Table {
+        let mut t = Table::new(vec!["reduce/map ratio", "F(ratio)"]);
+        for ratio in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0] {
+            t.row(vec![
+                format!("{ratio}"),
+                fmt_f64(self.duration_ratio.fraction_at_or_below(ratio)),
+            ]);
+        }
+        t
+    }
+
+    /// The Fig 6(a) table: CDF points of task counts.
+    pub fn fig6a_table(&self) -> Table {
+        let mut t = Table::new(vec!["tasks", "F(mappers)", "F(reducers)", "paper reference"]);
+        let probes: [(f64, &str); 5] = [
+            (1.0, ""),
+            (10.0, ">60% of jobs have <10 reducers"),
+            (100.0, "~30% of jobs have >100 mappers"),
+            (1_000.0, ""),
+            (3_000.0, ""),
+        ];
+        for (count, note) in probes {
+            t.row(vec![
+                format!("{count:.0}"),
+                fmt_f64(self.map_count.fraction_at_or_below(count)),
+                fmt_f64(self.reduce_count.fraction_at_or_below(count)),
+                note.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The Fig 6(b) table: CDF of map/reduce count ratio.
+    pub fn fig6b_table(&self) -> Table {
+        let mut t = Table::new(vec!["map/reduce count ratio", "F(ratio)"]);
+        for ratio in [0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1_000.0] {
+            t.row(vec![
+                format!("{ratio}"),
+                fmt_f64(self.count_ratio.fraction_at_or_below(ratio)),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_paper_reference_points() {
+        let s = run_trace_stats(2024);
+        assert_eq!(s.jobs.len(), TRACE_JOBS);
+        // Fig 5(a): 10-100s band holds most mappers.
+        let band = s.map_duration.fraction_at_or_below(100.0)
+            - s.map_duration.fraction_at_or_below(10.0);
+        assert!(band > 0.6, "band {band}");
+        // >50% reducers over 100s, ~10% over 1000s.
+        assert!(s.reduce_duration.fraction_at_or_below(100.0) < 0.5);
+        let over_1000 = 1.0 - s.reduce_duration.fraction_at_or_below(1_000.0);
+        assert!((0.04..0.2).contains(&over_1000), "{over_1000}");
+        // Fig 5(b): most ratios above 1 (reducers slower).
+        assert!(s.duration_ratio.fraction_at_or_below(1.0) < 0.3);
+        // Fig 6(a): ~30% jobs with >100 mappers; >60% with <10 reducers.
+        let over_100 = 1.0 - s.map_count.fraction_at_or_below(100.0);
+        assert!((0.2..0.45).contains(&over_100), "{over_100}");
+        assert!(s.reduce_count.fraction_at_or_below(9.0) > 0.6);
+        // Fig 6(b): mappers usually outnumber reducers.
+        assert!(s.count_ratio.fraction_at_or_below(1.0) < 0.35);
+    }
+
+    #[test]
+    fn tables_render() {
+        let s = run_trace_stats(7);
+        for t in [
+            s.fig5a_table(),
+            s.fig5b_table(),
+            s.fig6a_table(),
+            s.fig6b_table(),
+        ] {
+            assert!(!t.is_empty());
+            assert!(t.render().contains("F("));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every figure of the WOHA paper.
+//!
+//! Each figure has a binary in `src/bin/` (e.g. `fig11_workspan`) that
+//! calls into [`experiments`] and prints the same rows/series the paper
+//! plots. Criterion microbenchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod runner;
+pub mod scenarios;
+pub mod schedulers;
+pub mod table;
+
+pub use runner::{run_many, run_one};
+pub use schedulers::SchedulerKind;

@@ -1,0 +1,61 @@
+//! Experiment execution: run one scenario under one or many schedulers,
+//! optionally in parallel across schedulers.
+
+use crate::schedulers::SchedulerKind;
+use woha_model::{SlotKind, WorkflowSpec};
+use woha_sim::{run_simulation, ClusterConfig, SimConfig, SimReport};
+
+/// Runs `workflows` on `cluster` under one scheduler kind.
+pub fn run_one(
+    kind: SchedulerKind,
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> SimReport {
+    let total = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
+    let mut scheduler = kind.build(total);
+    run_simulation(workflows, scheduler.as_mut(), cluster, config)
+}
+
+/// Runs the same scenario under every scheduler in `kinds`, in parallel
+/// (one OS thread per scheduler), returning reports in `kinds` order.
+pub fn run_many(
+    kinds: &[SchedulerKind],
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> Vec<(SchedulerKind, SimReport)> {
+    let mut results: Vec<Option<(SchedulerKind, SimReport)>> = Vec::new();
+    results.resize_with(kinds.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, &kind) in results.iter_mut().zip(kinds) {
+            scope.spawn(move |_| {
+                *slot = Some((kind, run_one(kind, workflows, cluster, config)));
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+    results
+        .into_iter()
+        .map(|r| r.expect("every thread filled its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{fig2_cluster, fig2_workflows};
+
+    #[test]
+    fn run_many_matches_run_one() {
+        let workflows = fig2_workflows();
+        let cluster = fig2_cluster();
+        let config = SimConfig::default();
+        let kinds = [SchedulerKind::Fifo, SchedulerKind::Edf];
+        let parallel = run_many(&kinds, &workflows, &cluster, &config);
+        for (kind, report) in &parallel {
+            let solo = run_one(*kind, &workflows, &cluster, &config);
+            assert_eq!(report, &solo, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table: a header row plus data rows, rendered with
+/// column widths fitted to content.
+///
+/// # Examples
+///
+/// ```
+/// use woha_bench::table::Table;
+/// let mut t = Table::new(vec!["scheduler", "misses"]);
+/// t.row(vec!["FIFO".into(), "12".into()]);
+/// let text = t.render();
+/// assert!(text.contains("FIFO"));
+/// assert!(text.starts_with("scheduler"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<impl Into<String>>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, (cell, &w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim per-line trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        emit(&sep, &mut out);
+        let _ = cols;
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting — experiment cells are plain).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals, trimming noise.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats seconds from a [`woha_model::SimDuration`].
+pub fn fmt_secs(d: woha_model::SimDuration) -> String {
+    format!("{:.0}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "22".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("----"));
+        // Columns align: "long-header" starts at the same offset everywhere.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f64(0.12345), "0.123");
+        assert_eq!(fmt_secs(woha_model::SimDuration::from_secs(90)), "90");
+    }
+}

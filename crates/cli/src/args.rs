@@ -1,0 +1,408 @@
+//! Minimal dependency-free argument parsing for `woha-cli`.
+
+use std::fmt;
+use woha_core::{CapMode, PriorityPolicy};
+use woha_model::{config::parse_duration, SimTime};
+use woha_sim::ClusterConfig;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `woha-cli validate <workflow.xml>...`
+    Validate {
+        /// Workflow files.
+        workflows: Vec<WorkflowArg>,
+    },
+    /// `woha-cli plan <workflow.xml> [--slots N] [--policy hlf|lpf|mpf] [--cap min|full|N]`
+    Plan {
+        /// The workflow file.
+        workflow: WorkflowArg,
+        /// Cluster capacity in slots.
+        slots: u32,
+        /// Job prioritization policy.
+        policy: PriorityPolicy,
+        /// Cap mode.
+        cap: CapMode,
+    },
+    /// `woha-cli simulate <workflow.xml[@release]>... [--cluster NxMxR]
+    /// [--scheduler S] [--jitter F] [--seed N] [--failures P] [--json]`
+    Simulate {
+        /// Workflow files with optional release offsets.
+        workflows: Vec<WorkflowArg>,
+        /// Cluster shape.
+        cluster: ClusterConfig,
+        /// Scheduler name (`woha-lpf`, `woha-hlf`, `woha-mpf`, `fifo`,
+        /// `fair`, `edf`), or `all` to compare every scheduler.
+        scheduler: String,
+        /// Task duration jitter.
+        jitter: f64,
+        /// Jitter/failure seed.
+        seed: u64,
+        /// Task failure probability.
+        failures: f64,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
+    /// `woha-cli help`
+    Help,
+}
+
+/// A workflow file plus its release offset (`file.xml@5m`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowArg {
+    /// Path to the XML file.
+    pub path: String,
+    /// Submission time.
+    pub release: SimTime,
+}
+
+/// A fatal argument error, with a message for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+woha-cli — deadline-aware Map-Reduce workflow scheduling (WOHA, ICDCS 2014)
+
+USAGE:
+  woha-cli validate <workflow.xml>...
+      Parse and validate workflow configuration files; print the derived
+      job DAG and summary statistics.
+
+  woha-cli plan <workflow.xml> [--slots N] [--policy hlf|lpf|mpf]
+                [--cap min|full|<N>]
+      Generate the client-side scheduling plan (Algorithm 1 + resource-cap
+      binary search) and print its progress requirement list.
+
+  woha-cli simulate <workflow.xml[@release]>... [OPTIONS]
+      Run the workflows on a simulated Hadoop cluster.
+      Releases are durations like 5m or 30s (default 0).
+
+      --cluster NxMxR     N slaves with M map + R reduce slots (default 8x2x1)
+      --scheduler NAME    woha-lpf | woha-hlf | woha-mpf | fifo | fair | edf
+                          | all  (default woha-lpf)
+      --jitter F          task duration jitter fraction (default 0)
+      --seed N            jitter/failure seed (default 0)
+      --failures P        task failure probability (default 0)
+      --json              machine-readable output
+
+  woha-cli help
+      Print this text.
+";
+
+fn parse_workflow_arg(raw: &str) -> Result<WorkflowArg, ArgError> {
+    match raw.rsplit_once('@') {
+        Some((path, release)) if !path.is_empty() => Ok(WorkflowArg {
+            path: path.to_string(),
+            release: SimTime::ZERO
+                + parse_duration(release)
+                    .map_err(|e| err(format!("bad release in {raw:?}: {e}")))?,
+        }),
+        _ => Ok(WorkflowArg {
+            path: raw.to_string(),
+            release: SimTime::ZERO,
+        }),
+    }
+}
+
+fn parse_cluster(raw: &str) -> Result<ClusterConfig, ArgError> {
+    let parts: Vec<&str> = raw.split('x').collect();
+    if parts.len() != 3 {
+        return Err(err(format!(
+            "bad --cluster {raw:?}: expected NxMxR like 32x2x1"
+        )));
+    }
+    let nums: Vec<u32> = parts
+        .iter()
+        .map(|p| p.parse().map_err(|_| err(format!("bad --cluster {raw:?}"))))
+        .collect::<Result<_, _>>()?;
+    if nums[0] == 0 || nums[1] + nums[2] == 0 {
+        return Err(err(format!("bad --cluster {raw:?}: empty cluster")));
+    }
+    Ok(ClusterConfig::uniform(nums[0], nums[1], nums[2]))
+}
+
+fn parse_policy(raw: &str) -> Result<PriorityPolicy, ArgError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "hlf" => Ok(PriorityPolicy::Hlf),
+        "lpf" => Ok(PriorityPolicy::Lpf),
+        "mpf" => Ok(PriorityPolicy::Mpf),
+        _ => Err(err(format!("unknown --policy {raw:?} (hlf|lpf|mpf)"))),
+    }
+}
+
+fn parse_cap(raw: &str) -> Result<CapMode, ArgError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "min" => Ok(CapMode::MinFeasible),
+        "full" => Ok(CapMode::Uncapped),
+        n => n
+            .parse::<u32>()
+            .map(CapMode::Fixed)
+            .map_err(|_| err(format!("unknown --cap {raw:?} (min|full|<N>)"))),
+    }
+}
+
+const SCHEDULERS: [&str; 7] = ["woha-lpf", "woha-hlf", "woha-mpf", "fifo", "fair", "edf", "all"];
+
+/// Parses a full command line (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message for any malformed or
+/// unknown argument.
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "validate" => {
+            let workflows: Vec<WorkflowArg> = rest
+                .iter()
+                .map(|r| parse_workflow_arg(r))
+                .collect::<Result<_, _>>()?;
+            if workflows.is_empty() {
+                return Err(err("validate needs at least one workflow file"));
+            }
+            Ok(Command::Validate { workflows })
+        }
+        "plan" => {
+            let mut workflow = None;
+            let mut slots = 96u32;
+            let mut policy = PriorityPolicy::Lpf;
+            let mut cap = CapMode::MinFeasible;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--slots" => {
+                        slots = next_value(&mut it, "--slots")?
+                            .parse()
+                            .map_err(|_| err("--slots needs a positive integer"))?;
+                    }
+                    "--policy" => policy = parse_policy(&next_value(&mut it, "--policy")?)?,
+                    "--cap" => cap = parse_cap(&next_value(&mut it, "--cap")?)?,
+                    other if !other.starts_with('-') && workflow.is_none() => {
+                        workflow = Some(parse_workflow_arg(other)?);
+                    }
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+            }
+            if slots == 0 {
+                return Err(err("--slots must be positive"));
+            }
+            let workflow = workflow.ok_or_else(|| err("plan needs a workflow file"))?;
+            Ok(Command::Plan {
+                workflow,
+                slots,
+                policy,
+                cap,
+            })
+        }
+        "simulate" => {
+            let mut workflows = Vec::new();
+            let mut cluster = ClusterConfig::uniform(8, 2, 1);
+            let mut scheduler = "woha-lpf".to_string();
+            let mut jitter = 0.0f64;
+            let mut seed = 0u64;
+            let mut failures = 0.0f64;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cluster" => cluster = parse_cluster(&next_value(&mut it, "--cluster")?)?,
+                    "--scheduler" => {
+                        scheduler = next_value(&mut it, "--scheduler")?.to_ascii_lowercase();
+                        if !SCHEDULERS.contains(&scheduler.as_str()) {
+                            return Err(err(format!(
+                                "unknown --scheduler {scheduler:?} (one of {SCHEDULERS:?})"
+                            )));
+                        }
+                    }
+                    "--jitter" => {
+                        jitter = next_value(&mut it, "--jitter")?
+                            .parse()
+                            .map_err(|_| err("--jitter needs a number"))?;
+                        if !(0.0..1.0).contains(&jitter) {
+                            return Err(err("--jitter must be in [0, 1)"));
+                        }
+                    }
+                    "--seed" => {
+                        seed = next_value(&mut it, "--seed")?
+                            .parse()
+                            .map_err(|_| err("--seed needs an integer"))?;
+                    }
+                    "--failures" => {
+                        failures = next_value(&mut it, "--failures")?
+                            .parse()
+                            .map_err(|_| err("--failures needs a probability"))?;
+                        if !(0.0..1.0).contains(&failures) {
+                            return Err(err("--failures must be in [0, 1)"));
+                        }
+                    }
+                    "--json" => json = true,
+                    other if !other.starts_with('-') => {
+                        workflows.push(parse_workflow_arg(other)?);
+                    }
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+            }
+            if workflows.is_empty() {
+                return Err(err("simulate needs at least one workflow file"));
+            }
+            Ok(Command::Simulate {
+                workflows,
+                cluster,
+                scheduler,
+                jitter,
+                seed,
+                failures,
+                json,
+            })
+        }
+        other => Err(err(format!(
+            "unknown command {other:?}; try `woha-cli help`"
+        ))),
+    }
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<String, ArgError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| err(format!("{flag} needs a value")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woha_model::SlotKind;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn validate_needs_files() {
+        assert!(parse(&args(&["validate"])).is_err());
+        let cmd = parse(&args(&["validate", "a.xml", "b.xml"])).unwrap();
+        match cmd {
+            Command::Validate { workflows } => {
+                assert_eq!(workflows.len(), 2);
+                assert_eq!(workflows[0].path, "a.xml");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_defaults_and_flags() {
+        let cmd = parse(&args(&[
+            "plan", "w.xml", "--slots", "48", "--policy", "hlf", "--cap", "12",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Plan {
+                workflow,
+                slots,
+                policy,
+                cap,
+            } => {
+                assert_eq!(workflow.path, "w.xml");
+                assert_eq!(slots, 48);
+                assert_eq!(policy, PriorityPolicy::Hlf);
+                assert_eq!(cap, CapMode::Fixed(12));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args(&["plan"])).is_err());
+        assert!(parse(&args(&["plan", "w.xml", "--cap", "soon"])).is_err());
+        assert!(parse(&args(&["plan", "w.xml", "--slots", "0"])).is_err());
+    }
+
+    #[test]
+    fn simulate_full_line() {
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "b.xml@5m",
+            "--cluster",
+            "32x2x1",
+            "--scheduler",
+            "edf",
+            "--jitter",
+            "0.1",
+            "--seed",
+            "7",
+            "--failures",
+            "0.05",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                workflows,
+                cluster,
+                scheduler,
+                jitter,
+                seed,
+                failures,
+                json,
+            } => {
+                assert_eq!(workflows.len(), 2);
+                assert_eq!(workflows[1].release, SimTime::from_mins(5));
+                assert_eq!(cluster.total_slots(SlotKind::Map), 64);
+                assert_eq!(scheduler, "edf");
+                assert_eq!(jitter, 0.1);
+                assert_eq!(seed, 7);
+                assert_eq!(failures, 0.05);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_values() {
+        assert!(parse(&args(&["simulate"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--cluster", "3x2"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--scheduler", "magic"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--jitter", "1.5"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--unknown"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml@soon"])).is_err());
+    }
+
+    #[test]
+    fn release_suffix_parsing() {
+        let w = parse_workflow_arg("dir/w.xml@90s").unwrap();
+        assert_eq!(w.path, "dir/w.xml");
+        assert_eq!(w.release, SimTime::from_secs(90));
+        let w = parse_workflow_arg("plain.xml").unwrap();
+        assert_eq!(w.release, SimTime::ZERO);
+    }
+}

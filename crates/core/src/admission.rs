@@ -1,0 +1,403 @@
+//! Admission control: should the cluster accept a new deadline-bound
+//! workflow at all?
+//!
+//! WOHA schedules accepted workflows in a best-effort manner; the paper
+//! leaves open what to do when the cluster is simply oversubscribed. This
+//! module provides the natural companion: a **necessary-condition
+//! admission test** in the style of real-time demand-bound analysis.
+//! A workflow set can only be schedulable if, for every deadline `D_k`,
+//! the total work of workflows due by `D_k` fits into the cluster's
+//! capacity over `[now, D_k]`, and each workflow's own deadline leaves
+//! room for its critical path and for its work at full parallelism.
+//!
+//! The test is *necessary, not sufficient* (deciding feasibility exactly
+//! is the NP-hard problem the paper cites), so a rejected workflow is
+//! certainly infeasible, while an admitted one may still miss under
+//! unlucky interleaving — pair it with WOHA's best-effort scheduling.
+
+use woha_model::{SimDuration, SimTime, SlotKind, WorkflowSpec};
+use woha_sim::ClusterConfig;
+
+/// Why a workflow was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// Its own critical path exceeds the time to its deadline: no cluster
+    /// of any size could meet it.
+    CriticalPathExceedsDeadline {
+        /// The workflow's critical path.
+        critical_path: SimDuration,
+        /// Time from submission to deadline.
+        budget: SimDuration,
+    },
+    /// Its own total work exceeds cluster capacity over its window.
+    OwnWorkExceedsCapacity {
+        /// Slot-milliseconds demanded.
+        demand_ms: u128,
+        /// Slot-milliseconds available by the deadline.
+        supply_ms: u128,
+    },
+    /// Aggregate work of all admitted workflows due by some deadline
+    /// exceeds capacity over that horizon.
+    AggregateOverload {
+        /// The deadline at which demand exceeds supply.
+        at_deadline: SimTime,
+        /// Slot-milliseconds demanded by then.
+        demand_ms: u128,
+        /// Slot-milliseconds available by then.
+        supply_ms: u128,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::CriticalPathExceedsDeadline {
+                critical_path,
+                budget,
+            } => write!(
+                f,
+                "critical path {critical_path} exceeds deadline budget {budget}"
+            ),
+            RejectReason::OwnWorkExceedsCapacity {
+                demand_ms,
+                supply_ms,
+            } => write!(
+                f,
+                "workflow demands {demand_ms} slot-ms but only {supply_ms} fit by its deadline"
+            ),
+            RejectReason::AggregateOverload {
+                at_deadline,
+                demand_ms,
+                supply_ms,
+            } => write!(
+                f,
+                "aggregate demand {demand_ms} slot-ms exceeds supply {supply_ms} by deadline {at_deadline}"
+            ),
+        }
+    }
+}
+
+/// Bookkeeping for one admitted workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Admitted {
+    name: String,
+    deadline: SimTime,
+    /// Work per slot kind `[map, reduce]`, slot-milliseconds.
+    work_ms: [u128; 2],
+}
+
+fn work_by_kind(w: &WorkflowSpec) -> [u128; 2] {
+    let mut work = [0u128; 2];
+    for job in w.jobs() {
+        work[0] += u128::from(job.map_duration().as_millis()) * u128::from(job.map_tasks());
+        work[1] +=
+            u128::from(job.reduce_duration().as_millis()) * u128::from(job.reduce_tasks());
+    }
+    work
+}
+
+/// A demand-bound admission controller for one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::admission::AdmissionController;
+/// use woha_model::{JobSpec, SimDuration, SimTime, WorkflowBuilder};
+/// use woha_sim::ClusterConfig;
+///
+/// let mut ctl = AdmissionController::new(&ClusterConfig::uniform(2, 2, 1));
+/// let mut b = WorkflowBuilder::new("w");
+/// b.add_job(JobSpec::new("j", 4, 2,
+///     SimDuration::from_secs(30), SimDuration::from_secs(60)));
+/// b.relative_deadline(SimDuration::from_mins(10));
+/// let w = b.build().unwrap();
+/// assert!(ctl.try_admit(&w, SimTime::ZERO).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Capacity per slot kind `[map, reduce]`.
+    capacity_slots: [u128; 2],
+    admitted: Vec<Admitted>,
+    /// A utilization margin in `[0, 1]`: only this fraction of raw
+    /// capacity is considered available (slack for fragmentation, phase
+    /// dependencies, and heartbeat quantization). Default 0.9.
+    margin: f64,
+}
+
+impl AdmissionController {
+    /// Creates a controller for `cluster` with the default 0.9 capacity
+    /// margin.
+    pub fn new(cluster: &ClusterConfig) -> Self {
+        AdmissionController {
+            capacity_slots: [
+                u128::from(cluster.total_slots(SlotKind::Map)),
+                u128::from(cluster.total_slots(SlotKind::Reduce)),
+            ],
+            admitted: Vec::new(),
+            margin: 0.9,
+        }
+    }
+
+    /// Overrides the capacity margin (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < margin <= 1`.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+        self.margin = margin;
+        self
+    }
+
+    /// Number of currently admitted (uncompleted) workflows.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    fn supply_ms(&self, kind: usize, from: SimTime, until: SimTime) -> u128 {
+        let horizon = u128::from(until.saturating_since(from).as_millis());
+        (self.capacity_slots[kind] as f64 * self.margin) as u128 * horizon
+    }
+
+    /// Tests whether `workflow` (submitted at `now`) can be admitted; on
+    /// success it is recorded against future admissions.
+    ///
+    /// Workflows without deadlines are always admitted and never consume
+    /// reserved capacity (they are background work).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RejectReason`] that proves infeasibility.
+    pub fn try_admit(
+        &mut self,
+        workflow: &WorkflowSpec,
+        now: SimTime,
+    ) -> Result<(), RejectReason> {
+        if workflow.deadline() == SimTime::MAX {
+            return Ok(());
+        }
+        let budget = workflow.deadline().saturating_since(now);
+        let critical_path = workflow.critical_path();
+        if critical_path > budget {
+            return Err(RejectReason::CriticalPathExceedsDeadline {
+                critical_path,
+                budget,
+            });
+        }
+        let work_ms = work_by_kind(workflow);
+        for kind in 0..2 {
+            let own_supply = self.supply_ms(kind, now, workflow.deadline());
+            if work_ms[kind] > own_supply {
+                return Err(RejectReason::OwnWorkExceedsCapacity {
+                    demand_ms: work_ms[kind],
+                    supply_ms: own_supply,
+                });
+            }
+        }
+        // Demand-bound test per slot kind: for every admitted deadline
+        // D_k, total work of that kind due by D_k must fit its capacity.
+        let mut horizon: Vec<(SimTime, [u128; 2])> = self
+            .admitted
+            .iter()
+            .map(|a| (a.deadline, a.work_ms))
+            .collect();
+        horizon.push((workflow.deadline(), work_ms));
+        horizon.sort_by_key(|&(d, _)| d);
+        let mut cumulative = [0u128; 2];
+        for &(deadline, work) in &horizon {
+            for kind in 0..2 {
+                cumulative[kind] += work[kind];
+                let supply = self.supply_ms(kind, now, deadline);
+                if cumulative[kind] > supply {
+                    return Err(RejectReason::AggregateOverload {
+                        at_deadline: deadline,
+                        demand_ms: cumulative[kind],
+                        supply_ms: supply,
+                    });
+                }
+            }
+        }
+        self.admitted.push(Admitted {
+            name: workflow.name().to_string(),
+            deadline: workflow.deadline(),
+            work_ms,
+        });
+        Ok(())
+    }
+
+    /// Releases a completed (or withdrawn) workflow's reservation.
+    pub fn complete(&mut self, name: &str) {
+        if let Some(pos) = self.admitted.iter().position(|a| a.name == name) {
+            self.admitted.swap_remove(pos);
+        }
+    }
+
+    /// Drops reservations whose deadlines have passed (their capacity
+    /// window is gone whether they finished or not).
+    pub fn expire(&mut self, now: SimTime) {
+        self.admitted.retain(|a| a.deadline > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woha_model::{JobSpec, WorkflowBuilder};
+
+    fn workflow(name: &str, maps: u32, map_secs: u64, deadline_mins: u64) -> WorkflowSpec {
+        let mut b = WorkflowBuilder::new(name);
+        b.add_job(JobSpec::new(
+            "j",
+            maps,
+            0,
+            SimDuration::from_secs(map_secs),
+            SimDuration::ZERO,
+        ));
+        b.relative_deadline(SimDuration::from_mins(deadline_mins));
+        b.build().unwrap()
+    }
+
+    fn controller() -> AdmissionController {
+        // 4 map + 2 reduce slots; the test workflows are map-only, so the
+        // binding capacity is 4 map slots. Margin 1.0 for exact math.
+        AdmissionController::new(&ClusterConfig::uniform(2, 2, 1)).with_margin(1.0)
+    }
+
+    #[test]
+    fn admits_feasible_workflow() {
+        let mut ctl = controller();
+        assert_eq!(ctl.try_admit(&workflow("w", 4, 30, 10), SimTime::ZERO), Ok(()));
+        assert_eq!(ctl.admitted_count(), 1);
+    }
+
+    #[test]
+    fn rejects_critical_path_violation() {
+        let mut ctl = controller();
+        // One 10-minute map task, 5-minute deadline.
+        let w = workflow("w", 1, 600, 5);
+        assert!(matches!(
+            ctl.try_admit(&w, SimTime::ZERO),
+            Err(RejectReason::CriticalPathExceedsDeadline { .. })
+        ));
+        assert_eq!(ctl.admitted_count(), 0);
+    }
+
+    #[test]
+    fn rejects_own_work_overflow() {
+        let mut ctl = controller();
+        // 6 slots x 60s = 360 slot-s supply in 1 minute; demand 100 x 30s
+        // maps = 3000 slot-s.
+        let w = workflow("w", 100, 30, 1);
+        assert!(matches!(
+            ctl.try_admit(&w, SimTime::ZERO),
+            Err(RejectReason::OwnWorkExceedsCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_aggregate_overload() {
+        let mut ctl = controller();
+        // Each workflow: 20 maps x 60s = 1200 slot-s of map work; map
+        // supply by 10 min is 4 x 600 = 2400 slot-s. Two fit exactly; the
+        // third overloads.
+        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl.try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
+        let third = ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO);
+        assert!(
+            matches!(third, Err(RejectReason::AggregateOverload { .. })),
+            "{third:?}"
+        );
+        // A later deadline gives the third workflow room.
+        assert!(ctl.try_admit(&workflow("c", 20, 60, 20), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn earlier_deadline_is_checked_against_shorter_horizon() {
+        let mut ctl = controller();
+        // A big workflow due late fits (2100 of 2400 slot-s)...
+        assert!(ctl.try_admit(&workflow("big", 35, 60, 10), SimTime::ZERO).is_ok());
+        // ...and a small workflow due very early only adds demand at its
+        // own deadline (300 of 480 slot-s by minute 2), so it is admitted.
+        assert!(ctl.try_admit(&workflow("small", 5, 60, 2), SimTime::ZERO).is_ok());
+        // But a second big one due at minute 10 now fails the aggregate
+        // (2100 + 300 + 2100 > 2400).
+        assert!(matches!(
+            ctl.try_admit(&workflow("big2", 35, 60, 10), SimTime::ZERO),
+            Err(RejectReason::AggregateOverload { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_releases_capacity() {
+        let mut ctl = controller();
+        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl.try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO).is_err());
+        ctl.complete("a");
+        assert!(ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn expire_drops_past_deadlines() {
+        let mut ctl = controller();
+        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        ctl.expire(SimTime::from_mins(11));
+        assert_eq!(ctl.admitted_count(), 0);
+    }
+
+    #[test]
+    fn deadline_less_workflows_pass_through() {
+        let mut ctl = controller();
+        let mut b = WorkflowBuilder::new("bg");
+        b.add_job(JobSpec::new(
+            "j",
+            1_000,
+            0,
+            SimDuration::from_secs(600),
+            SimDuration::ZERO,
+        ));
+        let w = b.build().unwrap();
+        assert_eq!(ctl.try_admit(&w, SimTime::ZERO), Ok(()));
+        assert_eq!(ctl.admitted_count(), 0, "background work reserves nothing");
+    }
+
+    #[test]
+    fn margin_shrinks_supply() {
+        let mut strict = AdmissionController::new(&ClusterConfig::uniform(2, 2, 1))
+            .with_margin(0.5);
+        // 4 map slots, margin 0.5 -> 2 effective; 20x60s = 1200 slot-s
+        // demand vs 2 x 600 = 1200 supply: admitted exactly at the
+        // boundary, and one more map task tips it over.
+        assert!(strict.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(strict.try_admit(&workflow("b", 1, 60, 10), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in (0, 1]")]
+    fn rejects_bad_margin() {
+        let _ = controller().with_margin(0.0);
+    }
+
+    #[test]
+    fn reject_reasons_display() {
+        let reasons = [
+            RejectReason::CriticalPathExceedsDeadline {
+                critical_path: SimDuration::from_secs(100),
+                budget: SimDuration::from_secs(50),
+            },
+            RejectReason::OwnWorkExceedsCapacity {
+                demand_ms: 10,
+                supply_ms: 5,
+            },
+            RejectReason::AggregateOverload {
+                at_deadline: SimTime::from_secs(60),
+                demand_ms: 10,
+                supply_ms: 5,
+            },
+        ];
+        for r in reasons {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

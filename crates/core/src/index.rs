@@ -1,0 +1,315 @@
+//! The workflow ordering index of the WOHA master: the paper's Double Skip
+//! List (§IV-B, Fig 4), plus the Balanced-Search-Tree alternative it is
+//! compared against in Fig 13(a).
+//!
+//! The index maintains two orderings over queued workflows:
+//!
+//! - the **ct list**, ordered by each workflow's *next progress-requirement
+//!   change time* — the scheduler walks its head to find workflows whose
+//!   priority is stale;
+//! - the **priority list**, ordered by current progress lag
+//!   `F_i(ttd) - ρ_i` descending — its head is the workflow to schedule.
+//!
+//! Both structures see the same skewed access pattern: most deletions hit
+//! the head. [`DslIndex`] serves those in O(1) via [`SkipList`];
+//! [`BstIndex`] uses two `BTreeSet`s at O(log n) per head access. (The
+//! paper's third contender, the naive rebuild-everything scheduler, lives
+//! in [`crate::woha`] because it bypasses any incremental index.)
+
+use crate::skiplist::SkipList;
+use std::collections::BTreeSet;
+use std::fmt;
+use woha_model::{SimTime, WorkflowId};
+
+/// A double ordering over queued workflows, keyed by next-change time and
+/// by priority (progress lag, larger = more urgent).
+///
+/// Callers must pass the *current* `(ct, lag)` of a workflow when removing
+/// or updating it — the index does not track per-workflow state itself,
+/// mirroring how the paper's scheduler stores `W_h.t` and `W_h.p` on the
+/// workflow object.
+pub trait WorkflowIndex: fmt::Debug {
+    /// Short name for reports ("dsl", "bst").
+    fn name(&self) -> &'static str;
+
+    /// Adds a workflow with its next change time, current lag, and
+    /// (effective) deadline used as the urgency tie-break.
+    fn insert(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime);
+
+    /// Removes a workflow, given its current keys.
+    fn remove(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime);
+
+    /// Re-keys a workflow.
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        &mut self,
+        wf: WorkflowId,
+        old_ct: SimTime,
+        old_lag: i64,
+        new_ct: SimTime,
+        new_lag: i64,
+        deadline: SimTime,
+    ) {
+        self.remove(wf, old_ct, old_lag, deadline);
+        self.insert(wf, new_ct, new_lag, deadline);
+    }
+
+    /// Head of the ct list: the workflow whose progress requirement changes
+    /// soonest.
+    fn min_ct(&self) -> Option<(SimTime, WorkflowId)>;
+
+    /// Workflows in descending priority (lag) order; ties by id ascending.
+    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_>;
+
+    /// Head of the priority list.
+    fn max_priority(&self) -> Option<(i64, WorkflowId)> {
+        self.by_priority().next()
+    }
+
+    /// Number of queued workflows.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Priority-list key: orders by lag descending, then deadline ascending
+/// (an urgency tie-break: equal lags go to the workflow closer to its
+/// deadline), then workflow id, by storing the negated lag in a
+/// min-ordered structure.
+fn pri_key(lag: i64, deadline: SimTime, wf: WorkflowId) -> (i64, u64, u64) {
+    (-lag, deadline.as_millis(), wf.as_u64())
+}
+
+/// The paper's Double Skip List: two [`SkipList`]s with O(1) head access.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::index::{DslIndex, WorkflowIndex};
+/// use woha_model::{SimTime, WorkflowId};
+///
+/// let mut idx = DslIndex::new();
+/// idx.insert(WorkflowId::new(1), SimTime::from_secs(6), 39, SimTime::from_mins(10));
+/// idx.insert(WorkflowId::new(4), SimTime::from_secs(5), -17, SimTime::from_mins(12));
+/// assert_eq!(idx.min_ct(), Some((SimTime::from_secs(5), WorkflowId::new(4))));
+/// assert_eq!(idx.max_priority(), Some((39, WorkflowId::new(1))));
+/// ```
+#[derive(Debug, Default)]
+pub struct DslIndex {
+    ct: SkipList<(SimTime, u64), ()>,
+    pri: SkipList<(i64, u64, u64), ()>,
+}
+
+impl DslIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        DslIndex::default()
+    }
+}
+
+impl WorkflowIndex for DslIndex {
+    fn name(&self) -> &'static str {
+        "dsl"
+    }
+
+    fn insert(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
+        self.ct.insert((ct, wf.as_u64()), ());
+        self.pri.insert(pri_key(lag, deadline, wf), ());
+    }
+
+    fn remove(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
+        let removed_ct = self.ct.remove(&(ct, wf.as_u64())).is_some();
+        let removed_pri = self.pri.remove(&pri_key(lag, deadline, wf)).is_some();
+        debug_assert!(removed_ct && removed_pri, "stale keys for {wf}");
+    }
+
+    fn min_ct(&self) -> Option<(SimTime, WorkflowId)> {
+        self.ct
+            .first()
+            .map(|(&(t, wf), _)| (t, WorkflowId::new(wf)))
+    }
+
+    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_> {
+        Box::new(
+            self.pri
+                .iter()
+                .map(|(&(neg, _, wf), _)| (-neg, WorkflowId::new(wf))),
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.ct.len()
+    }
+}
+
+/// The balanced-search-tree alternative: two `BTreeSet`s.
+#[derive(Debug, Default)]
+pub struct BstIndex {
+    ct: BTreeSet<(SimTime, u64)>,
+    pri: BTreeSet<(i64, u64, u64)>,
+}
+
+impl BstIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        BstIndex::default()
+    }
+}
+
+impl WorkflowIndex for BstIndex {
+    fn name(&self) -> &'static str {
+        "bst"
+    }
+
+    fn insert(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
+        self.ct.insert((ct, wf.as_u64()));
+        self.pri.insert(pri_key(lag, deadline, wf));
+    }
+
+    fn remove(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
+        let removed_ct = self.ct.remove(&(ct, wf.as_u64()));
+        let removed_pri = self.pri.remove(&pri_key(lag, deadline, wf));
+        debug_assert!(removed_ct && removed_pri, "stale keys for {wf}");
+    }
+
+    fn min_ct(&self) -> Option<(SimTime, WorkflowId)> {
+        self.ct
+            .iter()
+            .next()
+            .map(|&(t, wf)| (t, WorkflowId::new(wf)))
+    }
+
+    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_> {
+        Box::new(self.pri.iter().map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf))))
+    }
+
+    fn len(&self) -> usize {
+        self.ct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(i: u64) -> WorkflowId {
+        WorkflowId::new(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// The paper's Fig 4 example state: 8 workflows with given next event
+    /// times and priorities.
+    fn fig4<I: WorkflowIndex + Default>() -> I {
+        let mut idx = I::default();
+        let rows: [(u64, u64, i64); 8] = [
+            (1, 6, 39),
+            (2, 27, -3),
+            (3, 1, 22),
+            (4, 5, -17),
+            (5, 15, 31),
+            (6, 11, 13),
+            (7, 20, 2),
+            (8, 7, -19),
+        ];
+        for (id, ct, p) in rows {
+            idx.insert(wf(id), t(ct), p, t(100 + id));
+        }
+        idx
+    }
+
+    fn check_fig4(idx: &mut dyn WorkflowIndex) {
+        assert_eq!(idx.len(), 8);
+        // ct list head = workflow 3 (time 1).
+        assert_eq!(idx.min_ct(), Some((t(1), wf(3))));
+        // priority list: 39, 31, 22, 13, 2, -3, -17, -19.
+        let priorities: Vec<i64> = idx.by_priority().map(|(p, _)| p).collect();
+        assert_eq!(priorities, vec![39, 31, 22, 13, 2, -3, -17, -19]);
+        assert_eq!(idx.max_priority(), Some((39, wf(1))));
+
+        // The Fig 4 walkthrough: workflow 3 fires at time 3; its priority
+        // becomes 0 and its next ct 10.
+        idx.update(wf(3), t(1), 22, t(10), 0, t(103));
+        assert_eq!(idx.min_ct(), Some((t(5), wf(4))));
+        let order: Vec<u64> = idx.by_priority().map(|(_, w)| w.as_u64()).collect();
+        assert_eq!(order, vec![1, 5, 6, 7, 3, 2, 4, 8]);
+
+        // Remove the scheduled head workflow entirely.
+        idx.remove(wf(1), t(6), 39, t(101));
+        assert_eq!(idx.len(), 7);
+        assert_eq!(idx.max_priority(), Some((31, wf(5))));
+    }
+
+    #[test]
+    fn dsl_fig4_walkthrough() {
+        let mut idx: DslIndex = fig4();
+        check_fig4(&mut idx);
+        assert_eq!(idx.name(), "dsl");
+    }
+
+    #[test]
+    fn bst_fig4_walkthrough() {
+        let mut idx: BstIndex = fig4();
+        check_fig4(&mut idx);
+        assert_eq!(idx.name(), "bst");
+    }
+
+    #[test]
+    fn ties_break_by_workflow_id() {
+        let mut idx = DslIndex::new();
+        idx.insert(wf(2), t(5), 10, t(100));
+        idx.insert(wf(1), t(5), 10, t(100));
+        assert_eq!(idx.min_ct(), Some((t(5), wf(1))));
+        let order: Vec<u64> = idx.by_priority().map(|(_, w)| w.as_u64()).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = DslIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.min_ct(), None);
+        assert_eq!(idx.max_priority(), None);
+        assert_eq!(idx.by_priority().count(), 0);
+    }
+
+    #[test]
+    fn dsl_and_bst_agree_on_random_ops() {
+        let mut dsl = DslIndex::new();
+        let mut bst = BstIndex::new();
+        // Track live entries so removals use correct keys.
+        let mut live: Vec<(WorkflowId, SimTime, i64, SimTime)> = Vec::new();
+        let mut state = 99u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..2_000u64 {
+            if live.is_empty() || rand() % 3 != 0 {
+                let id = wf(i);
+                let ct = t(rand() % 1_000);
+                let lag = (rand() % 2_000) as i64 - 1_000;
+                let deadline = t(rand() % 5_000);
+                dsl.insert(id, ct, lag, deadline);
+                bst.insert(id, ct, lag, deadline);
+                live.push((id, ct, lag, deadline));
+            } else {
+                let pick = (rand() as usize) % live.len();
+                let (id, ct, lag, deadline) = live.swap_remove(pick);
+                dsl.remove(id, ct, lag, deadline);
+                bst.remove(id, ct, lag, deadline);
+            }
+            assert_eq!(dsl.len(), bst.len());
+            assert_eq!(dsl.min_ct(), bst.min_ct());
+            assert_eq!(dsl.max_priority(), bst.max_priority());
+        }
+        let a: Vec<(i64, WorkflowId)> = dsl.by_priority().collect();
+        let b: Vec<(i64, WorkflowId)> = bst.by_priority().collect();
+        assert_eq!(a, b);
+    }
+}

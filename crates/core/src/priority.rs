@@ -1,0 +1,237 @@
+//! Intra-workflow job prioritization policies (paper §V-C).
+//!
+//! The Scheduling Plan Generator consumes a total order over a workflow's
+//! jobs. The paper evaluates three classic policies:
+//!
+//! - **HLF** (Highest Level First): jobs with longer chains of dependents
+//!   (counted in jobs) first.
+//! - **LPF** (Longest Path First): like HLF but weighting each job by its
+//!   length (estimated map + reduce task duration).
+//! - **MPF** (Maximum Parallelism First): jobs with more direct dependents
+//!   first, to maximize the number of schedulable tasks.
+//!
+//! All three break ties by job id, as the paper specifies for HLF.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use woha_model::{JobId, WorkflowSpec};
+
+/// The intra-workflow job prioritization policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriorityPolicy {
+    /// Highest Level First.
+    Hlf,
+    /// Longest Path First.
+    Lpf,
+    /// Maximum Parallelism First.
+    Mpf,
+}
+
+impl PriorityPolicy {
+    /// All policies, in the paper's presentation order.
+    pub const ALL: [PriorityPolicy; 3] =
+        [PriorityPolicy::Hlf, PriorityPolicy::Lpf, PriorityPolicy::Mpf];
+}
+
+impl fmt::Display for PriorityPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorityPolicy::Hlf => f.write_str("HLF"),
+            PriorityPolicy::Lpf => f.write_str("LPF"),
+            PriorityPolicy::Mpf => f.write_str("MPF"),
+        }
+    }
+}
+
+/// A computed job priority assignment for one workflow.
+///
+/// Higher rank = higher priority. Ranks are only meaningful within the
+/// workflow they were computed for.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::priority::{JobPriorities, PriorityPolicy};
+/// use woha_model::{JobSpec, SimDuration, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("w");
+/// let a = b.add_job(JobSpec::new("a", 1, 0, SimDuration::from_secs(10), SimDuration::ZERO));
+/// let z = b.add_job(JobSpec::new("z", 1, 0, SimDuration::from_secs(10), SimDuration::ZERO));
+/// b.add_dependency(a, z);
+/// let w = b.build().unwrap();
+///
+/// let pri = JobPriorities::compute(&w, PriorityPolicy::Hlf);
+/// assert!(pri.rank(a) > pri.rank(z));
+/// assert_eq!(pri.order(), &[a, z]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobPriorities {
+    policy: PriorityPolicy,
+    ranks: Vec<u64>,
+    order: Vec<JobId>,
+}
+
+impl JobPriorities {
+    /// Computes priorities for `workflow` under `policy`.
+    pub fn compute(workflow: &WorkflowSpec, policy: PriorityPolicy) -> Self {
+        let ranks: Vec<u64> = match policy {
+            PriorityPolicy::Hlf => workflow
+                .levels()
+                .into_iter()
+                .map(|l| l as u64)
+                .collect(),
+            PriorityPolicy::Lpf => workflow.longest_paths_millis(),
+            PriorityPolicy::Mpf => workflow
+                .to_dag()
+                .out_degrees()
+                .into_iter()
+                .map(|d| d as u64)
+                .collect(),
+        };
+        let mut order: Vec<JobId> = workflow.job_ids().collect();
+        // Descending rank; ties by ascending job id (paper: "ties are
+        // broken by using their job IDs").
+        order.sort_by(|&a, &b| {
+            ranks[b.index()]
+                .cmp(&ranks[a.index()])
+                .then_with(|| a.cmp(&b))
+        });
+        JobPriorities {
+            policy,
+            ranks,
+            order,
+        }
+    }
+
+    /// The policy these priorities came from.
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+
+    /// The rank of one job (higher = more urgent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range for the originating workflow.
+    pub fn rank(&self, job: JobId) -> u64 {
+        self.ranks[job.index()]
+    }
+
+    /// Jobs in descending priority order.
+    pub fn order(&self) -> &[JobId] {
+        &self.order
+    }
+
+    /// True if `a` should be scheduled in preference to `b`.
+    pub fn beats(&self, a: JobId, b: JobId) -> bool {
+        self.ranks[a.index()]
+            .cmp(&self.ranks[b.index()])
+            .then_with(|| b.cmp(&a))
+            .is_gt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woha_model::{JobSpec, SimDuration, WorkflowBuilder};
+
+    /// a -> {b, c} -> d, where c is much longer than b, and e is a
+    /// disconnected source with many dependents f, g.
+    fn sample() -> (WorkflowSpec, Vec<JobId>) {
+        let mut b = WorkflowBuilder::new("w");
+        let ja = b.add_job(JobSpec::new("a", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
+        let jb = b.add_job(JobSpec::new("b", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
+        let jc = b.add_job(JobSpec::new("c", 2, 1, SimDuration::from_secs(500), SimDuration::from_secs(500)));
+        let jd = b.add_job(JobSpec::new("d", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
+        let je = b.add_job(JobSpec::new("e", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
+        let jf = b.add_job(JobSpec::new("f", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
+        let jg = b.add_job(JobSpec::new("g", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
+        b.add_dependency(ja, jb);
+        b.add_dependency(ja, jc);
+        b.add_dependency(jb, jd);
+        b.add_dependency(jc, jd);
+        b.add_dependency(je, jf);
+        b.add_dependency(je, jg);
+        (b.build().unwrap(), vec![ja, jb, jc, jd, je, jf, jg])
+    }
+
+    #[test]
+    fn hlf_ranks_by_level() {
+        let (w, ids) = sample();
+        let p = JobPriorities::compute(&w, PriorityPolicy::Hlf);
+        assert_eq!(p.policy(), PriorityPolicy::Hlf);
+        // a is 2 levels above the sink; e is 1; leaves are 0.
+        assert_eq!(p.rank(ids[0]), 2);
+        assert_eq!(p.rank(ids[4]), 1);
+        assert_eq!(p.rank(ids[3]), 0);
+        // Order: a, then (b, c, e) level 1 by id, then level-0 leaves.
+        assert_eq!(
+            p.order(),
+            &[ids[0], ids[1], ids[2], ids[4], ids[3], ids[5], ids[6]]
+        );
+    }
+
+    #[test]
+    fn lpf_prefers_heavy_chain() {
+        let (w, ids) = sample();
+        let p = JobPriorities::compute(&w, PriorityPolicy::Lpf);
+        // c's chain (c -> d) is far heavier than b's, so c outranks b.
+        assert!(p.rank(ids[2]) > p.rank(ids[1]));
+        assert!(p.beats(ids[2], ids[1]));
+        // a includes c's chain, so a outranks c.
+        assert!(p.rank(ids[0]) > p.rank(ids[2]));
+        // Order starts with a then c.
+        assert_eq!(&p.order()[..2], &[ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn mpf_ranks_by_dependents() {
+        let (w, ids) = sample();
+        let p = JobPriorities::compute(&w, PriorityPolicy::Mpf);
+        // a and e both have 2 dependents; tie broken by id, so a first.
+        assert_eq!(p.rank(ids[0]), 2);
+        assert_eq!(p.rank(ids[4]), 2);
+        assert_eq!(&p.order()[..2], &[ids[0], ids[4]]);
+        // b and c have 1 dependent each; leaves 0.
+        assert_eq!(p.rank(ids[1]), 1);
+        assert_eq!(p.rank(ids[3]), 0);
+    }
+
+    #[test]
+    fn beats_is_a_strict_total_order() {
+        let (w, _) = sample();
+        for policy in PriorityPolicy::ALL {
+            let p = JobPriorities::compute(&w, policy);
+            for a in w.job_ids() {
+                assert!(!p.beats(a, a), "{policy}: irreflexive");
+                for b in w.job_ids() {
+                    if a != b {
+                        assert!(
+                            p.beats(a, b) ^ p.beats(b, a),
+                            "{policy}: exactly one of ({a},{b}) wins"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_consistent_with_beats() {
+        let (w, _) = sample();
+        for policy in PriorityPolicy::ALL {
+            let p = JobPriorities::compute(&w, policy);
+            for pair in p.order().windows(2) {
+                assert!(p.beats(pair[0], pair[1]), "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PriorityPolicy::Hlf.to_string(), "HLF");
+        assert_eq!(PriorityPolicy::Lpf.to_string(), "LPF");
+        assert_eq!(PriorityPolicy::Mpf.to_string(), "MPF");
+    }
+}

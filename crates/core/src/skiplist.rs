@@ -1,0 +1,500 @@
+//! An ordered-map skip list with O(1) access to the head element.
+//!
+//! The Double Skip List of the paper (§IV-B) needs two ordered structures
+//! whose dominant operations are *"read/remove the smallest element"* and
+//! *"re-insert near the smallest element"* — which a balanced search tree
+//! serves in O(log n) but a skip list serves in O(1), because the
+//! bottom-level list starts at the minimum and the head pointers are the
+//! minimum's predecessors at every level. Arbitrary inserts and removals
+//! remain O(log n).
+//!
+//! The paper cites the *deterministic* skip list of Munro, Papadakis and
+//! Sedgewick for worst-case bounds. This implementation keeps the
+//! determinism (identical operation sequences produce identical structures
+//! on every run — node levels come from a splitmix64 hash of an insertion
+//! counter, not a random source) with the classic expected O(log n)
+//! bounds, which is what the Fig 13(a) throughput comparison exercises.
+//!
+//! # Representation
+//!
+//! Nodes live in parallel flat arrays (`keys`, `values`, `levels`, and a
+//! stride-`MAX_LEVEL` `forward` array) indexed by `u32`, recycled through
+//! a free list. A freed slot keeps a default key/value until reuse; it is
+//! unreachable from any live forward pointer, so it is never read. This
+//! keeps traversal to one predictable indexed load per hop with no
+//! `Option` discriminants and no per-node allocation — the skip list is
+//! safe Rust with no `unsafe`.
+
+use std::fmt;
+
+const MAX_LEVEL: usize = 16;
+const NIL: u32 = u32::MAX;
+
+/// An ordered map on `K: Ord` with O(1) head access/removal, O(1) head
+/// insertion, O(log n) expected arbitrary insert/remove, and
+/// deterministic structure.
+///
+/// Keys must be unique; inserting an existing key replaces its value.
+/// Keys and values additionally need `Default` for the removal operations
+/// (removed slots are reset in place); the index keys used by the WOHA
+/// scheduler are plain integer tuples, which satisfy this trivially.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::skiplist::SkipList;
+/// let mut list = SkipList::new();
+/// list.insert(3, "c");
+/// list.insert(1, "a");
+/// list.insert(2, "b");
+/// assert_eq!(list.first(), Some((&1, &"a")));
+/// assert_eq!(list.pop_first(), Some((1, "a")));
+/// assert_eq!(list.remove(&3), Some("c"));
+/// assert_eq!(list.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct SkipList<K, V> {
+    keys: Vec<K>,
+    values: Vec<V>,
+    /// Level of each node (1..=MAX_LEVEL); stale for freed slots.
+    levels: Vec<u8>,
+    /// Flattened forward pointers: node `i` level `l` at `i * MAX_LEVEL + l`.
+    forward: Vec<u32>,
+    free: Vec<u32>,
+    /// head[l] = first node at level l.
+    head: [u32; MAX_LEVEL],
+    /// Highest level currently in use.
+    level: usize,
+    len: usize,
+    counter: u64,
+}
+
+impl<K: Ord, V> Default for SkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> SkipList<K, V> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        SkipList {
+            keys: Vec::new(),
+            values: Vec::new(),
+            levels: Vec::new(),
+            forward: Vec::new(),
+            free: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            counter: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deterministic node level: a splitmix64 hash of the insertion counter
+    /// drives a geometric(1/2) level choice.
+    fn next_level(&mut self) -> usize {
+        let mut h = self.counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.counter += 1;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        ((h.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    #[inline]
+    fn next_of(&self, node: u32, level: usize) -> u32 {
+        self.forward[node as usize * MAX_LEVEL + level]
+    }
+
+    #[inline]
+    fn next_at(&self, pred: u32, level: usize) -> u32 {
+        if pred == NIL {
+            self.head[level]
+        } else {
+            self.next_of(pred, level)
+        }
+    }
+
+    #[inline]
+    fn set_next(&mut self, pred: u32, level: usize, target: u32) {
+        if pred == NIL {
+            self.head[level] = target;
+        } else {
+            self.forward[pred as usize * MAX_LEVEL + level] = target;
+        }
+    }
+
+    /// For each level `l`, the index of the last node strictly before
+    /// `key` (or `NIL` meaning "the head pointer itself").
+    fn find_predecessors(&self, key: &K) -> [u32; MAX_LEVEL] {
+        let mut preds = [NIL; MAX_LEVEL];
+        let mut current = NIL;
+        for l in (0..self.level).rev() {
+            loop {
+                let next = self.next_at(current, l);
+                if next != NIL && self.keys[next as usize] < *key {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+            preds[l] = current;
+        }
+        preds
+    }
+
+    /// Allocates a slot for `(key, value)` and returns its index. The
+    /// node's forward pointers are left for the caller to fill.
+    fn alloc(&mut self, key: K, value: V, level: usize) -> u32 {
+        debug_assert!(level >= 1 && level <= MAX_LEVEL);
+        match self.free.pop() {
+            Some(idx) => {
+                self.keys[idx as usize] = key;
+                self.values[idx as usize] = value;
+                self.levels[idx as usize] = level as u8;
+                idx
+            }
+            None => {
+                let idx = self.keys.len() as u32;
+                self.keys.push(key);
+                self.values.push(value);
+                self.levels.push(level as u8);
+                self.forward.extend(std::iter::repeat(NIL).take(MAX_LEVEL));
+                idx
+            }
+        }
+    }
+
+    /// Inserts `key -> value`. Returns the previous value if the key was
+    /// already present.
+    ///
+    /// Inserting a key smaller than the current minimum is O(1) — together
+    /// with the O(1) head removal this is what lets the Double Skip List
+    /// outpace balanced trees on head-dominated workloads.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        // O(1) fast path: the new key becomes the head.
+        let becomes_head = match self.head[0] {
+            NIL => true,
+            first => key < self.keys[first as usize],
+        };
+        if becomes_head {
+            let level = self.next_level();
+            if level > self.level {
+                self.level = level;
+            }
+            let idx = self.alloc(key, value, level);
+            for l in 0..level {
+                self.forward[idx as usize * MAX_LEVEL + l] = self.head[l];
+                self.head[l] = idx;
+            }
+            self.len += 1;
+            return None;
+        }
+        let preds = self.find_predecessors(&key);
+        let candidate = self.next_at(preds[0], 0);
+        if candidate != NIL && self.keys[candidate as usize] == key {
+            return Some(std::mem::replace(
+                &mut self.values[candidate as usize],
+                value,
+            ));
+        }
+        let level = self.next_level();
+        if level > self.level {
+            self.level = level;
+        }
+        let idx = self.alloc(key, value, level);
+        for l in 0..level {
+            let next = self.next_at(preds[l], l);
+            self.forward[idx as usize * MAX_LEVEL + l] = next;
+            self.set_next(preds[l], l, idx);
+        }
+        self.len += 1;
+        None
+    }
+
+    fn shrink_level(&mut self) {
+        while self.level > 1 && self.head[self.level - 1] == NIL {
+            self.level -= 1;
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// Removing the current head is O(1) (the common case for the WOHA
+    /// scheduler's ct and priority lists); other removals are O(log n).
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        K: Default,
+        V: Default,
+    {
+        // O(1) fast path via pop_first when the head is the target.
+        let head = self.head[0];
+        if head != NIL && self.keys[head as usize] == *key {
+            return self.pop_first().map(|(_, v)| v);
+        }
+        let preds = self.find_predecessors(key);
+        let target = self.next_at(preds[0], 0);
+        if target == NIL || self.keys[target as usize] != *key {
+            return None;
+        }
+        let node_level = usize::from(self.levels[target as usize]);
+        for l in 0..node_level {
+            debug_assert_eq!(self.next_at(preds[l], l), target);
+            let after = self.next_of(target, l);
+            self.set_next(preds[l], l, after);
+        }
+        self.free.push(target);
+        self.len -= 1;
+        self.shrink_level();
+        self.keys[target as usize] = K::default();
+        Some(std::mem::take(&mut self.values[target as usize]))
+    }
+
+    /// The smallest entry — O(1).
+    pub fn first(&self) -> Option<(&K, &V)> {
+        match self.head[0] {
+            NIL => None,
+            idx => Some((&self.keys[idx as usize], &self.values[idx as usize])),
+        }
+    }
+
+    /// Removes and returns the smallest entry — O(1) (the predecessor of
+    /// the head is the head pointer array at every level).
+    pub fn pop_first(&mut self) -> Option<(K, V)>
+    where
+        K: Default,
+        V: Default,
+    {
+        let idx = self.head[0];
+        if idx == NIL {
+            return None;
+        }
+        let node_level = usize::from(self.levels[idx as usize]);
+        for l in 0..node_level {
+            debug_assert_eq!(self.head[l], idx);
+            self.head[l] = self.next_of(idx, l);
+        }
+        self.free.push(idx);
+        self.len -= 1;
+        self.shrink_level();
+        let key = std::mem::take(&mut self.keys[idx as usize]);
+        let value = std::mem::take(&mut self.values[idx as usize]);
+        Some((key, value))
+    }
+
+    /// The value for `key`, if present — O(log n).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let preds = self.find_predecessors(key);
+        let idx = self.next_at(preds[0], 0);
+        if idx != NIL && self.keys[idx as usize] == *key {
+            Some(&self.values[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            list: self,
+            current: self.head[0],
+        }
+    }
+
+    /// Capacity of the node arena (for tests of slot reuse).
+    #[cfg(test)]
+    fn arena_len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Ascending-order iterator over a [`SkipList`]; see [`SkipList::iter`].
+pub struct Iter<'a, K, V> {
+    list: &'a SkipList<K, V>,
+    current: u32,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.current == NIL {
+            return None;
+        }
+        let idx = self.current as usize;
+        self.current = self.list.next_of(self.current, 0);
+        Some((&self.list.keys[idx], &self.list.values[idx]))
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for SkipList<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut l = SkipList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.insert(5, "five"), None);
+        assert_eq!(l.insert(5, "FIVE"), Some("five"));
+        assert_eq!(l.get(&5), Some(&"FIVE"));
+        assert!(l.contains_key(&5));
+        assert!(!l.contains_key(&6));
+        assert_eq!(l.remove(&5), Some("FIVE"));
+        assert_eq!(l.remove(&5), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn orders_ascending() {
+        let mut l = SkipList::new();
+        for k in [9, 3, 7, 1, 5] {
+            l.insert(k, k * 10);
+        }
+        let keys: Vec<i32> = l.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert_eq!(l.first(), Some((&1, &10)));
+    }
+
+    #[test]
+    fn pop_first_drains_in_order() {
+        let mut l = SkipList::new();
+        for k in (0..100).rev() {
+            l.insert(k, k);
+        }
+        let mut popped = Vec::new();
+        while let Some((k, _)) = l.pop_first() {
+            popped.push(k);
+        }
+        assert_eq!(popped, (0..100).collect::<Vec<i32>>());
+        assert!(l.pop_first().is_none());
+    }
+
+    #[test]
+    fn head_churn_stays_consistent() {
+        // The WOHA access pattern: remove the head, re-insert it slightly
+        // shifted, thousands of times.
+        let mut l: SkipList<(i64, u64), u64> = SkipList::new();
+        for i in 0..500u64 {
+            l.insert((i as i64 * 10, i), i);
+        }
+        let mut key = *l.first().unwrap().0;
+        for step in 0..10_000 {
+            let v = l.remove(&key).expect("head exists");
+            key.0 += 1;
+            l.insert(key, v);
+            assert_eq!(l.len(), 500, "step {step}");
+        }
+        let keys: Vec<(i64, u64)> = l.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn matches_btreemap_under_mixed_ops() {
+        let mut l: SkipList<u64, u64> = SkipList::new();
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 12345u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for step in 0..5_000 {
+            let op = rand() % 4;
+            let key = rand() % 200;
+            match op {
+                0 | 1 => {
+                    assert_eq!(l.insert(key, step), reference.insert(key, step));
+                }
+                2 => {
+                    assert_eq!(l.remove(&key), reference.remove(&key));
+                }
+                _ => {
+                    assert_eq!(l.pop_first(), reference.pop_first());
+                }
+            }
+            assert_eq!(l.len(), reference.len());
+            assert_eq!(
+                l.first().map(|(k, v)| (*k, *v)),
+                reference.first_key_value().map(|(k, v)| (*k, *v))
+            );
+        }
+        let ours: Vec<(u64, u64)> = l.iter().map(|(k, v)| (*k, *v)).collect();
+        let theirs: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn structure_is_deterministic() {
+        let build = || {
+            let mut l = SkipList::new();
+            for k in [5, 2, 8, 1, 9, 3] {
+                l.insert(k, 0u8);
+            }
+            l.remove(&8);
+            format!("{l:?}")
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn arena_reuses_slots() {
+        let mut l = SkipList::new();
+        for k in 0..1_000 {
+            l.insert(k, 0u8);
+        }
+        for k in 0..1_000 {
+            assert!(l.remove(&k).is_some());
+        }
+        for k in 0..1_000 {
+            l.insert(k, 0u8);
+        }
+        assert!(l.arena_len() <= 1_001, "arena grew to {}", l.arena_len());
+    }
+
+    #[test]
+    fn large_list_stays_consistent() {
+        let mut l = SkipList::new();
+        for k in 0..10_000u32 {
+            l.insert(k.reverse_bits(), k);
+        }
+        assert_eq!(l.len(), 10_000);
+        let keys: Vec<u32> = l.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        let mut l = SkipList::new();
+        l.insert(1, "x");
+        assert_eq!(format!("{l:?}"), "{1: \"x\"}");
+        let empty: SkipList<i32, i32> = SkipList::default();
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+}

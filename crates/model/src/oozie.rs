@@ -1,0 +1,438 @@
+//! Compatibility adapter for Apache Oozie `workflow-app` definitions.
+//!
+//! The paper positions WOHA as the deadline-aware replacement for the
+//! Oozie + Hadoop split (§I, §VII). Shops migrating to WOHA have existing
+//! Oozie workflow definitions, so this module translates the commonly-used
+//! subset of the Oozie hPDL schema into a [`WorkflowConfig`]:
+//!
+//! - `<start to="..."/>`, `<end name="..."/>`, `<kill>`;
+//! - `<action name="..."> <map-reduce>...</map-reduce> <ok to="..."/>
+//!   <error to="..."/> </action>`;
+//! - `<fork>`/`<join>` pairs for parallel sections.
+//!
+//! The control-flow graph (`start`/`ok`/`fork`/`join` transitions) becomes
+//! the prerequisite relation: action B depends on action A when B is
+//! reachable from A's `ok` transition through control nodes without
+//! passing another action. Task counts and duration estimates are not part
+//! of hPDL; they are supplied per action through a
+//! [`JobSizing`] callback (in production they would come from history
+//! logs, exactly as the paper assumes).
+
+use crate::config::{JobConfig, WorkflowConfig};
+use crate::error::ModelError;
+use crate::time::SimDuration;
+use crate::xml::{self, Element};
+use std::collections::HashMap;
+
+/// Sizing information for one Oozie action, supplied by the caller (hPDL
+/// carries no task counts or duration estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSizing {
+    /// Number of map tasks.
+    pub mappers: u32,
+    /// Number of reduce tasks.
+    pub reducers: u32,
+    /// Estimated duration of one map task.
+    pub map_duration: SimDuration,
+    /// Estimated duration of one reduce task.
+    pub reduce_duration: SimDuration,
+}
+
+impl Default for JobSizing {
+    fn default() -> Self {
+        JobSizing {
+            mappers: 8,
+            reducers: 1,
+            map_duration: SimDuration::from_secs(60),
+            reduce_duration: SimDuration::from_secs(120),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Start { to: String },
+    Action { ok_to: String },
+    Fork { paths: Vec<String> },
+    Join { to: String },
+    End,
+    Kill,
+}
+
+/// Parses an Oozie `workflow-app` document into a [`WorkflowConfig`],
+/// sizing each action's Map-Reduce job via `sizing(action_name)`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the XML is malformed, the root is not
+/// `workflow-app`, a transition targets an unknown node, there is no
+/// `<start>`, or the control graph is cyclic.
+///
+/// # Examples
+///
+/// ```
+/// use woha_model::oozie::{from_oozie_xml, JobSizing};
+///
+/// # fn main() -> Result<(), woha_model::ModelError> {
+/// let hpdl = r#"
+/// <workflow-app name="demo">
+///   <start to="extract"/>
+///   <action name="extract">
+///     <map-reduce/>
+///     <ok to="end"/>
+///     <error to="fail"/>
+///   </action>
+///   <kill name="fail"><message>boom</message></kill>
+///   <end name="end"/>
+/// </workflow-app>"#;
+/// let config = from_oozie_xml(hpdl, |_| JobSizing::default())?;
+/// assert_eq!(config.name, "demo");
+/// assert_eq!(config.jobs.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_oozie_xml(
+    text: &str,
+    mut sizing: impl FnMut(&str) -> JobSizing,
+) -> Result<WorkflowConfig, ModelError> {
+    let root = xml::parse(text)?;
+    if root.name != "workflow-app" {
+        return Err(ModelError::Schema(format!(
+            "root element is <{}>, expected <workflow-app>",
+            root.name
+        )));
+    }
+    let name = root
+        .attr("name")
+        .ok_or_else(|| ModelError::MissingAttribute {
+            element: "workflow-app".into(),
+            attribute: "name".into(),
+        })?
+        .to_string();
+
+    let mut nodes: HashMap<String, Node> = HashMap::new();
+    let mut start_to: Option<String> = None;
+    let mut action_order: Vec<String> = Vec::new();
+    for child in root.elements() {
+        match child.name.as_str() {
+            "start" => {
+                let to = require(child, "to")?;
+                start_to = Some(to.clone());
+                nodes.insert("::start".into(), Node::Start { to });
+            }
+            "end" => {
+                nodes.insert(require(child, "name")?, Node::End);
+            }
+            "kill" => {
+                nodes.insert(require(child, "name")?, Node::Kill);
+            }
+            "action" => {
+                let action_name = require(child, "name")?;
+                let ok = child
+                    .first_named("ok")
+                    .ok_or_else(|| {
+                        ModelError::Schema(format!("action {action_name:?} has no <ok> transition"))
+                    })?;
+                let ok_to = ok.attr("to").ok_or_else(|| ModelError::MissingAttribute {
+                    element: "ok".into(),
+                    attribute: "to".into(),
+                })?;
+                if child.first_named("map-reduce").is_none() {
+                    return Err(ModelError::Schema(format!(
+                        "action {action_name:?} is not a <map-reduce> action; only \
+                         map-reduce actions are supported"
+                    )));
+                }
+                action_order.push(action_name.clone());
+                nodes.insert(
+                    action_name,
+                    Node::Action {
+                        ok_to: ok_to.to_string(),
+                    },
+                );
+            }
+            "fork" => {
+                let fork_name = require(child, "name")?;
+                let paths: Vec<String> = child
+                    .elements_named("path")
+                    .map(|p| {
+                        p.attr("start").map(str::to_string).ok_or_else(|| {
+                            ModelError::MissingAttribute {
+                                element: "path".into(),
+                                attribute: "start".into(),
+                            }
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if paths.is_empty() {
+                    return Err(ModelError::Schema(format!(
+                        "fork {fork_name:?} has no <path> children"
+                    )));
+                }
+                nodes.insert(fork_name, Node::Fork { paths });
+            }
+            "join" => {
+                nodes.insert(
+                    require(child, "name")?,
+                    Node::Join {
+                        to: require(child, "to")?,
+                    },
+                );
+            }
+            // Oozie metadata we can safely ignore.
+            "global" | "parameters" | "credentials" | "sla:info" => {}
+            other => {
+                return Err(ModelError::Schema(format!(
+                    "unsupported element <{other}> under <workflow-app>"
+                )))
+            }
+        }
+    }
+    let start_to = start_to.ok_or_else(|| ModelError::Schema("missing <start>".into()))?;
+
+    // Resolve, from each transition target, the set of *actions* reachable
+    // without passing through another action.
+    let mut memo: HashMap<String, Vec<String>> = HashMap::new();
+    fn actions_reached(
+        target: &str,
+        nodes: &HashMap<String, Node>,
+        memo: &mut HashMap<String, Vec<String>>,
+        depth: usize,
+    ) -> Result<Vec<String>, ModelError> {
+        if depth > nodes.len() + 1 {
+            return Err(ModelError::Schema(
+                "control-flow cycle through fork/join nodes".into(),
+            ));
+        }
+        if let Some(cached) = memo.get(target) {
+            return Ok(cached.clone());
+        }
+        let node = nodes.get(target).ok_or_else(|| {
+            ModelError::Schema(format!("transition targets unknown node {target:?}"))
+        })?;
+        let result = match node {
+            Node::Action { .. } => vec![target.to_string()],
+            Node::End | Node::Kill => Vec::new(),
+            Node::Start { to } | Node::Join { to } => {
+                actions_reached(to, nodes, memo, depth + 1)?
+            }
+            Node::Fork { paths } => {
+                let mut all = Vec::new();
+                for p in paths {
+                    all.extend(actions_reached(p, nodes, memo, depth + 1)?);
+                }
+                all
+            }
+        };
+        memo.insert(target.to_string(), result.clone());
+        Ok(result)
+    }
+
+    // Build dependency edges: each action's ok-transition reaches its
+    // dependents.
+    let mut depends_on: HashMap<String, Vec<String>> = HashMap::new();
+    for action in &action_order {
+        let Node::Action { ok_to } = &nodes[action] else {
+            unreachable!("action_order only holds actions");
+        };
+        for dependent in actions_reached(ok_to, &nodes, &mut memo, 0)? {
+            depends_on.entry(dependent).or_default().push(action.clone());
+        }
+    }
+    // Verify the start transition reaches at least one action.
+    let initial = actions_reached(&start_to, &nodes, &mut memo, 0)?;
+    if initial.is_empty() && !action_order.is_empty() {
+        return Err(ModelError::Schema(
+            "<start> transition reaches no action".into(),
+        ));
+    }
+
+    let jobs = action_order
+        .iter()
+        .map(|action| {
+            let size = sizing(action);
+            JobConfig {
+                name: action.clone(),
+                mappers: size.mappers,
+                reducers: size.reducers,
+                map_duration: size.map_duration,
+                reduce_duration: size.reduce_duration,
+                jar: None,
+                main_class: None,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                depends_on: depends_on.get(action).cloned().unwrap_or_default(),
+            }
+        })
+        .collect();
+    Ok(WorkflowConfig {
+        name,
+        relative_deadline: None,
+        jobs,
+    })
+}
+
+fn require(e: &Element, attribute: &str) -> Result<String, ModelError> {
+    e.attr(attribute)
+        .map(str::to_string)
+        .ok_or_else(|| ModelError::MissingAttribute {
+            element: e.name.clone(),
+            attribute: attribute.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    const FORK_JOIN: &str = r#"
+    <workflow-app name="fork-join-demo">
+      <start to="prepare"/>
+      <action name="prepare">
+        <map-reduce/>
+        <ok to="split"/>
+        <error to="fail"/>
+      </action>
+      <fork name="split">
+        <path start="stats"/>
+        <path start="index"/>
+      </fork>
+      <action name="stats">
+        <map-reduce/>
+        <ok to="merge"/>
+        <error to="fail"/>
+      </action>
+      <action name="index">
+        <map-reduce/>
+        <ok to="merge"/>
+        <error to="fail"/>
+      </action>
+      <join name="merge" to="publish"/>
+      <action name="publish">
+        <map-reduce/>
+        <ok to="done"/>
+        <error to="fail"/>
+      </action>
+      <kill name="fail"><message>failed</message></kill>
+      <end name="done"/>
+    </workflow-app>"#;
+
+    #[test]
+    fn fork_join_becomes_diamond() {
+        let config = from_oozie_xml(FORK_JOIN, |_| JobSizing::default()).unwrap();
+        assert_eq!(config.name, "fork-join-demo");
+        assert_eq!(config.jobs.len(), 4);
+        let spec = config.to_spec(SimTime::ZERO).unwrap();
+        let prepare = spec.job_by_name("prepare").unwrap();
+        let stats = spec.job_by_name("stats").unwrap();
+        let index = spec.job_by_name("index").unwrap();
+        let publish = spec.job_by_name("publish").unwrap();
+        assert_eq!(spec.prerequisites(stats), &[prepare]);
+        assert_eq!(spec.prerequisites(index), &[prepare]);
+        assert_eq!(spec.prerequisites(publish), &[stats, index]);
+        assert_eq!(spec.initially_ready(), vec![prepare]);
+        // HLF levels: diamond shape.
+        assert_eq!(spec.levels(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn sizing_callback_is_applied_per_action() {
+        let config = from_oozie_xml(FORK_JOIN, |name| JobSizing {
+            mappers: if name == "prepare" { 32 } else { 4 },
+            ..JobSizing::default()
+        })
+        .unwrap();
+        assert_eq!(config.jobs[0].mappers, 32);
+        assert_eq!(config.jobs[1].mappers, 4);
+    }
+
+    #[test]
+    fn rejects_wrong_root_and_missing_start() {
+        assert!(matches!(
+            from_oozie_xml("<coordinator-app name=\"x\"/>", |_| JobSizing::default()),
+            Err(ModelError::Schema(_))
+        ));
+        assert!(matches!(
+            from_oozie_xml(
+                "<workflow-app name=\"x\"><end name=\"done\"/></workflow-app>",
+                |_| JobSizing::default()
+            ),
+            Err(ModelError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_transition_target() {
+        let doc = r#"
+        <workflow-app name="x">
+          <start to="ghost"/>
+          <end name="done"/>
+        </workflow-app>"#;
+        let err = from_oozie_xml(doc, |_| JobSizing::default()).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_mapreduce_action() {
+        let doc = r#"
+        <workflow-app name="x">
+          <start to="a"/>
+          <action name="a">
+            <shell/>
+            <ok to="done"/>
+            <error to="done"/>
+          </action>
+          <end name="done"/>
+        </workflow-app>"#;
+        assert!(matches!(
+            from_oozie_xml(doc, |_| JobSizing::default()),
+            Err(ModelError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_control_cycle() {
+        let doc = r#"
+        <workflow-app name="x">
+          <start to="f1"/>
+          <fork name="f1"><path start="f2"/></fork>
+          <fork name="f2"><path start="f1"/></fork>
+          <end name="done"/>
+        </workflow-app>"#;
+        let err = from_oozie_xml(doc, |_| JobSizing::default()).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn chain_of_actions() {
+        let doc = r#"
+        <workflow-app name="chain">
+          <start to="a"/>
+          <action name="a"><map-reduce/><ok to="b"/><error to="k"/></action>
+          <action name="b"><map-reduce/><ok to="c"/><error to="k"/></action>
+          <action name="c"><map-reduce/><ok to="end"/><error to="k"/></action>
+          <kill name="k"><message>x</message></kill>
+          <end name="end"/>
+        </workflow-app>"#;
+        let spec = from_oozie_xml(doc, |_| JobSizing::default())
+            .unwrap()
+            .to_spec(SimTime::ZERO)
+            .unwrap();
+        assert_eq!(spec.levels(), vec![2, 1, 0]);
+        assert_eq!(spec.critical_path(), SimDuration::from_secs(3 * 180));
+    }
+
+    #[test]
+    fn ignores_metadata_elements() {
+        let doc = r#"
+        <workflow-app name="meta">
+          <parameters/>
+          <global/>
+          <start to="a"/>
+          <action name="a"><map-reduce/><ok to="end"/><error to="end"/></action>
+          <end name="end"/>
+        </workflow-app>"#;
+        assert!(from_oozie_xml(doc, |_| JobSizing::default()).is_ok());
+    }
+}

@@ -1,0 +1,549 @@
+//! A minimal, dependency-free XML subset parser and writer.
+//!
+//! WOHA workflows are submitted as XML configuration files (the paper's
+//! `hadoop dag /path/to/W_i.xml`). This module implements exactly the subset
+//! those files need: elements, attributes, text content, comments, an
+//! optional `<?xml ...?>` declaration, and the five predefined entities.
+//! It does not implement namespaces, DTDs, processing instructions beyond
+//! the declaration, or CDATA.
+//!
+//! # Examples
+//!
+//! ```
+//! use woha_model::xml::{Element, parse};
+//!
+//! # fn main() -> Result<(), woha_model::XmlError> {
+//! let doc = parse(r#"<workflow name="w"><job name="a"/></workflow>"#)?;
+//! assert_eq!(doc.name, "workflow");
+//! assert_eq!(doc.attr("name"), Some("w"));
+//! assert_eq!(doc.children.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::XmlError;
+use std::fmt;
+
+/// An XML element: name, attributes in document order, and child nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order, unescaped.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node in the parsed document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Unescaped character data (whitespace-only runs are dropped).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder-style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder-style).
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder-style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// The value of the first attribute named `name`, if any.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Child elements with tag `name`.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// The first child element with tag `name`.
+    pub fn first_named(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of the element's direct text children,
+    /// trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+}
+
+impl fmt::Display for Element {
+    /// Serializes the element as indented XML (two-space indent).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_element(f, self, 0)
+    }
+}
+
+fn write_element(f: &mut fmt::Formatter<'_>, e: &Element, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    write!(f, "<{}", e.name)?;
+    for (name, value) in &e.attributes {
+        write!(f, " {}=\"{}\"", name, escape(value))?;
+    }
+    if e.children.is_empty() {
+        return f.write_str("/>\n");
+    }
+    let only_text = e.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if only_text {
+        f.write_str(">")?;
+        for node in &e.children {
+            if let Node::Text(t) = node {
+                f.write_str(&escape(t))?;
+            }
+        }
+        return writeln!(f, "</{}>", e.name);
+    }
+    f.write_str(">\n")?;
+    for node in &e.children {
+        match node {
+            Node::Element(child) => write_element(f, child, depth + 1)?,
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    for _ in 0..=depth {
+                        f.write_str("  ")?;
+                    }
+                    writeln!(f, "{}", escape(t))?;
+                }
+            }
+        }
+    }
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    writeln!(f, "</{}>", e.name)
+}
+
+/// Escapes the five predefined XML entities in `text`.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parses an XML document and returns its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input: mismatched tags, truncated
+/// constructs, unknown entities, a missing root, or trailing content.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = match p.parse_node()? {
+        Some(Node::Element(e)) => e,
+        _ => return Err(XmlError::NoRootElement),
+    };
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(XmlError::TrailingContent { offset: p.pos });
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace and comments; returns whether anything was skipped.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_misc();
+        if self.starts_with("<?xml") {
+            match find(self.bytes, self.pos, "?>") {
+                Some(end) => self.pos = end + 2,
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "XML declaration",
+                    })
+                }
+            }
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(match self.peek() {
+                Some(c) => XmlError::UnexpectedChar {
+                    found: c as char,
+                    offset: self.pos,
+                    expected: "a tag or attribute name",
+                },
+                None => XmlError::UnexpectedEof { context: "a name" },
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8, expected: &'static str) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(found) if found == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(XmlError::UnexpectedChar {
+                found: found as char,
+                offset: self.pos,
+                expected,
+            }),
+            None => Err(XmlError::UnexpectedEof { context: expected }),
+        }
+    }
+
+    fn unescape_into(&self, raw: &str) -> Result<String, XmlError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp + 1..];
+            let semi = rest.find(';').ok_or(XmlError::UnexpectedEof {
+                context: "an entity reference",
+            })?;
+            let name = &rest[..semi];
+            match name {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ => return Err(XmlError::UnknownEntity(name.to_string())),
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    fn parse_attributes(&mut self, element: &mut Element) -> Result<(), XmlError> {
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') | Some(b'>') => return Ok(()),
+                Some(_) => {}
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attributes",
+                    })
+                }
+            }
+            let name = self.read_name()?;
+            self.skip_whitespace();
+            self.expect(b'=', "'=' after attribute name")?;
+            self.skip_whitespace();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => {
+                    self.pos += 1;
+                    q
+                }
+                Some(found) => {
+                    return Err(XmlError::UnexpectedChar {
+                        found: found as char,
+                        offset: self.pos,
+                        expected: "a quoted attribute value",
+                    })
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "an attribute value",
+                    })
+                }
+            };
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == quote {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return Err(XmlError::UnexpectedEof {
+                    context: "an attribute value",
+                });
+            }
+            let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.pos += 1; // closing quote
+            element.attributes.push((name, self.unescape_into(&raw)?));
+        }
+    }
+
+    /// Parses the next node; `None` at a closing tag or end of input.
+    fn parse_node(&mut self) -> Result<Option<Node>, XmlError> {
+        self.skip_misc();
+        match self.peek() {
+            None => Ok(None),
+            Some(b'<') => {
+                if self.starts_with("</") {
+                    return Ok(None);
+                }
+                self.pos += 1;
+                let mut element = Element::new(self.read_name()?);
+                self.parse_attributes(&mut element)?;
+                if self.peek() == Some(b'/') {
+                    self.pos += 1;
+                    self.expect(b'>', "'>' closing a self-closing tag")?;
+                    return Ok(Some(Node::Element(element)));
+                }
+                self.expect(b'>', "'>' closing an open tag")?;
+                loop {
+                    match self.parse_node()? {
+                        Some(child) => element.children.push(child),
+                        None => break,
+                    }
+                }
+                if !self.starts_with("</") {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "a closing tag",
+                    });
+                }
+                self.pos += 2;
+                let closing = self.read_name()?;
+                if closing != element.name {
+                    return Err(XmlError::MismatchedTag {
+                        expected: element.name,
+                        found: closing,
+                    });
+                }
+                self.skip_whitespace();
+                self.expect(b'>', "'>' after a closing tag name")?;
+                Ok(Some(Node::Element(element)))
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                let text = self.unescape_into(&raw)?;
+                if text.trim().is_empty() {
+                    self.parse_node()
+                } else {
+                    Ok(Some(Node::Text(text)))
+                }
+            }
+        }
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let needle = needle.as_bytes();
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = parse(
+            r#"<?xml version="1.0"?>
+            <!-- a workflow -->
+            <workflow name="w1" deadline="80m">
+              <job name="extract" mappers="8"><input path="/a"/></job>
+              <job name="load" mappers="2"/>
+            </workflow>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name, "workflow");
+        assert_eq!(doc.attr("deadline"), Some("80m"));
+        let jobs: Vec<&Element> = doc.elements_named("job").collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].first_named("input").unwrap().attr("path"), Some("/a"));
+    }
+
+    #[test]
+    fn parses_text_content() {
+        let doc = parse("<a><name>hello world</name></a>").unwrap();
+        assert_eq!(doc.first_named("name").unwrap().text(), "hello world");
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let doc = parse(r#"<a v="x &amp; y">&lt;tag&gt; &quot;q&quot; &apos;a&apos;</a>"#).unwrap();
+        assert_eq!(doc.attr("v"), Some("x & y"));
+        assert_eq!(doc.text(), "<tag> \"q\" 'a'");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert_eq!(
+            parse("<a>&nbsp;</a>").unwrap_err(),
+            XmlError::UnknownEntity("nbsp".into())
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(matches!(
+            parse("<a><b></a></b>").unwrap_err(),
+            XmlError::MismatchedTag { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(matches!(
+            parse("<a><b>").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+        assert!(matches!(
+            parse("<a attr=").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_trailing() {
+        assert_eq!(parse("   ").unwrap_err(), XmlError::NoRootElement);
+        assert!(matches!(
+            parse("<a/><b/>").unwrap_err(),
+            XmlError::TrailingContent { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_comment_is_fine() {
+        assert!(parse("<a/> <!-- done -->").is_ok());
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let doc = Element::new("workflow")
+            .with_attr("name", "w \"quoted\" & more")
+            .with_child(Element::new("job").with_attr("name", "a"))
+            .with_child(Element::new("note").with_text("x < y"));
+        let rendered = doc.to_string();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse("<a v='hello'/>").unwrap();
+        assert_eq!(doc.attr("v"), Some("hello"));
+    }
+
+    #[test]
+    fn attr_returns_first_match_and_none() {
+        let doc = parse(r#"<a v="1"/>"#).unwrap();
+        assert_eq!(doc.attr("v"), Some("1"));
+        assert_eq!(doc.attr("missing"), None);
+    }
+
+    #[test]
+    fn escape_covers_all_entities() {
+        assert_eq!(escape(r#"<&>"'"#), "&lt;&amp;&gt;&quot;&apos;");
+    }
+}

@@ -1,0 +1,216 @@
+//! Cluster configuration: nodes and their map/reduce slots.
+
+use serde::{Deserialize, Serialize};
+use woha_model::{NodeId, SimDuration, SlotKind};
+
+/// Static description of one worker node (TaskTracker host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Number of map slots.
+    pub map_slots: u32,
+    /// Number of reduce slots.
+    pub reduce_slots: u32,
+}
+
+impl NodeConfig {
+    /// Slots of the given kind.
+    pub fn slots(&self, kind: SlotKind) -> u32 {
+        match kind {
+            SlotKind::Map => self.map_slots,
+            SlotKind::Reduce => self.reduce_slots,
+        }
+    }
+}
+
+/// Static description of the simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use woha_sim::ClusterConfig;
+/// use woha_model::SlotKind;
+///
+/// // The paper's demo cluster: 32 slaves, 2 map + 1 reduce slot each.
+/// let c = ClusterConfig::uniform(32, 2, 1);
+/// assert_eq!(c.total_slots(SlotKind::Map), 64);
+/// assert_eq!(c.total_slots(SlotKind::Reduce), 32);
+///
+/// // The paper's "200m-200r" trace cluster.
+/// let c = ClusterConfig::with_totals(200, 200);
+/// assert_eq!(c.total_slots(SlotKind::Map), 200);
+/// assert_eq!(c.total_slots(SlotKind::Reduce), 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    nodes: Vec<NodeConfig>,
+    heartbeat_interval: SimDuration,
+}
+
+impl ClusterConfig {
+    /// Default TaskTracker heartbeat interval (Hadoop-1 uses 3 s minimum
+    /// for small clusters; the simulator defaults to 1 s for finer-grained
+    /// scheduling, and the heartbeat that reports a completion may carry a
+    /// new assignment immediately, as in Hadoop).
+    pub const DEFAULT_HEARTBEAT: SimDuration = SimDuration::from_secs(1);
+
+    /// A cluster of `node_count` identical nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero or both slot counts are zero.
+    pub fn uniform(node_count: u32, map_slots: u32, reduce_slots: u32) -> Self {
+        assert!(node_count > 0, "cluster needs at least one node");
+        assert!(map_slots + reduce_slots > 0, "nodes need at least one slot");
+        ClusterConfig {
+            nodes: vec![
+                NodeConfig {
+                    map_slots,
+                    reduce_slots
+                };
+                node_count as usize
+            ],
+            heartbeat_interval: Self::DEFAULT_HEARTBEAT,
+        }
+    }
+
+    /// A cluster with the given total slot counts, split over nodes of
+    /// 2 map + 2 reduce slots (the paper's trace experiments name clusters
+    /// by totals, e.g. "240m-240r").
+    ///
+    /// # Panics
+    ///
+    /// Panics if both totals are zero.
+    pub fn with_totals(map_slots: u32, reduce_slots: u32) -> Self {
+        assert!(map_slots + reduce_slots > 0, "cluster needs slots");
+        let node_count = map_slots.div_ceil(2).max(reduce_slots.div_ceil(2)).max(1);
+        let mut nodes = Vec::with_capacity(node_count as usize);
+        let mut maps_left = map_slots;
+        let mut reduces_left = reduce_slots;
+        for i in 0..node_count {
+            let remaining_nodes = node_count - i;
+            let m = maps_left.div_ceil(remaining_nodes).min(maps_left);
+            let r = reduces_left.div_ceil(remaining_nodes).min(reduces_left);
+            nodes.push(NodeConfig {
+                map_slots: m,
+                reduce_slots: r,
+            });
+            maps_left -= m;
+            reduces_left -= r;
+        }
+        ClusterConfig {
+            nodes,
+            heartbeat_interval: Self::DEFAULT_HEARTBEAT,
+        }
+    }
+
+    /// Overrides the heartbeat interval (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_heartbeat(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[NodeConfig] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node ids, in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// Configuration of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> NodeConfig {
+        self.nodes[node.index()]
+    }
+
+    /// Total slots of a kind across the cluster.
+    pub fn total_slots(&self, kind: SlotKind) -> u32 {
+        self.nodes.iter().map(|n| n.slots(kind)).sum()
+    }
+
+    /// Total slots of both kinds (the resource cap `n` handed to the
+    /// Scheduling Plan Generator).
+    pub fn total_all_slots(&self) -> u32 {
+        self.total_slots(SlotKind::Map) + self.total_slots(SlotKind::Reduce)
+    }
+
+    /// TaskTracker heartbeat interval.
+    pub fn heartbeat_interval(&self) -> SimDuration {
+        self.heartbeat_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_totals() {
+        let c = ClusterConfig::uniform(80, 2, 1);
+        assert_eq!(c.node_count(), 80);
+        assert_eq!(c.total_slots(SlotKind::Map), 160);
+        assert_eq!(c.total_slots(SlotKind::Reduce), 80);
+        assert_eq!(c.total_all_slots(), 240);
+        assert_eq!(c.node(NodeId::new(0)).slots(SlotKind::Map), 2);
+    }
+
+    #[test]
+    fn with_totals_exact() {
+        for (m, r) in [(200, 200), (240, 240), (280, 280), (7, 3), (1, 0), (0, 5)] {
+            let c = ClusterConfig::with_totals(m, r);
+            assert_eq!(c.total_slots(SlotKind::Map), m, "maps for {m}m-{r}r");
+            assert_eq!(c.total_slots(SlotKind::Reduce), r, "reduces for {m}m-{r}r");
+        }
+    }
+
+    #[test]
+    fn with_totals_spreads_evenly() {
+        let c = ClusterConfig::with_totals(200, 200);
+        assert_eq!(c.node_count(), 100);
+        for n in c.nodes() {
+            assert_eq!(n.map_slots, 2);
+            assert_eq!(n.reduce_slots, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn uniform_rejects_empty() {
+        ClusterConfig::uniform(0, 2, 1);
+    }
+
+    #[test]
+    fn heartbeat_override() {
+        let c = ClusterConfig::uniform(1, 1, 1).with_heartbeat(SimDuration::from_secs(3));
+        assert_eq!(c.heartbeat_interval(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn heartbeat_rejects_zero() {
+        ClusterConfig::uniform(1, 1, 1).with_heartbeat(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_ids_cover_nodes() {
+        let c = ClusterConfig::uniform(5, 1, 1);
+        let ids: Vec<NodeId> = c.node_ids().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[4], NodeId::new(4));
+    }
+}

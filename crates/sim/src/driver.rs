@@ -1,0 +1,1285 @@
+//! The simulation driver: a discrete-event loop over heartbeats, task
+//! completions, and workflow arrivals.
+//!
+//! The driver mirrors the Hadoop-1 control loop the paper extends:
+//!
+//! 1. TaskTrackers heartbeat periodically; a heartbeat offers the node's
+//!    free slots to the JobTracker, which consults the pluggable
+//!    [`WorkflowScheduler`] once per free slot. The heartbeat that reports
+//!    a task completion can carry new assignments immediately, so slots are
+//!    re-offered the moment they free up.
+//! 2. When a workflow arrives, its initially-ready wjobs go through WOHA's
+//!    on-demand submission: a submitter map task loads the jar and writes
+//!    input splits on a slave before the job becomes schedulable, modeled
+//!    as the configurable [`SimConfig::submit_latency`]. The same latency
+//!    applies when a job's last prerequisite finishes (for the Oozie-style
+//!    baselines this models Oozie noticing the completion and submitting
+//!    the next job).
+//! 3. Reducers of a job become eligible only after all of its maps finish.
+//!
+//! Task durations may deviate from the client's estimates by a
+//! deterministic per-task jitter ([`SimConfig::duration_jitter`]), so plans
+//! are tested against "error in execution time prediction" exactly as the
+//! paper cautions.
+
+use crate::cluster::ClusterConfig;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{SimReport, TimelineRecorder, WorkflowOutcome};
+use crate::scheduler::WorkflowScheduler;
+use crate::state::WorkflowPool;
+use std::collections::HashMap;
+use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId, WorkflowSpec};
+
+/// Data-locality modelling for map tasks (HDFS-style block placement).
+///
+/// Each map task gets `replicas` preferred nodes (deterministic per task);
+/// running it elsewhere multiplies its duration by `remote_penalty`
+/// (reading its input block over the network). `max_delay_skips` enables
+/// *delay scheduling* (Zaharia et al., EuroSys'10 — the paper's related
+/// work \[4\]): when the chosen job has no pending map task local to the
+/// offering node, the slot offer is declined up to that many consecutive
+/// times per job, waiting for a better-placed slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityConfig {
+    /// Preferred replicas per map task (HDFS default: 3).
+    pub replicas: u32,
+    /// Duration multiplier for a non-local map task (>= 1.0).
+    pub remote_penalty: f64,
+    /// Consecutive non-local offers a job may decline (0 = no delay
+    /// scheduling).
+    pub max_delay_skips: u32,
+}
+
+impl Default for LocalityConfig {
+    fn default() -> Self {
+        LocalityConfig {
+            replicas: 3,
+            remote_penalty: 1.3,
+            max_delay_skips: 0,
+        }
+    }
+}
+
+/// Straggler injection and speculative execution (Hadoop's classic
+/// mitigation: when slots would otherwise idle, launch a duplicate of a
+/// task running far beyond its estimate; the first attempt to finish wins
+/// and the loser is killed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Probability that a task attempt is a straggler (deterministic per
+    /// seed and attempt).
+    pub straggler_prob: f64,
+    /// Duration multiplier applied to straggler attempts (> 1).
+    pub straggler_factor: f64,
+    /// Launch a duplicate once an attempt has run longer than
+    /// `threshold × estimate` and a slot would otherwise stay idle.
+    pub speculate_after: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            straggler_prob: 0.03,
+            straggler_factor: 5.0,
+            speculate_after: 1.5,
+        }
+    }
+}
+
+/// Driver knobs independent of the cluster shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Delay between a wjob's prerequisites finishing (or its workflow
+    /// arriving) and the job becoming schedulable — the submitter map task
+    /// loading jars and initializing tasks on a slave.
+    pub submit_latency: SimDuration,
+    /// Relative task-duration jitter: an actual duration is the estimate
+    /// times a deterministic per-task factor in `[1 - j, 1 + j]`.
+    pub duration_jitter: f64,
+    /// Probability that a task attempt fails on completion and must be
+    /// re-executed (failure injection). Each task fails at most once, so
+    /// runs always terminate; the retry re-enters the pending queue and is
+    /// scheduled like any task. Deterministic per seed.
+    pub task_failure_prob: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+    /// Record per-workflow slot timelines (Figs 14–19). Off by default; it
+    /// costs memory proportional to task count.
+    pub track_timelines: bool,
+    /// Sampling interval of the recorded timelines.
+    pub sample_interval: SimDuration,
+    /// Hard cutoff: events after this instant are not processed and
+    /// unfinished workflows are reported as such.
+    pub max_sim_time: SimTime,
+    /// Data-locality modelling; `None` (the default) makes all map tasks
+    /// location-agnostic, as in the base WOHA evaluation.
+    pub locality: Option<LocalityConfig>,
+    /// Straggler injection + speculative execution; `None` (the default)
+    /// runs every attempt at its jittered estimate with no duplicates.
+    pub speculation: Option<SpeculationConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            submit_latency: SimDuration::from_secs(1),
+            duration_jitter: 0.0,
+            task_failure_prob: 0.0,
+            seed: 0,
+            track_timelines: false,
+            sample_interval: SimDuration::from_secs(10),
+            max_sim_time: SimTime::from_mins(60 * 24 * 30),
+            locality: None,
+            speculation: None,
+        }
+    }
+}
+
+/// One running task attempt (speculation mode only).
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    wf: WorkflowId,
+    job: JobId,
+    kind: SlotKind,
+    node: NodeId,
+    group: u64,
+    started: SimTime,
+    estimate: SimDuration,
+    speculative: bool,
+    cancelled: bool,
+}
+
+/// One logical task with up to two attempts racing (speculation mode).
+#[derive(Debug, Clone, Copy, Default)]
+struct AttemptGroup {
+    done: bool,
+    twin_launched: bool,
+    attempts: [u64; 2],
+    attempt_count: u8,
+}
+
+/// Deterministic preferred node for `(wf, job, task, replica)`.
+fn preferred_node(
+    seed: u64,
+    wf: WorkflowId,
+    job: JobId,
+    task: u32,
+    replica: u32,
+    node_count: usize,
+) -> NodeId {
+    let h = splitmix(
+        seed ^ 0x10CA_110C_A110_CA11u64
+            ^ wf.as_u64().rotate_left(17)
+            ^ (u64::from(job.as_u32()) << 40)
+            ^ (u64::from(task) << 8)
+            ^ u64::from(replica),
+    );
+    NodeId::new((h % node_count as u64) as u32)
+}
+
+/// splitmix64 finalizer used by both the jitter and failure streams.
+fn splitmix(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Deterministic per-task jitter factor: a splitmix64 hash of the task's
+/// identity mapped into `[1 - jitter, 1 + jitter]`.
+fn jitter_factor(seed: u64, wf: WorkflowId, job: JobId, kind: SlotKind, index: u32, jitter: f64) -> f64 {
+    if jitter <= 0.0 {
+        return 1.0;
+    }
+    let h = seed
+        ^ wf.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(job.as_u32()) << 32)
+        ^ (u64::from(index) << 1)
+        ^ match kind {
+            SlotKind::Map => 0x5555_5555_5555_5555,
+            SlotKind::Reduce => 0xAAAA_AAAA_AAAA_AAAA,
+        };
+    let u = (splitmix(h) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 + jitter * (2.0 * u - 1.0)
+}
+
+struct NodeSlots {
+    free_maps: u32,
+    free_reduces: u32,
+}
+
+impl NodeSlots {
+    fn free(&self, kind: SlotKind) -> u32 {
+        match kind {
+            SlotKind::Map => self.free_maps,
+            SlotKind::Reduce => self.free_reduces,
+        }
+    }
+
+    fn take(&mut self, kind: SlotKind) {
+        match kind {
+            SlotKind::Map => self.free_maps -= 1,
+            SlotKind::Reduce => self.free_reduces -= 1,
+        }
+    }
+
+    fn release(&mut self, kind: SlotKind) {
+        match kind {
+            SlotKind::Map => self.free_maps += 1,
+            SlotKind::Reduce => self.free_reduces += 1,
+        }
+    }
+}
+
+struct Sim<'a> {
+    config: &'a SimConfig,
+    queue: EventQueue,
+    pool: WorkflowPool,
+    nodes: Vec<NodeSlots>,
+    remaining: usize,
+    now: SimTime,
+    // busy accounting
+    busy_count: [u32; 2],
+    busy_integral_ms: [u128; 2],
+    last_busy_touch: SimTime,
+    // counters
+    tasks_executed: u64,
+    task_failures: u64,
+    completion_seq: u64,
+    assign_calls: u64,
+    invalid_assignments: u64,
+    events_processed: u64,
+    recorder: Option<TimelineRecorder>,
+    node_count: usize,
+    /// Pending map-task ids per job (locality mode only).
+    pending_map_ids: HashMap<(WorkflowId, JobId), Vec<u32>>,
+    /// Consecutive declined non-local offers per job (delay scheduling).
+    delay_skips: HashMap<(WorkflowId, JobId), u32>,
+    local_map_tasks: u64,
+    remote_map_tasks: u64,
+    delay_skip_count: u64,
+    scheduler_nanos: u64,
+    // Speculation bookkeeping (speculation mode only).
+    attempts: HashMap<u64, Attempt>,
+    groups: HashMap<u64, AttemptGroup>,
+    next_attempt: u64,
+    next_group: u64,
+    stragglers: u64,
+    speculative_launched: u64,
+    speculative_wins: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn touch_busy(&mut self) {
+        let dt = u128::from(self.now.saturating_since(self.last_busy_touch).as_millis());
+        if dt > 0 {
+            self.busy_integral_ms[0] += u128::from(self.busy_count[0]) * dt;
+            self.busy_integral_ms[1] += u128::from(self.busy_count[1]) * dt;
+            self.last_busy_touch = self.now;
+        }
+    }
+
+    fn kind_index(kind: SlotKind) -> usize {
+        match kind {
+            SlotKind::Map => 0,
+            SlotKind::Reduce => 1,
+        }
+    }
+
+    fn begin_job_submission(&mut self, wf: WorkflowId, job: JobId) {
+        self.pool.workflow_mut(wf).begin_submitting(job);
+        self.queue.push(
+            self.now.saturating_add(self.config.submit_latency),
+            Event::JobActivated(wf, job),
+        );
+    }
+
+    fn handle_arrival(&mut self, scheduler: &mut dyn WorkflowScheduler, spec: &WorkflowSpec) {
+        let wf = self.pool.register(spec.clone());
+        scheduler.on_workflow_submitted(&self.pool, wf, self.now);
+        let ready = self.pool.workflow(wf).spec().initially_ready();
+        for job in ready {
+            self.begin_job_submission(wf, job);
+        }
+    }
+
+    fn handle_activation(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        wf: WorkflowId,
+        job: JobId,
+    ) {
+        self.pool.workflow_mut(wf).activate(job, self.now);
+        if self.config.locality.is_some() {
+            let maps = self.pool.workflow(wf).spec().job(job).map_tasks();
+            self.pending_map_ids.insert((wf, job), (0..maps).collect());
+        }
+        scheduler.on_job_activated(&self.pool, wf, job, self.now);
+    }
+
+    /// In locality mode, picks the pending map task of `(wf, job)` to run
+    /// on `node`: a node-local task if one exists, otherwise the last
+    /// pending one at the remote penalty. Returns `(task index, local?)`,
+    /// or `None` to decline the offer (delay scheduling).
+    fn pick_map_task(
+        &mut self,
+        wf: WorkflowId,
+        job: JobId,
+        node: NodeId,
+    ) -> Option<(u32, bool)> {
+        let loc = self.config.locality.expect("locality mode");
+        let seed = self.config.seed;
+        let node_count = self.node_count;
+        let ids = self
+            .pending_map_ids
+            .get_mut(&(wf, job))
+            .expect("activated job has pending map ids");
+        let local_pos = ids.iter().position(|&task| {
+            (0..loc.replicas).any(|r| {
+                preferred_node(seed, wf, job, task, r, node_count) == node
+            })
+        });
+        if let Some(pos) = local_pos {
+            let task = ids.swap_remove(pos);
+            self.delay_skips.insert((wf, job), 0);
+            return Some((task, true));
+        }
+        // No local task: maybe wait for a better offer.
+        let skips = self.delay_skips.entry((wf, job)).or_insert(0);
+        if *skips < loc.max_delay_skips {
+            *skips += 1;
+            self.delay_skip_count += 1;
+            return None;
+        }
+        *skips = 0;
+        let task = ids.pop().expect("pending map task exists");
+        Some((task, false))
+    }
+
+    fn handle_completion(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        node: NodeId,
+        wf: WorkflowId,
+        job: JobId,
+        kind: SlotKind,
+        attempt: u64,
+    ) {
+        // Speculation bookkeeping: resolve which attempt this is and
+        // whether it still matters.
+        if self.config.speculation.is_some() {
+            let info = self
+                .attempts
+                .remove(&attempt)
+                .expect("completion for a registered attempt");
+            if info.cancelled {
+                // The race was decided earlier; this slot was already
+                // freed when the attempt was killed.
+                return;
+            }
+            // This attempt wins its group. Kill the twin, if racing.
+            let group = self.groups.remove(&info.group).expect("live group");
+            if info.speculative {
+                self.speculative_wins += 1;
+            }
+            for &other_id in group.attempts[..usize::from(group.attempt_count)].iter() {
+                if other_id == attempt {
+                    continue;
+                }
+                if let Some(other) = self.attempts.get_mut(&other_id) {
+                    other.cancelled = true;
+                    let other = *other;
+                    // Free the loser's slot immediately (Hadoop kills it).
+                    self.touch_busy();
+                    self.busy_count[Self::kind_index(other.kind)] -= 1;
+                    self.nodes[other.node.index()].release(other.kind);
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(self.now, other.wf, other.kind, -1);
+                    }
+                    self.pool
+                        .workflow_mut(other.wf)
+                        .finish_speculative(other.job, other.kind);
+                }
+            }
+        }
+        self.touch_busy();
+        self.busy_count[Self::kind_index(kind)] -= 1;
+        self.nodes[node.index()].release(kind);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(self.now, wf, kind, -1);
+        }
+        // Failure injection: the attempt may fail and re-queue its task.
+        // A task fails at most once (the retry succeeds), so termination
+        // is guaranteed.
+        self.completion_seq += 1;
+        if self.config.task_failure_prob > 0.0 {
+            let spec = self.pool.workflow(wf).spec().job(job);
+            let budget = match kind {
+                SlotKind::Map => spec.map_tasks(),
+                SlotKind::Reduce => spec.reduce_tasks(),
+            };
+            let already = self.pool.workflow(wf).job(job).retried(kind);
+            if already < budget && self.roll_failure() {
+                self.task_failures += 1;
+                self.pool.workflow_mut(wf).fail_task(job, kind);
+                if kind == SlotKind::Map && self.config.locality.is_some() {
+                    // The retried attempt gets fresh preferred nodes (a
+                    // new attempt id beyond the original task range).
+                    let spec_maps = self.pool.workflow(wf).spec().job(job).map_tasks();
+                    let retried = self.pool.workflow(wf).job(job).retried(kind);
+                    if let Some(ids) = self.pending_map_ids.get_mut(&(wf, job)) {
+                        ids.push(spec_maps + retried);
+                    }
+                }
+                self.assign_node(scheduler, node);
+                return;
+            }
+        }
+        let job_done = self.pool.workflow_mut(wf).finish_task(job, kind, self.now);
+        if job_done {
+            scheduler.on_job_completed(&self.pool, wf, job, self.now);
+            let dependents: Vec<JobId> = self
+                .pool
+                .workflow(wf)
+                .spec()
+                .dependents(job)
+                .to_vec();
+            for dep in dependents {
+                if self.pool.workflow_mut(wf).satisfy_prereq(dep) {
+                    self.begin_job_submission(wf, dep);
+                }
+            }
+            if self.pool.workflow(wf).is_complete() {
+                scheduler.on_workflow_completed(&self.pool, wf, self.now);
+                self.remaining -= 1;
+            }
+        }
+        self.assign_node(scheduler, node);
+    }
+
+    /// Deterministic failure roll for the current completion.
+    fn roll_failure(&self) -> bool {
+        self.roll(0xFA11_FA11_FA11_FA11, self.completion_seq) < self.config.task_failure_prob
+    }
+
+    /// Offers all of `node`'s free slots to the scheduler, as a heartbeat
+    /// response does.
+    fn assign_node(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
+        for kind in SlotKind::ALL {
+            while self.nodes[node.index()].free(kind) > 0 {
+                self.assign_calls += 1;
+                let started = std::time::Instant::now();
+                let choice = scheduler.assign_task(&self.pool, kind, self.now);
+                self.scheduler_nanos += started.elapsed().as_nanos() as u64;
+                let Some((wf, job)) = choice else {
+                    // Nothing pending: an idle slot may duplicate an
+                    // overdue attempt (speculative execution).
+                    while self.nodes[node.index()].free(kind) > 0 && self.try_speculate(node, kind)
+                    {
+                    }
+                    break;
+                };
+                if !self.pool.eligible(wf, job, kind) {
+                    self.invalid_assignments += 1;
+                    break;
+                }
+                if !self.start_task(scheduler, node, wf, job, kind) {
+                    // Delay scheduling declined the offer; leave the
+                    // node's remaining slots of this kind for a later,
+                    // better-placed heartbeat.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Starts one task of `(wf, job, kind)` on `node`. Returns `false` if
+    /// the offer was declined under delay scheduling (the slot stays free).
+    fn start_task(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        node: NodeId,
+        wf: WorkflowId,
+        job: JobId,
+        kind: SlotKind,
+    ) -> bool {
+        let (estimate, index) = {
+            let state = self.pool.workflow(wf);
+            let spec = state.spec().job(job);
+            match kind {
+                SlotKind::Map => (
+                    spec.map_duration(),
+                    spec.map_tasks() - state.job(job).pending_maps(),
+                ),
+                SlotKind::Reduce => (
+                    spec.reduce_duration(),
+                    spec.reduce_tasks() - state.job(job).pending_reduces(),
+                ),
+            }
+        };
+        // Locality: map tasks may run remotely at a penalty, or the offer
+        // may be declined entirely under delay scheduling.
+        let mut locality_factor = 1.0;
+        if kind == SlotKind::Map && self.config.locality.is_some() {
+            match self.pick_map_task(wf, job, node) {
+                Some((_task, true)) => self.local_map_tasks += 1,
+                Some((_task, false)) => {
+                    self.remote_map_tasks += 1;
+                    locality_factor = self.config.locality.expect("set").remote_penalty;
+                }
+                None => return false,
+            }
+        }
+        let mut factor = jitter_factor(
+            self.config.seed,
+            wf,
+            job,
+            kind,
+            index,
+            self.config.duration_jitter,
+        ) * locality_factor;
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        if let Some(spec) = self.config.speculation {
+            if self.roll(0x57A6_57A6_57A6_57A6, attempt) < spec.straggler_prob {
+                factor *= spec.straggler_factor.max(1.0);
+                self.stragglers += 1;
+            }
+            let group = self.next_group;
+            self.next_group += 1;
+            self.attempts.insert(
+                attempt,
+                Attempt {
+                    wf,
+                    job,
+                    kind,
+                    node,
+                    group,
+                    started: self.now,
+                    estimate,
+                    speculative: false,
+                    cancelled: false,
+                },
+            );
+            self.groups.insert(
+                group,
+                AttemptGroup {
+                    done: false,
+                    twin_launched: false,
+                    attempts: [attempt, 0],
+                    attempt_count: 1,
+                },
+            );
+        }
+        // A task always takes at least one millisecond.
+        let duration = SimDuration::from_millis(estimate.mul_f64(factor).as_millis().max(1));
+
+        self.pool.workflow_mut(wf).start_task(job, kind);
+        self.nodes[node.index()].take(kind);
+        self.touch_busy();
+        self.busy_count[Self::kind_index(kind)] += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(self.now, wf, kind, 1);
+        }
+        self.tasks_executed += 1;
+        self.queue.push(
+            self.now + duration,
+            Event::TaskComplete {
+                node,
+                workflow: wf,
+                job,
+                kind,
+                attempt,
+            },
+        );
+        scheduler.on_task_assigned(&self.pool, wf, job, kind, self.now);
+        true
+    }
+
+    /// Deterministic uniform roll in `[0, 1)` for the given salt/sequence.
+    fn roll(&self, salt: u64, sequence: u64) -> f64 {
+        let h = splitmix(self.config.seed ^ salt ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Launches a speculative duplicate of the most-overdue running
+    /// attempt of `kind`, if any, onto `node`. Returns whether a duplicate
+    /// was launched.
+    fn try_speculate(&mut self, node: NodeId, kind: SlotKind) -> bool {
+        let Some(spec) = self.config.speculation else {
+            return false;
+        };
+        let now = self.now;
+        // Most-overdue original attempt without a twin.
+        let candidate = self
+            .attempts
+            .iter()
+            .filter(|(_, a)| {
+                a.kind == kind && !a.speculative && !a.cancelled && {
+                    let g = &self.groups[&a.group];
+                    !g.done && !g.twin_launched
+                }
+            })
+            .filter_map(|(&id, a)| {
+                let elapsed = now.saturating_since(a.started).as_millis() as f64;
+                let budget = a.estimate.as_millis().max(1) as f64 * spec.speculate_after;
+                (elapsed > budget).then_some((id, elapsed / budget))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"))
+            .map(|(id, _)| id);
+        let Some(original_id) = candidate else {
+            return false;
+        };
+        let original = self.attempts[&original_id];
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        // The duplicate gets a fresh duration (its own straggler roll).
+        let mut factor = 1.0;
+        if self.roll(0x57A6_57A6_57A6_57A6, attempt) < spec.straggler_prob {
+            factor *= spec.straggler_factor.max(1.0);
+            self.stragglers += 1;
+        }
+        let duration =
+            SimDuration::from_millis(original.estimate.mul_f64(factor).as_millis().max(1));
+        self.attempts.insert(
+            attempt,
+            Attempt {
+                node,
+                started: now,
+                speculative: true,
+                cancelled: false,
+                ..original
+            },
+        );
+        let group = self.groups.get_mut(&original.group).expect("live group");
+        group.twin_launched = true;
+        group.attempts[1] = attempt;
+        group.attempt_count = 2;
+        self.speculative_launched += 1;
+
+        self.pool
+            .workflow_mut(original.wf)
+            .start_speculative(original.job, kind);
+        self.nodes[node.index()].take(kind);
+        self.touch_busy();
+        self.busy_count[Self::kind_index(kind)] += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(now, original.wf, kind, 1);
+        }
+        self.queue.push(
+            now + duration,
+            Event::TaskComplete {
+                node,
+                workflow: original.wf,
+                job: original.job,
+                kind,
+                attempt,
+            },
+        );
+        true
+    }
+}
+
+/// Runs one simulation of `workflows` under `scheduler` on `cluster`.
+///
+/// Workflows are submitted at their [`WorkflowSpec::submit_time`]s; the run
+/// ends when every workflow completes or [`SimConfig::max_sim_time`] is
+/// reached.
+///
+/// # Examples
+///
+/// ```
+/// use woha_sim::{run_simulation, ClusterConfig, SimConfig, SubmitOrderScheduler};
+/// use woha_model::{JobSpec, SimDuration, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("w");
+/// b.add_job(JobSpec::new("only", 4, 2,
+///     SimDuration::from_secs(10), SimDuration::from_secs(20)));
+/// b.relative_deadline(SimDuration::from_mins(5));
+/// let w = b.build().unwrap();
+///
+/// let report = run_simulation(
+///     &[w],
+///     &mut SubmitOrderScheduler::new(),
+///     &ClusterConfig::uniform(2, 2, 1),
+///     &SimConfig::default(),
+/// );
+/// assert!(report.completed);
+/// assert_eq!(report.deadline_misses(), 0);
+/// ```
+pub fn run_simulation(
+    workflows: &[WorkflowSpec],
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> SimReport {
+    let mut sim = Sim {
+        config,
+        queue: EventQueue::new(),
+        pool: WorkflowPool::new(),
+        nodes: cluster
+            .nodes()
+            .iter()
+            .map(|n| NodeSlots {
+                free_maps: n.map_slots,
+                free_reduces: n.reduce_slots,
+            })
+            .collect(),
+        remaining: workflows.len(),
+        now: SimTime::ZERO,
+        busy_count: [0, 0],
+        busy_integral_ms: [0, 0],
+        last_busy_touch: SimTime::ZERO,
+        tasks_executed: 0,
+        task_failures: 0,
+        completion_seq: 0,
+        assign_calls: 0,
+        invalid_assignments: 0,
+        events_processed: 0,
+        recorder: config.track_timelines.then(TimelineRecorder::default),
+        node_count: cluster.node_count(),
+        pending_map_ids: HashMap::new(),
+        delay_skips: HashMap::new(),
+        local_map_tasks: 0,
+        remote_map_tasks: 0,
+        delay_skip_count: 0,
+        scheduler_nanos: 0,
+        attempts: HashMap::new(),
+        groups: HashMap::new(),
+        next_attempt: 1,
+        next_group: 1,
+        stragglers: 0,
+        speculative_launched: 0,
+        speculative_wins: 0,
+    };
+
+    // Workflow arrivals.
+    for (i, w) in workflows.iter().enumerate() {
+        sim.queue.push(w.submit_time(), Event::WorkflowArrival(i));
+    }
+    // Staggered initial heartbeats.
+    let interval_ms = cluster.heartbeat_interval().as_millis();
+    let node_count = cluster.node_count() as u64;
+    for (i, node) in cluster.node_ids().enumerate() {
+        let offset = SimDuration::from_millis(interval_ms * i as u64 / node_count.max(1));
+        sim.queue.push(SimTime::ZERO + offset, Event::Heartbeat(node));
+    }
+
+    let mut truncated = false;
+    while sim.remaining > 0 {
+        let Some((t, event)) = sim.queue.pop() else {
+            break;
+        };
+        if t > config.max_sim_time {
+            truncated = true;
+            sim.now = config.max_sim_time;
+            break;
+        }
+        debug_assert!(t >= sim.now, "time went backwards");
+        sim.now = t;
+        sim.events_processed += 1;
+        match event {
+            Event::WorkflowArrival(i) => {
+                let spec = &workflows[i];
+                sim.handle_arrival(scheduler, spec);
+            }
+            Event::JobActivated(wf, job) => sim.handle_activation(scheduler, wf, job),
+            Event::Heartbeat(node) => {
+                sim.assign_node(scheduler, node);
+                if sim.remaining > 0 {
+                    sim.queue
+                        .push(sim.now + cluster.heartbeat_interval(), Event::Heartbeat(node));
+                }
+            }
+            Event::TaskComplete {
+                node,
+                workflow,
+                job,
+                kind,
+                attempt,
+            } => sim.handle_completion(scheduler, node, workflow, job, kind, attempt),
+        }
+    }
+    sim.touch_busy();
+
+    let end_time = sim.now;
+    let outcomes: Vec<WorkflowOutcome> = sim
+        .pool
+        .workflows()
+        .iter()
+        .map(|w| WorkflowOutcome {
+            id: w.id(),
+            name: w.spec().name().to_string(),
+            submitted: w.spec().submit_time(),
+            deadline: w.spec().deadline(),
+            finished: w.finished_at(),
+        })
+        .collect();
+    let completed = !truncated && sim.remaining == 0 && outcomes.len() == workflows.len();
+    let timelines = sim.recorder.map(|rec| {
+        rec.finish(sim.pool.len(), end_time, config.sample_interval)
+    });
+    SimReport {
+        scheduler: scheduler.name().to_string(),
+        outcomes,
+        end_time,
+        completed,
+        busy_slot_ms: sim.busy_integral_ms,
+        total_slots: [
+            cluster.total_slots(SlotKind::Map),
+            cluster.total_slots(SlotKind::Reduce),
+        ],
+        tasks_executed: sim.tasks_executed,
+        task_failures: sim.task_failures,
+        local_map_tasks: sim.local_map_tasks,
+        remote_map_tasks: sim.remote_map_tasks,
+        delay_skips: sim.delay_skip_count,
+        scheduler_nanos: sim.scheduler_nanos,
+        stragglers: sim.stragglers,
+        speculative_launched: sim.speculative_launched,
+        speculative_wins: sim.speculative_wins,
+        assign_calls: sim.assign_calls,
+        invalid_assignments: sim.invalid_assignments,
+        events_processed: sim.events_processed,
+        timelines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SubmitOrderScheduler;
+    use woha_model::{JobSpec, WorkflowBuilder};
+
+    fn simple_workflow(name: &str, submit_s: u64, deadline_rel_s: u64) -> WorkflowSpec {
+        let mut b = WorkflowBuilder::new(name);
+        let a = b.add_job(JobSpec::new(
+            "a",
+            4,
+            2,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        ));
+        let z = b.add_job(JobSpec::new(
+            "z",
+            2,
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(15),
+        ));
+        b.add_dependency(a, z);
+        b.submit_at(SimTime::from_secs(submit_s));
+        b.relative_deadline(SimDuration::from_secs(deadline_rel_s));
+        b.build().unwrap()
+    }
+
+    fn default_run(workflows: &[WorkflowSpec]) -> SimReport {
+        run_simulation(
+            workflows,
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn single_workflow_completes() {
+        let report = default_run(&[simple_workflow("w", 0, 600)]);
+        assert!(report.completed);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].finished.is_some());
+        assert_eq!(report.invalid_assignments, 0);
+        // 4 + 2 + 2 + 1 tasks.
+        assert_eq!(report.tasks_executed, 9);
+    }
+
+    #[test]
+    fn phases_respect_dependencies() {
+        // With 4 map slots and 2 reduce slots: job a needs one map wave
+        // (10s) + one reduce wave (20s); then job z one map wave (5s) +
+        // reduce (15s). Plus ~1s submit latency each and heartbeat slack.
+        let report = default_run(&[simple_workflow("w", 0, 600)]);
+        let finish = report.outcomes[0].finished.unwrap();
+        // Lower bound: pure critical path 10+20+5+15 = 50s + 2 submit
+        // latencies = 52s.
+        assert!(finish >= SimTime::from_secs(52), "finish {finish}");
+        // Upper bound with heartbeat slack: well under 70s.
+        assert!(finish <= SimTime::from_secs(70), "finish {finish}");
+    }
+
+    #[test]
+    fn deadline_outcome_reflects_finish() {
+        let tight = default_run(&[simple_workflow("w", 0, 10)]);
+        assert_eq!(tight.deadline_misses(), 1);
+        assert!(tight.max_tardiness() > SimDuration::ZERO);
+        let loose = default_run(&[simple_workflow("w", 0, 600)]);
+        assert_eq!(loose.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn later_submission_time_is_respected() {
+        let report = default_run(&[simple_workflow("w", 120, 600)]);
+        let o = &report.outcomes[0];
+        assert_eq!(o.submitted, SimTime::from_secs(120));
+        assert!(o.finished.unwrap() > SimTime::from_secs(120));
+        // Workspan is measured from submission, not from zero.
+        assert!(o.workspan(report.end_time) < SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = vec![
+            simple_workflow("a", 0, 600),
+            simple_workflow("b", 5, 600),
+            simple_workflow("c", 10, 600),
+        ];
+        let r1 = default_run(&w);
+        let r2 = default_run(&w);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn jitter_changes_durations_but_stays_deterministic() {
+        let w = vec![simple_workflow("w", 0, 600)];
+        let cfg = SimConfig {
+            duration_jitter: 0.3,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let cluster = ClusterConfig::uniform(2, 2, 1);
+        let r1 = run_simulation(&w, &mut SubmitOrderScheduler::new(), &cluster, &cfg);
+        let r2 = run_simulation(&w, &mut SubmitOrderScheduler::new(), &cluster, &cfg);
+        assert_eq!(r1, r2);
+        let r0 = default_run(&w);
+        assert_ne!(
+            r0.outcomes[0].finished, r1.outcomes[0].finished,
+            "jitter should perturb the schedule"
+        );
+        let other_seed = SimConfig { seed: 8, ..cfg };
+        let r3 = run_simulation(&w, &mut SubmitOrderScheduler::new(), &cluster, &other_seed);
+        assert_ne!(r1.outcomes[0].finished, r3.outcomes[0].finished);
+    }
+
+    #[test]
+    fn max_sim_time_truncates() {
+        let cfg = SimConfig {
+            max_sim_time: SimTime::from_secs(20),
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 600)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(1, 1, 1),
+            &cfg,
+        );
+        assert!(!report.completed);
+        assert_eq!(report.outcomes[0].finished, None);
+        assert!(report.end_time <= SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn utilization_bounded_and_positive() {
+        let report = default_run(&[simple_workflow("w", 0, 600)]);
+        let u = report.overall_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn timelines_track_slot_occupancy() {
+        let cfg = SimConfig {
+            track_timelines: true,
+            sample_interval: SimDuration::from_secs(1),
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 600)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &cfg,
+        );
+        let tl = report.timelines.as_ref().unwrap();
+        let maps = tl.series(WorkflowId::new(0), SlotKind::Map);
+        // At some instant all 4 map slots are busy.
+        assert_eq!(*maps.iter().max().unwrap(), 4);
+        // Never exceeds cluster capacity.
+        assert!(maps.iter().all(|&m| m <= 4));
+        let reduces = tl.series(WorkflowId::new(0), SlotKind::Reduce);
+        assert_eq!(*reduces.iter().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn work_conserving_with_parallel_workflows() {
+        // Two identical workflows, cluster big enough for both: the second
+        // must not wait for the first.
+        let w = vec![simple_workflow("a", 0, 600), simple_workflow("b", 0, 600)];
+        let report = run_simulation(
+            &w,
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(8, 2, 1),
+            &SimConfig::default(),
+        );
+        let f0 = report.outcomes[0].finished.unwrap();
+        let f1 = report.outcomes[1].finished.unwrap();
+        let spread = if f0 > f1 { f0 - f1 } else { f1 - f0 };
+        assert!(spread < SimDuration::from_secs(5), "spread {spread}");
+    }
+
+    #[test]
+    fn zero_submit_latency_works() {
+        let cfg = SimConfig {
+            submit_latency: SimDuration::ZERO,
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 600)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn failure_injection_retries_and_terminates() {
+        let cfg = SimConfig {
+            task_failure_prob: 0.3,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 3_000)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+        assert!(report.task_failures > 0, "30% failure rate must fire");
+        // Every failed attempt re-executes: executed = tasks + failures.
+        assert_eq!(report.tasks_executed, 9 + report.task_failures);
+        // Deterministic.
+        let again = run_simulation(
+            &[simple_workflow("w", 0, 3_000)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &cfg,
+        );
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn failures_delay_completion() {
+        let base = default_run(&[simple_workflow("w", 0, 3_000)]);
+        let cfg = SimConfig {
+            task_failure_prob: 0.5,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let faulty = run_simulation(
+            &[simple_workflow("w", 0, 3_000)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(2, 2, 1),
+            &cfg,
+        );
+        assert!(
+            faulty.outcomes[0].finished.unwrap() > base.outcomes[0].finished.unwrap(),
+            "failures must slow the workflow down"
+        );
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers_and_terminates() {
+        // High straggler probability and patient threshold: speculation
+        // must fire, resolve races, and the run must stay consistent.
+        let cfg = SimConfig {
+            speculation: Some(SpeculationConfig {
+                straggler_prob: 0.4,
+                straggler_factor: 8.0,
+                speculate_after: 1.3,
+            }),
+            seed: 11,
+            ..SimConfig::default()
+        };
+        // A workload wide enough to leave idle slots while stragglers run.
+        let workflows = vec![simple_workflow("w", 0, 3_000)];
+        let report = run_simulation(
+            &workflows,
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(4, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+        assert!(report.stragglers > 0, "stragglers must be injected");
+        assert!(
+            report.speculative_launched > 0,
+            "speculation must fire: {report:?}"
+        );
+        assert!(report.speculative_wins <= report.speculative_launched);
+        // Deterministic.
+        let again = run_simulation(
+            &workflows,
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(4, 2, 1),
+            &cfg,
+        );
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn speculation_beats_stragglers() {
+        // With heavy stragglers, speculation should shorten the makespan
+        // relative to no speculation (same straggler injection).
+        let base_spec = SpeculationConfig {
+            straggler_prob: 0.3,
+            straggler_factor: 10.0,
+            speculate_after: 1.2,
+        };
+        let run_with = |speculate: bool| {
+            let cfg = SimConfig {
+                speculation: Some(SpeculationConfig {
+                    // Disable duplicates by making the threshold absurd.
+                    speculate_after: if speculate { base_spec.speculate_after } else { 1e9 },
+                    ..base_spec
+                }),
+                seed: 21,
+                ..SimConfig::default()
+            };
+            run_simulation(
+                &[simple_workflow("w", 0, 30_000)],
+                &mut SubmitOrderScheduler::new(),
+                &ClusterConfig::uniform(4, 2, 1),
+                &cfg,
+            )
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert!(with.completed && without.completed);
+        assert!(without.speculative_launched == 0);
+        assert!(
+            with.end_time < without.end_time,
+            "speculation should cut the straggler tail: {} vs {}",
+            with.end_time,
+            without.end_time
+        );
+    }
+
+    #[test]
+    fn speculation_composes_with_woha_style_accounting() {
+        // Tasks executed still counts every *launch* (original + dup), and
+        // per-workflow progress is untouched by duplicates.
+        let cfg = SimConfig {
+            speculation: Some(SpeculationConfig {
+                straggler_prob: 0.5,
+                straggler_factor: 6.0,
+                speculate_after: 1.2,
+            }),
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 30_000)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(4, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+        // 9 real tasks, plus one launch per original attempt only.
+        assert_eq!(report.tasks_executed, 9);
+        assert_eq!(report.invalid_assignments, 0);
+    }
+
+    #[test]
+    fn locality_tracks_local_and_remote_tasks() {
+        let cfg = SimConfig {
+            locality: Some(LocalityConfig::default()),
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 600)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(4, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+        // Every map task is classified.
+        assert_eq!(report.local_map_tasks + report.remote_map_tasks, 6);
+        let ratio = report.map_locality_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+        // With 3 replicas over 4 nodes most tasks should find a local slot
+        // eventually, but the run still completes either way.
+    }
+
+    #[test]
+    fn delay_scheduling_improves_locality() {
+        let workflows: Vec<WorkflowSpec> = (0..4)
+            .map(|i| simple_workflow(&format!("w{i}"), i * 3, 3_000))
+            .collect();
+        let run_with = |skips: u32| {
+            let cfg = SimConfig {
+                locality: Some(LocalityConfig {
+                    replicas: 1,
+                    remote_penalty: 2.0,
+                    max_delay_skips: skips,
+                }),
+                ..SimConfig::default()
+            };
+            run_simulation(
+                &workflows,
+                &mut SubmitOrderScheduler::new(),
+                &ClusterConfig::uniform(8, 2, 1),
+                &cfg,
+            )
+        };
+        let eager = run_with(0);
+        let patient = run_with(4);
+        assert!(eager.completed && patient.completed);
+        assert_eq!(eager.delay_skips, 0);
+        assert!(patient.delay_skips > 0, "delay scheduling must decline offers");
+        assert!(
+            patient.map_locality_ratio() >= eager.map_locality_ratio(),
+            "waiting for local slots must not hurt locality: {} vs {}",
+            patient.map_locality_ratio(),
+            eager.map_locality_ratio()
+        );
+    }
+
+    #[test]
+    fn locality_composes_with_failures() {
+        let cfg = SimConfig {
+            locality: Some(LocalityConfig::default()),
+            task_failure_prob: 0.3,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let report = run_simulation(
+            &[simple_workflow("w", 0, 3_000)],
+            &mut SubmitOrderScheduler::new(),
+            &ClusterConfig::uniform(4, 2, 1),
+            &cfg,
+        );
+        assert!(report.completed);
+        assert!(report.task_failures > 0);
+        assert_eq!(
+            report.local_map_tasks + report.remote_map_tasks,
+            // 6 original maps plus every retried map attempt.
+            6 + u64::from(report.task_failures)
+                - reduce_failures(&report)
+        );
+    }
+
+    /// Failures on reduce tasks (no locality classification).
+    fn reduce_failures(report: &SimReport) -> u64 {
+        // executed = 9 tasks + all failures; map executions are classified.
+        report.tasks_executed - (report.local_map_tasks + report.remote_map_tasks) - 3
+    }
+
+    #[test]
+    fn jitter_factor_is_deterministic_and_bounded() {
+        let wf = WorkflowId::new(3);
+        let job = JobId::new(1);
+        for idx in 0..100 {
+            let f = jitter_factor(9, wf, job, SlotKind::Map, idx, 0.2);
+            assert!((0.8..=1.2).contains(&f), "factor {f}");
+            assert_eq!(f, jitter_factor(9, wf, job, SlotKind::Map, idx, 0.2));
+        }
+        assert_eq!(jitter_factor(9, wf, job, SlotKind::Map, 0, 0.0), 1.0);
+    }
+}

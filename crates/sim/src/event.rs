@@ -1,0 +1,172 @@
+//! The discrete-event queue driving the cluster simulation.
+//!
+//! Events are totally ordered by `(time, sequence number)`: ties at the
+//! same instant are broken by insertion order, which makes every simulation
+//! run exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use woha_model::{JobId, NodeId, SimTime, SlotKind, WorkflowId};
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A workflow from the workload reaches its submission time
+    /// (`value` is its index in the workload).
+    WorkflowArrival(usize),
+    /// A wjob's submitter map task finishes: the job becomes schedulable.
+    JobActivated(WorkflowId, JobId),
+    /// A TaskTracker heartbeat: the node reports its free slots and may be
+    /// assigned new tasks.
+    Heartbeat(NodeId),
+    /// A running task attempt finishes on a node.
+    TaskComplete {
+        /// Node the task ran on.
+        node: NodeId,
+        /// Owning workflow.
+        workflow: WorkflowId,
+        /// Owning job.
+        job: JobId,
+        /// Map or reduce.
+        kind: SlotKind,
+        /// Attempt id (distinguishes speculative duplicates).
+        attempt: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use woha_sim::event::{Event, EventQueue};
+/// use woha_model::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5), Event::WorkflowArrival(1));
+/// q.push(SimTime::from_secs(1), Event::WorkflowArrival(0));
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(1));
+/// assert_eq!(e, Event::WorkflowArrival(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), Event::WorkflowArrival(3));
+        q.push(SimTime::from_secs(1), Event::WorkflowArrival(1));
+        q.push(SimTime::from_secs(2), Event::WorkflowArrival(2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            Event::WorkflowArrival(i) => i,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.push(t, Event::WorkflowArrival(i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            Event::WorkflowArrival(i) => i,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(9), Event::Heartbeat(NodeId::new(0)));
+        q.push(SimTime::from_secs(4), Event::Heartbeat(NodeId::new(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), Event::WorkflowArrival(5));
+        q.push(SimTime::from_secs(1), Event::WorkflowArrival(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(1));
+        q.push(SimTime::from_secs(2), Event::WorkflowArrival(2));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(2));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+    }
+}

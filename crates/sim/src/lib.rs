@@ -1,0 +1,52 @@
+//! A discrete-event Hadoop-1 cluster simulator.
+//!
+//! This crate is the substrate the WOHA reproduction runs on: since the
+//! paper's 80-server Hadoop-1.2.1 testbed is not available, every
+//! evaluation result is regenerated on this simulator, which reproduces the
+//! scheduling-relevant behaviour of Hadoop-1:
+//!
+//! - a single **JobTracker** that owns all scheduling state,
+//! - **TaskTrackers** with fixed map/reduce slot counts that heartbeat
+//!   periodically and receive task assignments in the heartbeat response,
+//! - jobs whose **reducers wait for all maps**, and
+//! - workflow-level lifecycle: prerequisite tracking, WOHA's on-demand
+//!   submitter jobs (modelled as an activation latency), and per-workflow
+//!   deadline accounting.
+//!
+//! Schedulers plug in through [`WorkflowScheduler`], mirroring the paper's
+//! replaceable Workflow Scheduler module.
+//!
+//! # Quick example
+//!
+//! ```
+//! use woha_sim::{run_simulation, ClusterConfig, SimConfig, SubmitOrderScheduler};
+//! use woha_model::{JobSpec, SimDuration, WorkflowBuilder};
+//!
+//! let mut b = WorkflowBuilder::new("demo");
+//! b.add_job(JobSpec::new("only", 8, 2,
+//!     SimDuration::from_secs(30), SimDuration::from_secs(60)));
+//! b.relative_deadline(SimDuration::from_mins(10));
+//! let report = run_simulation(
+//!     &[b.build().unwrap()],
+//!     &mut SubmitOrderScheduler::new(),
+//!     &ClusterConfig::uniform(4, 2, 1),
+//!     &SimConfig::default(),
+//! );
+//! assert!(report.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod driver;
+pub mod event;
+pub mod metrics;
+pub mod scheduler;
+pub mod state;
+
+pub use cluster::{ClusterConfig, NodeConfig};
+pub use driver::{run_simulation, LocalityConfig, SimConfig, SpeculationConfig};
+pub use metrics::{SimReport, Timelines, WorkflowOutcome};
+pub use scheduler::{first_eligible_job, SubmitOrderScheduler, WorkflowScheduler};
+pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};

@@ -1,0 +1,432 @@
+//! Simulation outputs: per-workflow outcomes, cluster utilization, and
+//! per-workflow slot-allocation timelines (the raw material of Figs 8–19).
+
+use serde::{Deserialize, Serialize};
+use woha_model::{SimDuration, SimTime, SlotKind, WorkflowId};
+
+/// What happened to one workflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowOutcome {
+    /// The workflow's id.
+    pub id: WorkflowId,
+    /// The workflow's name.
+    pub name: String,
+    /// Submission time `S_i`.
+    pub submitted: SimTime,
+    /// Absolute deadline `D_i`.
+    pub deadline: SimTime,
+    /// Completion time, or `None` if the simulation was cut off first.
+    pub finished: Option<SimTime>,
+}
+
+impl WorkflowOutcome {
+    /// The workspan `finish - submit` (the paper's Fig 11 metric), using
+    /// `censor` as the finish time for unfinished workflows.
+    pub fn workspan(&self, censor: SimTime) -> SimDuration {
+        self.finished
+            .unwrap_or(censor)
+            .saturating_since(self.submitted)
+    }
+
+    /// Tardiness `max(0, finish - deadline)`, censored like
+    /// [`workspan`](Self::workspan). Zero when the deadline was met.
+    pub fn tardiness(&self, censor: SimTime) -> SimDuration {
+        self.finished
+            .unwrap_or(censor)
+            .saturating_since(self.deadline)
+    }
+
+    /// Whether the workflow finished by its deadline. An unfinished
+    /// workflow never meets its deadline.
+    pub fn met_deadline(&self) -> bool {
+        matches!(self.finished, Some(f) if f <= self.deadline)
+    }
+}
+
+/// Per-workflow slot-occupancy time series, sampled on a fixed grid —
+/// exactly the data plotted in the paper's Figs 14–19.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timelines {
+    interval: SimDuration,
+    /// `series[wf][kind][sample]` = slots of `kind` occupied by workflow
+    /// `wf` at sample instant.
+    series: Vec<[Vec<u32>; 2]>,
+}
+
+impl Timelines {
+    /// Sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Number of samples per series.
+    pub fn sample_count(&self) -> usize {
+        self.series.first().map_or(0, |s| s[0].len())
+    }
+
+    /// Occupied slots of `kind` for workflow `wf` at each sample instant
+    /// (`t = i * interval`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wf` is out of range.
+    pub fn series(&self, wf: WorkflowId, kind: SlotKind) -> &[u32] {
+        let k = match kind {
+            SlotKind::Map => 0,
+            SlotKind::Reduce => 1,
+        };
+        &self.series[wf.as_u64() as usize][k]
+    }
+
+    /// Number of workflows tracked.
+    pub fn workflow_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+/// Records slot-occupancy step changes during a run and resolves them into
+/// [`Timelines`] afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct TimelineRecorder {
+    /// (time, workflow index, kind index, +1/-1)
+    deltas: Vec<(SimTime, u32, u8, i8)>,
+}
+
+impl TimelineRecorder {
+    pub(crate) fn record(&mut self, time: SimTime, wf: WorkflowId, kind: SlotKind, delta: i8) {
+        let k = match kind {
+            SlotKind::Map => 0,
+            SlotKind::Reduce => 1,
+        };
+        self.deltas.push((time, wf.as_u64() as u32, k, delta));
+    }
+
+    pub(crate) fn finish(
+        mut self,
+        workflow_count: usize,
+        horizon: SimTime,
+        interval: SimDuration,
+    ) -> Timelines {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        self.deltas.sort_by_key(|&(t, ..)| t);
+        let samples = (horizon.as_millis() / interval.as_millis()) as usize + 1;
+        let mut series = vec![[vec![0u32; samples], vec![0u32; samples]]; workflow_count];
+        let mut current = vec![[0i32; 2]; workflow_count];
+        let mut next_delta = 0usize;
+        for s in 0..samples {
+            let t = SimTime::from_millis(s as u64 * interval.as_millis());
+            while next_delta < self.deltas.len() && self.deltas[next_delta].0 <= t {
+                let (_, wf, k, d) = self.deltas[next_delta];
+                current[wf as usize][k as usize] += i32::from(d);
+                next_delta += 1;
+            }
+            for (wf, counts) in current.iter().enumerate() {
+                for k in 0..2 {
+                    debug_assert!(counts[k] >= 0, "negative occupancy");
+                    series[wf][k][s] = counts[k].max(0) as u32;
+                }
+            }
+        }
+        Timelines { interval, series }
+    }
+}
+
+/// The full result of one simulation run.
+///
+/// Equality compares the *simulation outcome* (everything except
+/// [`scheduler_nanos`](Self::scheduler_nanos), which is wall-clock
+/// measurement noise): two runs of the same scenario are `==` even if the
+/// host was faster the second time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the scheduler that produced the run.
+    pub scheduler: String,
+    /// Per-workflow outcomes, in submission (id) order.
+    pub outcomes: Vec<WorkflowOutcome>,
+    /// Time of the last processed event (the censoring instant for
+    /// unfinished workflows).
+    pub end_time: SimTime,
+    /// Whether every workflow completed before the cutoff.
+    pub completed: bool,
+    /// Total busy slot-milliseconds by kind `[map, reduce]`.
+    pub busy_slot_ms: [u128; 2],
+    /// Total slots by kind `[map, reduce]`.
+    pub total_slots: [u32; 2],
+    /// Total tasks executed (including re-executions after failures).
+    pub tasks_executed: u64,
+    /// Failed task attempts that were re-executed (failure injection).
+    pub task_failures: u64,
+    /// Map tasks that ran on one of their preferred nodes (locality mode).
+    pub local_map_tasks: u64,
+    /// Map tasks that ran remotely, paying the locality penalty.
+    pub remote_map_tasks: u64,
+    /// Slot offers declined while waiting for a local slot (delay
+    /// scheduling).
+    pub delay_skips: u64,
+    /// Wall-clock nanoseconds the master spent inside the scheduler's
+    /// `assign_task` across the whole run — the paper's "overhead on the
+    /// master node".
+    pub scheduler_nanos: u64,
+    /// Attempts that were injected as stragglers (speculation mode).
+    pub stragglers: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative_launched: u64,
+    /// Races won by the speculative duplicate.
+    pub speculative_wins: u64,
+    /// Number of `assign_task` consultations.
+    pub assign_calls: u64,
+    /// Slot offers forfeited because the scheduler returned an ineligible
+    /// job (should be zero for a correct scheduler).
+    pub invalid_assignments: u64,
+    /// Events processed.
+    pub events_processed: u64,
+    /// Per-workflow slot timelines, when tracking was enabled.
+    pub timelines: Option<Timelines>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheduler == other.scheduler
+            && self.outcomes == other.outcomes
+            && self.end_time == other.end_time
+            && self.completed == other.completed
+            && self.busy_slot_ms == other.busy_slot_ms
+            && self.total_slots == other.total_slots
+            && self.tasks_executed == other.tasks_executed
+            && self.task_failures == other.task_failures
+            && self.local_map_tasks == other.local_map_tasks
+            && self.remote_map_tasks == other.remote_map_tasks
+            && self.delay_skips == other.delay_skips
+            && self.stragglers == other.stragglers
+            && self.speculative_launched == other.speculative_launched
+            && self.speculative_wins == other.speculative_wins
+            && self.assign_calls == other.assign_calls
+            && self.invalid_assignments == other.invalid_assignments
+            && self.events_processed == other.events_processed
+            && self.timelines == other.timelines
+    }
+}
+
+impl SimReport {
+    /// Mean wall-clock nanoseconds per `assign_task` consultation — the
+    /// master-side scheduling overhead.
+    pub fn mean_assign_nanos(&self) -> f64 {
+        if self.assign_calls == 0 {
+            return 0.0;
+        }
+        self.scheduler_nanos as f64 / self.assign_calls as f64
+    }
+
+    /// Fraction of executed map tasks that ran node-local (locality mode;
+    /// 0 when locality modelling is off).
+    pub fn map_locality_ratio(&self) -> f64 {
+        let total = self.local_map_tasks + self.remote_map_tasks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_map_tasks as f64 / total as f64
+    }
+
+    /// Number of workflows that missed their deadline (unfinished counts
+    /// as missed).
+    pub fn deadline_misses(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.met_deadline()).count()
+    }
+
+    /// Fraction of workflows that missed their deadline (Fig 8's metric).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.deadline_misses() as f64 / self.outcomes.len() as f64
+    }
+
+    /// The largest tardiness across workflows (Fig 9's metric).
+    pub fn max_tardiness(&self) -> SimDuration {
+        self.outcomes
+            .iter()
+            .map(|o| o.tardiness(self.end_time))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The sum of tardiness across workflows (Fig 10's metric).
+    pub fn total_tardiness(&self) -> SimDuration {
+        self.outcomes
+            .iter()
+            .map(|o| o.tardiness(self.end_time))
+            .sum()
+    }
+
+    /// Workspans in submission order (Fig 11's metric).
+    pub fn workspans(&self) -> Vec<SimDuration> {
+        self.outcomes
+            .iter()
+            .map(|o| o.workspan(self.end_time))
+            .collect()
+    }
+
+    /// Busy fraction of slots of `kind` over the interval from the first
+    /// submission to the end of the run.
+    pub fn utilization(&self, kind: SlotKind) -> f64 {
+        let k = match kind {
+            SlotKind::Map => 0,
+            SlotKind::Reduce => 1,
+        };
+        let start = self
+            .outcomes
+            .iter()
+            .map(|o| o.submitted)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let horizon_ms = self.end_time.saturating_since(start).as_millis();
+        let capacity = u128::from(self.total_slots[k]) * u128::from(horizon_ms);
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.busy_slot_ms[k] as f64 / capacity as f64
+    }
+
+    /// Busy fraction across both slot kinds (Fig 12's metric).
+    pub fn overall_utilization(&self) -> f64 {
+        let start = self
+            .outcomes
+            .iter()
+            .map(|o| o.submitted)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let horizon_ms = u128::from(self.end_time.saturating_since(start).as_millis());
+        let capacity =
+            u128::from(self.total_slots[0] + self.total_slots[1]) * horizon_ms;
+        if capacity == 0 {
+            return 0.0;
+        }
+        (self.busy_slot_ms[0] + self.busy_slot_ms[1]) as f64 / capacity as f64
+    }
+
+    /// The outcome of the workflow with the given name.
+    pub fn outcome_by_name(&self, name: &str) -> Option<&WorkflowOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, submit_s: u64, deadline_s: u64, finish_s: Option<u64>) -> WorkflowOutcome {
+        WorkflowOutcome {
+            id: WorkflowId::new(0),
+            name: name.to_string(),
+            submitted: SimTime::from_secs(submit_s),
+            deadline: SimTime::from_secs(deadline_s),
+            finished: finish_s.map(SimTime::from_secs),
+        }
+    }
+
+    fn report(outcomes: Vec<WorkflowOutcome>) -> SimReport {
+        SimReport {
+            scheduler: "test".into(),
+            outcomes,
+            end_time: SimTime::from_secs(1_000),
+            completed: true,
+            busy_slot_ms: [500_000, 250_000],
+            total_slots: [2, 1],
+            tasks_executed: 0,
+            task_failures: 0,
+            local_map_tasks: 0,
+            remote_map_tasks: 0,
+            delay_skips: 0,
+            scheduler_nanos: 0,
+            stragglers: 0,
+            speculative_launched: 0,
+            speculative_wins: 0,
+            assign_calls: 0,
+            invalid_assignments: 0,
+            events_processed: 0,
+            timelines: None,
+        }
+    }
+
+    #[test]
+    fn outcome_metrics() {
+        let met = outcome("a", 0, 100, Some(90));
+        assert!(met.met_deadline());
+        assert_eq!(met.workspan(SimTime::MAX), SimDuration::from_secs(90));
+        assert_eq!(met.tardiness(SimTime::MAX), SimDuration::ZERO);
+
+        let missed = outcome("b", 10, 100, Some(150));
+        assert!(!missed.met_deadline());
+        assert_eq!(missed.workspan(SimTime::MAX), SimDuration::from_secs(140));
+        assert_eq!(missed.tardiness(SimTime::MAX), SimDuration::from_secs(50));
+
+        let unfinished = outcome("c", 0, 100, None);
+        assert!(!unfinished.met_deadline());
+        let censor = SimTime::from_secs(500);
+        assert_eq!(unfinished.workspan(censor), SimDuration::from_secs(500));
+        assert_eq!(unfinished.tardiness(censor), SimDuration::from_secs(400));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = report(vec![
+            outcome("a", 0, 100, Some(90)),
+            outcome("b", 0, 100, Some(160)),
+            outcome("c", 0, 100, None),
+        ]);
+        assert_eq!(r.deadline_misses(), 2);
+        assert!((r.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_tardiness(), SimDuration::from_secs(900));
+        assert_eq!(
+            r.total_tardiness(),
+            SimDuration::from_secs(60 + 900)
+        );
+        assert_eq!(r.workspans()[0], SimDuration::from_secs(90));
+        assert!(r.outcome_by_name("b").is_some());
+        assert!(r.outcome_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = report(vec![outcome("a", 0, 100, Some(90))]);
+        // 2 map slots over 1000s = 2,000,000 slot-ms capacity; 500,000 busy.
+        assert!((r.utilization(SlotKind::Map) - 0.25).abs() < 1e-12);
+        assert!((r.utilization(SlotKind::Reduce) - 0.25).abs() < 1e-12);
+        assert!((r.overall_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = report(vec![]);
+        assert_eq!(r.miss_ratio(), 0.0);
+        assert_eq!(r.max_tardiness(), SimDuration::ZERO);
+        assert_eq!(r.total_tardiness(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timeline_recorder_samples_steps() {
+        let mut rec = TimelineRecorder::default();
+        let wf = WorkflowId::new(0);
+        // Occupy 2 map slots from t=5s to t=25s, 1 until t=35s.
+        rec.record(SimTime::from_secs(5), wf, SlotKind::Map, 1);
+        rec.record(SimTime::from_secs(5), wf, SlotKind::Map, 1);
+        rec.record(SimTime::from_secs(25), wf, SlotKind::Map, -1);
+        rec.record(SimTime::from_secs(35), wf, SlotKind::Map, -1);
+        let tl = rec.finish(1, SimTime::from_secs(40), SimDuration::from_secs(10));
+        assert_eq!(tl.sample_count(), 5);
+        assert_eq!(tl.series(wf, SlotKind::Map), &[0, 2, 2, 1, 0]);
+        assert_eq!(tl.series(wf, SlotKind::Reduce), &[0, 0, 0, 0, 0]);
+        assert_eq!(tl.workflow_count(), 1);
+        assert_eq!(tl.interval(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn timeline_out_of_order_deltas_are_sorted() {
+        let mut rec = TimelineRecorder::default();
+        let wf = WorkflowId::new(0);
+        rec.record(SimTime::from_secs(20), wf, SlotKind::Reduce, -1);
+        rec.record(SimTime::from_secs(10), wf, SlotKind::Reduce, 1);
+        let tl = rec.finish(1, SimTime::from_secs(30), SimDuration::from_secs(10));
+        assert_eq!(tl.series(wf, SlotKind::Reduce), &[0, 1, 0, 0]);
+    }
+}

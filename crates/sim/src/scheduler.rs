@@ -1,0 +1,134 @@
+//! The pluggable scheduler interface — the simulator's equivalent of the
+//! paper's Workflow Scheduler module on the JobTracker.
+//!
+//! The driver calls [`WorkflowScheduler::assign_task`] once per free slot
+//! whenever a heartbeat arrives (including the implicit heartbeat carried
+//! by a task completion), exactly as Hadoop's `TaskScheduler.assignTasks`
+//! is driven by TaskTracker heartbeats. Notification hooks keep the
+//! scheduler's own bookkeeping (queues, plans, progress) in sync with job
+//! lifecycle events; implementations only need to override the ones they
+//! use.
+
+use crate::state::WorkflowPool;
+use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
+
+/// A workflow-aware task scheduler plugged into the simulated JobTracker.
+///
+/// Implementations decide, for each free slot, which `(workflow, job)` pair
+/// receives a task. The driver validates eligibility (the job must be
+/// active and have a pending task of the right kind, and reducers only run
+/// once the job's maps finished) — a scheduler returning an ineligible pair
+/// forfeits that slot offer and the violation is counted in the report.
+pub trait WorkflowScheduler {
+    /// Human-readable scheduler name used in reports and tables.
+    fn name(&self) -> &str;
+
+    /// A workflow has been submitted (its configuration and, for WOHA, its
+    /// scheduling plan have reached the JobTracker).
+    fn on_workflow_submitted(&mut self, pool: &WorkflowPool, wf: WorkflowId, now: SimTime) {
+        let _ = (pool, wf, now);
+    }
+
+    /// A wjob finished its submitter task and became schedulable.
+    fn on_job_activated(
+        &mut self,
+        pool: &WorkflowPool,
+        wf: WorkflowId,
+        job: JobId,
+        now: SimTime,
+    ) {
+        let _ = (pool, wf, job, now);
+    }
+
+    /// A wjob completed all of its tasks.
+    fn on_job_completed(
+        &mut self,
+        pool: &WorkflowPool,
+        wf: WorkflowId,
+        job: JobId,
+        now: SimTime,
+    ) {
+        let _ = (pool, wf, job, now);
+    }
+
+    /// A workflow completed its last job.
+    fn on_workflow_completed(&mut self, pool: &WorkflowPool, wf: WorkflowId, now: SimTime) {
+        let _ = (pool, wf, now);
+    }
+
+    /// A task of `(wf, job)` was handed to a slot (after a successful
+    /// [`assign_task`](Self::assign_task)). WOHA uses this to advance the
+    /// true progress `ρ`.
+    fn on_task_assigned(
+        &mut self,
+        pool: &WorkflowPool,
+        wf: WorkflowId,
+        job: JobId,
+        kind: SlotKind,
+        now: SimTime,
+    ) {
+        let _ = (pool, wf, job, kind, now);
+    }
+
+    /// Chooses the job to receive the free slot of `kind`, or `None` to
+    /// leave the slot idle. Called repeatedly while slots remain free, so a
+    /// work-conserving scheduler keeps returning pairs until nothing is
+    /// eligible.
+    fn assign_task(
+        &mut self,
+        pool: &WorkflowPool,
+        kind: SlotKind,
+        now: SimTime,
+    ) -> Option<(WorkflowId, JobId)>;
+}
+
+/// Picks the first eligible job of `wf` in job-id order — the common
+/// "any task from this workflow" fallback used by several schedulers.
+pub fn first_eligible_job(pool: &WorkflowPool, wf: WorkflowId, kind: SlotKind) -> Option<JobId> {
+    pool.workflow(wf)
+        .active_jobs()
+        .find(|&j| pool.eligible(wf, j, kind))
+}
+
+/// A minimal reference scheduler: workflows in submission (id) order, jobs
+/// in id order. Useful for driver tests; the paper's baselines (FIFO by job
+/// submission time, Fair, EDF) live in `woha-core`.
+#[derive(Debug, Default, Clone)]
+pub struct SubmitOrderScheduler;
+
+impl SubmitOrderScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        SubmitOrderScheduler
+    }
+}
+
+impl WorkflowScheduler for SubmitOrderScheduler {
+    fn name(&self) -> &str {
+        "submit-order"
+    }
+
+    fn assign_task(
+        &mut self,
+        pool: &WorkflowPool,
+        kind: SlotKind,
+        _now: SimTime,
+    ) -> Option<(WorkflowId, JobId)> {
+        pool.incomplete().find_map(|wf| {
+            first_eligible_job(pool, wf, kind).map(|job| (wf, job))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_order_on_empty_pool() {
+        let pool = WorkflowPool::new();
+        let mut s = SubmitOrderScheduler::new();
+        assert_eq!(s.assign_task(&pool, SlotKind::Map, SimTime::ZERO), None);
+        assert_eq!(s.name(), "submit-order");
+    }
+}

@@ -1,0 +1,587 @@
+//! Runtime state of workflows and jobs inside the simulated JobTracker.
+//!
+//! [`WorkflowPool`] is the JobTracker's internal bookkeeping *and* the
+//! read-only view handed to [`WorkflowScheduler`](crate::WorkflowScheduler)
+//! implementations: schedulers inspect it to pick a `(workflow, job)` pair
+//! but only the driver mutates it.
+
+use woha_model::{JobId, SimTime, SlotKind, WorkflowId, WorkflowSpec};
+
+/// Lifecycle of one wjob inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting for prerequisite jobs to finish.
+    Blocked,
+    /// Prerequisites done; the submitter map task is loading the jar and
+    /// initializing tasks (WOHA's on-demand submission, §III-A).
+    Submitting,
+    /// Schedulable: tasks may be assigned.
+    Active,
+    /// All tasks finished.
+    Complete,
+}
+
+/// Runtime counters of one job.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    phase: JobPhase,
+    remaining_prereqs: usize,
+    pending_maps: u32,
+    running_maps: u32,
+    completed_maps: u32,
+    pending_reduces: u32,
+    running_reduces: u32,
+    completed_reduces: u32,
+    retried_maps: u32,
+    retried_reduces: u32,
+    activated_at: Option<SimTime>,
+    completed_at: Option<SimTime>,
+}
+
+impl JobState {
+    fn new(spec_maps: u32, spec_reduces: u32, prereqs: usize) -> Self {
+        JobState {
+            phase: JobPhase::Blocked,
+            remaining_prereqs: prereqs,
+            pending_maps: spec_maps,
+            running_maps: 0,
+            completed_maps: 0,
+            pending_reduces: spec_reduces,
+            running_reduces: 0,
+            completed_reduces: 0,
+            retried_maps: 0,
+            retried_reduces: 0,
+            activated_at: None,
+            completed_at: None,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> JobPhase {
+        self.phase
+    }
+
+    /// Map tasks not yet assigned to a slot.
+    pub fn pending_maps(&self) -> u32 {
+        self.pending_maps
+    }
+
+    /// Map tasks currently running.
+    pub fn running_maps(&self) -> u32 {
+        self.running_maps
+    }
+
+    /// Map tasks finished.
+    pub fn completed_maps(&self) -> u32 {
+        self.completed_maps
+    }
+
+    /// Reduce tasks not yet assigned to a slot.
+    pub fn pending_reduces(&self) -> u32 {
+        self.pending_reduces
+    }
+
+    /// Reduce tasks currently running.
+    pub fn running_reduces(&self) -> u32 {
+        self.running_reduces
+    }
+
+    /// Reduce tasks finished.
+    pub fn completed_reduces(&self) -> u32 {
+        self.completed_reduces
+    }
+
+    /// Tasks of `kind` that failed and were re-queued for execution.
+    pub fn retried(&self, kind: SlotKind) -> u32 {
+        match kind {
+            SlotKind::Map => self.retried_maps,
+            SlotKind::Reduce => self.retried_reduces,
+        }
+    }
+
+    /// Whether every map task has finished (reducers may start only then).
+    pub fn maps_done(&self) -> bool {
+        self.pending_maps == 0 && self.running_maps == 0
+    }
+
+    /// Pending tasks of the given kind that are *eligible* right now:
+    /// pending maps while active, pending reduces once all maps finished.
+    pub fn eligible_tasks(&self, kind: SlotKind) -> u32 {
+        if self.phase != JobPhase::Active {
+            return 0;
+        }
+        match kind {
+            SlotKind::Map => self.pending_maps,
+            SlotKind::Reduce => {
+                if self.maps_done() {
+                    self.pending_reduces
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// When the job became schedulable, if it has.
+    pub fn activated_at(&self) -> Option<SimTime> {
+        self.activated_at
+    }
+
+    /// When the job finished, if it has.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+}
+
+/// Runtime state of one workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowState {
+    id: WorkflowId,
+    spec: WorkflowSpec,
+    jobs: Vec<JobState>,
+    jobs_completed: usize,
+    tasks_scheduled: u64,
+    finished_at: Option<SimTime>,
+}
+
+impl WorkflowState {
+    pub(crate) fn new(id: WorkflowId, spec: WorkflowSpec) -> Self {
+        let jobs = spec
+            .job_ids()
+            .map(|j| {
+                JobState::new(
+                    spec.job(j).map_tasks(),
+                    spec.job(j).reduce_tasks(),
+                    spec.prerequisites(j).len(),
+                )
+            })
+            .collect();
+        WorkflowState {
+            id,
+            spec,
+            jobs,
+            jobs_completed: 0,
+            tasks_scheduled: 0,
+            finished_at: None,
+        }
+    }
+
+    /// The workflow's id.
+    pub fn id(&self) -> WorkflowId {
+        self.id
+    }
+
+    /// The static workflow specification.
+    pub fn spec(&self) -> &WorkflowSpec {
+        &self.spec
+    }
+
+    /// State of one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn job(&self, job: JobId) -> &JobState {
+        &self.jobs[job.index()]
+    }
+
+    /// Number of jobs that have completed.
+    pub fn jobs_completed(&self) -> usize {
+        self.jobs_completed
+    }
+
+    /// Whether every job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.jobs_completed == self.jobs.len()
+    }
+
+    /// When the workflow finished, if it has.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// The *true progress* `ρ_i` (paper §IV-B): total number of tasks of
+    /// this workflow that have been handed to slots so far.
+    pub fn tasks_scheduled(&self) -> u64 {
+        self.tasks_scheduled
+    }
+
+    /// Jobs currently in [`JobPhase::Active`], in job-id order.
+    pub fn active_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.phase == JobPhase::Active)
+            .map(|(i, _)| JobId::new(i as u32))
+    }
+
+    /// Total tasks of this workflow currently running on slots (both
+    /// kinds) — the usage quantity a fair scheduler balances.
+    pub fn running_tasks(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| u64::from(j.running_maps + j.running_reduces))
+            .sum()
+    }
+
+    /// Whether any active job has an eligible task of `kind`.
+    pub fn has_eligible_task(&self, kind: SlotKind) -> bool {
+        self.jobs.iter().any(|j| j.eligible_tasks(kind) > 0)
+    }
+
+    /// Total eligible tasks of `kind` across active jobs.
+    pub fn eligible_tasks(&self, kind: SlotKind) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| u64::from(j.eligible_tasks(kind)))
+            .sum()
+    }
+
+    // ---- mutations ---------------------------------------------------
+    //
+    // These drive the job lifecycle. The built-in simulator driver calls
+    // them; they are public so custom drivers and scheduler tests can
+    // construct mid-execution states.
+
+    fn job_mut(&mut self, job: JobId) -> &mut JobState {
+        &mut self.jobs[job.index()]
+    }
+
+    /// Marks prerequisites of `job` satisfied by one completed predecessor;
+    /// returns true when the job has no remaining prerequisites.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the job has no outstanding prerequisites.
+    pub fn satisfy_prereq(&mut self, job: JobId) -> bool {
+        let j = self.job_mut(job);
+        debug_assert!(j.remaining_prereqs > 0, "over-satisfied prerequisite");
+        j.remaining_prereqs -= 1;
+        j.remaining_prereqs == 0
+    }
+
+    /// Moves a job from [`JobPhase::Blocked`] to [`JobPhase::Submitting`]
+    /// (its submitter map task starts).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic unless the job is blocked.
+    pub fn begin_submitting(&mut self, job: JobId) {
+        let j = self.job_mut(job);
+        debug_assert_eq!(j.phase, JobPhase::Blocked);
+        j.phase = JobPhase::Submitting;
+    }
+
+    /// Moves a job from [`JobPhase::Submitting`] to [`JobPhase::Active`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic unless the job is submitting.
+    pub fn activate(&mut self, job: JobId, now: SimTime) {
+        let j = self.job_mut(job);
+        debug_assert_eq!(j.phase, JobPhase::Submitting);
+        j.phase = JobPhase::Active;
+        j.activated_at = Some(now);
+    }
+
+    /// Records a task assignment; updates true progress.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the job has no eligible task of `kind`.
+    pub fn start_task(&mut self, job: JobId, kind: SlotKind) {
+        {
+            let j = self.job_mut(job);
+            debug_assert!(j.eligible_tasks(kind) > 0, "assigning ineligible task");
+            match kind {
+                SlotKind::Map => {
+                    j.pending_maps -= 1;
+                    j.running_maps += 1;
+                }
+                SlotKind::Reduce => {
+                    j.pending_reduces -= 1;
+                    j.running_reduces += 1;
+                }
+            }
+        }
+        self.tasks_scheduled += 1;
+    }
+
+    /// Records the start of a *speculative duplicate* attempt: it occupies
+    /// a slot (running count rises) but does not consume a pending task or
+    /// advance true progress.
+    pub fn start_speculative(&mut self, job: JobId, kind: SlotKind) {
+        let j = self.job_mut(job);
+        match kind {
+            SlotKind::Map => j.running_maps += 1,
+            SlotKind::Reduce => j.running_reduces += 1,
+        }
+    }
+
+    /// Reverses [`start_speculative`](Self::start_speculative) when the
+    /// duplicate is cancelled or loses the race.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if no task of `kind` is running.
+    pub fn finish_speculative(&mut self, job: JobId, kind: SlotKind) {
+        let j = self.job_mut(job);
+        match kind {
+            SlotKind::Map => {
+                debug_assert!(j.running_maps > 0);
+                j.running_maps -= 1;
+            }
+            SlotKind::Reduce => {
+                debug_assert!(j.running_reduces > 0);
+                j.running_reduces -= 1;
+            }
+        }
+    }
+
+    /// Records a failed task attempt: the task leaves its slot and is
+    /// queued for re-execution.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if no task of `kind` is running.
+    pub fn fail_task(&mut self, job: JobId, kind: SlotKind) {
+        let j = self.job_mut(job);
+        match kind {
+            SlotKind::Map => {
+                debug_assert!(j.running_maps > 0);
+                j.running_maps -= 1;
+                j.pending_maps += 1;
+                j.retried_maps += 1;
+            }
+            SlotKind::Reduce => {
+                debug_assert!(j.running_reduces > 0);
+                j.running_reduces -= 1;
+                j.pending_reduces += 1;
+                j.retried_reduces += 1;
+            }
+        }
+    }
+
+    /// Records a task completion; returns true when the whole job finished.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if no task of `kind` is running.
+    pub fn finish_task(&mut self, job: JobId, kind: SlotKind, now: SimTime) -> bool {
+        let job_done = {
+            let j = self.job_mut(job);
+            match kind {
+                SlotKind::Map => {
+                    debug_assert!(j.running_maps > 0);
+                    j.running_maps -= 1;
+                    j.completed_maps += 1;
+                }
+                SlotKind::Reduce => {
+                    debug_assert!(j.running_reduces > 0);
+                    j.running_reduces -= 1;
+                    j.completed_reduces += 1;
+                }
+            }
+            let done = j.maps_done()
+                && j.pending_reduces == 0
+                && j.running_reduces == 0
+                && j.phase == JobPhase::Active;
+            if done {
+                j.phase = JobPhase::Complete;
+                j.completed_at = Some(now);
+            }
+            done
+        };
+        if job_done {
+            self.jobs_completed += 1;
+            if self.is_complete() {
+                self.finished_at = Some(now);
+            }
+        }
+        job_done
+    }
+}
+
+/// All workflows known to the JobTracker, indexed by [`WorkflowId`].
+///
+/// Ids are assigned densely in submission order, so `WorkflowId::as_u64()`
+/// indexes into the pool.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowPool {
+    workflows: Vec<WorkflowState>,
+}
+
+impl WorkflowPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        WorkflowPool::default()
+    }
+
+    /// Registers a workflow, returning its new id. Called by the driver on
+    /// workflow arrival; public for custom drivers and tests.
+    pub fn register(&mut self, spec: WorkflowSpec) -> WorkflowId {
+        let id = WorkflowId::new(self.workflows.len() as u64);
+        self.workflows.push(WorkflowState::new(id, spec));
+        id
+    }
+
+    /// The workflow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this pool.
+    pub fn workflow(&self, id: WorkflowId) -> &WorkflowState {
+        &self.workflows[id.as_u64() as usize]
+    }
+
+    /// Mutable access to a workflow's runtime state (drivers only;
+    /// schedulers receive `&WorkflowPool`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this pool.
+    pub fn workflow_mut(&mut self, id: WorkflowId) -> &mut WorkflowState {
+        &mut self.workflows[id.as_u64() as usize]
+    }
+
+    /// All registered workflows in submission order.
+    pub fn workflows(&self) -> &[WorkflowState] {
+        &self.workflows
+    }
+
+    /// Ids of workflows that have been submitted but not completed.
+    pub fn incomplete(&self) -> impl Iterator<Item = WorkflowId> + '_ {
+        self.workflows
+            .iter()
+            .filter(|w| !w.is_complete())
+            .map(WorkflowState::id)
+    }
+
+    /// Whether the given job may be assigned a task of `kind` right now.
+    /// The driver enforces this regardless of what a scheduler returns.
+    pub fn eligible(&self, wf: WorkflowId, job: JobId, kind: SlotKind) -> bool {
+        self.workflow(wf).job(job).eligible_tasks(kind) > 0
+    }
+
+    /// Number of registered workflows.
+    pub fn len(&self) -> usize {
+        self.workflows.len()
+    }
+
+    /// Whether no workflows are registered.
+    pub fn is_empty(&self) -> bool {
+        self.workflows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woha_model::{JobSpec, SimDuration, WorkflowBuilder};
+
+    fn two_job_spec() -> WorkflowSpec {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add_job(JobSpec::new(
+            "a",
+            2,
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        ));
+        let z = b.add_job(JobSpec::new(
+            "z",
+            1,
+            0,
+            SimDuration::from_secs(5),
+            SimDuration::ZERO,
+        ));
+        b.add_dependency(a, z);
+        b.build().unwrap()
+    }
+
+    fn pool_with_one() -> (WorkflowPool, WorkflowId) {
+        let mut pool = WorkflowPool::new();
+        let id = pool.register(two_job_spec());
+        (pool, id)
+    }
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut pool = WorkflowPool::new();
+        assert!(pool.is_empty());
+        let a = pool.register(two_job_spec());
+        let b = pool.register(two_job_spec());
+        assert_eq!(a, WorkflowId::new(0));
+        assert_eq!(b, WorkflowId::new(1));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn job_lifecycle() {
+        let (mut pool, id) = pool_with_one();
+        let j0 = JobId::new(0);
+        let j1 = JobId::new(1);
+        let t = SimTime::from_secs(1);
+
+        // Initially blocked.
+        assert_eq!(pool.workflow(id).job(j0).phase(), JobPhase::Blocked);
+        assert!(!pool.eligible(id, j0, SlotKind::Map));
+
+        // Activate j0.
+        pool.workflow_mut(id).begin_submitting(j0);
+        pool.workflow_mut(id).activate(j0, t);
+        assert_eq!(pool.workflow(id).job(j0).phase(), JobPhase::Active);
+        assert!(pool.eligible(id, j0, SlotKind::Map));
+        // Reduces not eligible while maps pending.
+        assert!(!pool.eligible(id, j0, SlotKind::Reduce));
+
+        // Run both maps.
+        pool.workflow_mut(id).start_task(j0, SlotKind::Map);
+        pool.workflow_mut(id).start_task(j0, SlotKind::Map);
+        assert_eq!(pool.workflow(id).job(j0).running_maps(), 2);
+        assert!(!pool.eligible(id, j0, SlotKind::Map));
+        assert!(!pool.workflow_mut(id).finish_task(j0, SlotKind::Map, t));
+        // One map still running: reduces stay ineligible.
+        assert!(!pool.eligible(id, j0, SlotKind::Reduce));
+        assert!(!pool.workflow_mut(id).finish_task(j0, SlotKind::Map, t));
+        // All maps done: reduce eligible now.
+        assert!(pool.eligible(id, j0, SlotKind::Reduce));
+
+        // Run the reduce; job completes.
+        pool.workflow_mut(id).start_task(j0, SlotKind::Reduce);
+        let done = pool.workflow_mut(id).finish_task(j0, SlotKind::Reduce, SimTime::from_secs(30));
+        assert!(done);
+        assert_eq!(pool.workflow(id).job(j0).phase(), JobPhase::Complete);
+        assert_eq!(
+            pool.workflow(id).job(j0).completed_at(),
+            Some(SimTime::from_secs(30))
+        );
+        assert_eq!(pool.workflow(id).jobs_completed(), 1);
+        assert!(!pool.workflow(id).is_complete());
+
+        // Unblock and run j1 (map-only).
+        assert!(pool.workflow_mut(id).satisfy_prereq(j1));
+        pool.workflow_mut(id).begin_submitting(j1);
+        pool.workflow_mut(id).activate(j1, SimTime::from_secs(31));
+        pool.workflow_mut(id).start_task(j1, SlotKind::Map);
+        let done = pool.workflow_mut(id).finish_task(j1, SlotKind::Map, SimTime::from_secs(40));
+        assert!(done);
+        assert!(pool.workflow(id).is_complete());
+        assert_eq!(pool.workflow(id).finished_at(), Some(SimTime::from_secs(40)));
+        assert_eq!(pool.workflow(id).tasks_scheduled(), 4);
+        assert_eq!(pool.incomplete().count(), 0);
+    }
+
+    #[test]
+    fn eligible_counts() {
+        let (mut pool, id) = pool_with_one();
+        let j0 = JobId::new(0);
+        pool.workflow_mut(id).begin_submitting(j0);
+        pool.workflow_mut(id).activate(j0, SimTime::ZERO);
+        let w = pool.workflow(id);
+        assert_eq!(w.eligible_tasks(SlotKind::Map), 2);
+        assert_eq!(w.eligible_tasks(SlotKind::Reduce), 0);
+        assert!(w.has_eligible_task(SlotKind::Map));
+        assert_eq!(w.active_jobs().collect::<Vec<_>>(), vec![j0]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Sampling distributions for synthetic workload generation.
+//!
+//! The Yahoo! trace statistics the paper publishes (Fig 5 and Fig 6) are
+//! heavy-tailed: task durations span three decades and task counts four.
+//! [`LogNormal`] and [`BoundedPareto`] reproduce those shapes;
+//! [`Discrete`] draws from explicit weighted choices.
+
+use crate::rng::Rng;
+
+/// A distribution over `f64` that can be sampled with a [`Rng`].
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// A log-normal distribution, parameterized by the **median** and the
+/// shape `sigma` (standard deviation of the underlying normal).
+///
+/// `median = e^mu`, so `LogNormal::from_median(60.0, 1.0)` produces samples
+/// whose logarithms are normal around `ln 60`. This parameterization maps
+/// directly onto "most mappers finish between 10 s and 100 s".
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::{Distribution, LogNormal, Rng};
+/// let d = LogNormal::from_median(60.0, 0.8);
+/// let x = d.sample(&mut Rng::new(1));
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given `mu`/`sigma` of the underlying
+    /// normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && mu.is_finite() && sigma.is_finite(), "bad parameters");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given median (`e^mu`) and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// The distribution's median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.next_standard_normal()).exp()
+    }
+}
+
+/// A Pareto (power-law) distribution truncated to `[lo, hi]`, sampled by
+/// inverse transform. Smaller `alpha` means a heavier tail.
+///
+/// Used for task counts: "about 30 % of jobs have more than 100 mappers"
+/// while the median job is small — a classic bounded power law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `lo >= hi`, or `alpha <= 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo > 0.0 && lo < hi && alpha > 0.0, "bad parameters");
+        BoundedPareto { lo, hi, alpha }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF of the bounded Pareto.
+        let u = rng.next_f64();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+/// A discrete distribution over weighted `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::{Discrete, Distribution, Rng};
+/// // 1 reducer 70% of the time, 10 reducers 30%.
+/// let d = Discrete::new(vec![(1.0, 0.7), (10.0, 0.3)]);
+/// let x = d.sample(&mut Rng::new(1));
+/// assert!(x == 1.0 || x == 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    values: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates a discrete distribution from `(value, weight)` pairs.
+    /// Weights need not sum to 1; they are normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty, any weight is negative, or all weights
+    /// are zero.
+    pub fn new(choices: Vec<(f64, f64)>) -> Self {
+        assert!(!choices.is_empty(), "no choices");
+        let total: f64 = choices.iter().map(|&(_, w)| w).sum();
+        assert!(
+            total > 0.0 && choices.iter().all(|&(_, w)| w >= 0.0),
+            "weights must be non-negative and not all zero"
+        );
+        let mut values = Vec::with_capacity(choices.len());
+        let mut cumulative = Vec::with_capacity(choices.len());
+        let mut acc = 0.0;
+        for (v, w) in choices {
+            acc += w / total;
+            values.push(v);
+            cumulative.push(acc);
+        }
+        // Guard against floating-point undersum.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Discrete { values, cumulative }
+    }
+}
+
+impl Distribution for Discrete {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.values.len() - 1);
+        self.values[idx]
+    }
+}
+
+/// A mixture of two distributions: draw from `first` with probability `p`,
+/// otherwise from `second`. Used to compose "body + heavy tail" shapes.
+#[derive(Debug, Clone)]
+pub struct Mixture<A, B> {
+    first: A,
+    second: B,
+    p: f64,
+}
+
+impl<A: Distribution, B: Distribution> Mixture<A, B> {
+    /// Creates a mixture drawing from `first` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(first: A, second: B, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Mixture { first, second, p }
+    }
+}
+
+impl<A: Distribution, B: Distribution> Distribution for Mixture<A, B> {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        if rng.gen_bool(self.p) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+}
+
+/// Clamps another distribution's samples into `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct Clamped<D> {
+    inner: D,
+    lo: f64,
+    hi: f64,
+}
+
+impl<D: Distribution> Clamped<D> {
+    /// Wraps `inner`, clamping samples to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(inner: D, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "lo must not exceed hi");
+        Clamped { inner, lo, hi }
+    }
+}
+
+impl<D: Distribution> Distribution for Clamped<D> {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    fn sorted_samples<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        let mut s = d.sample_n(&mut rng, n);
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let s = sorted_samples(&Uniform::new(10.0, 20.0), 50_000, 1);
+        assert!(s[0] >= 10.0 && *s.last().unwrap() < 20.0);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 15.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::from_median(60.0, 1.0);
+        assert!((d.median() - 60.0).abs() < 1e-9);
+        let s = sorted_samples(&d, 50_000, 2);
+        let med = percentile(&s, 0.5);
+        assert!((med - 60.0).abs() / 60.0 < 0.05, "median {med}");
+        assert!(s[0] > 0.0);
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::from_median(42.0, 0.0);
+        let s = sorted_samples(&d, 100, 3);
+        for x in s {
+            assert!((x - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1.0, 3_000.0, 0.6);
+        let s = sorted_samples(&d, 50_000, 4);
+        assert!(s[0] >= 1.0);
+        assert!(*s.last().unwrap() <= 3_000.0);
+        // Heavy tail: the 99th percentile should be far above the median.
+        let med = percentile(&s, 0.5);
+        let p99 = percentile(&s, 0.99);
+        assert!(p99 / med > 20.0, "median {med}, p99 {p99}");
+    }
+
+    #[test]
+    fn pareto_alpha_controls_tail() {
+        let light = sorted_samples(&BoundedPareto::new(1.0, 1_000.0, 2.0), 50_000, 5);
+        let heavy = sorted_samples(&BoundedPareto::new(1.0, 1_000.0, 0.3), 50_000, 5);
+        assert!(percentile(&heavy, 0.9) > percentile(&light, 0.9));
+    }
+
+    #[test]
+    fn discrete_frequencies() {
+        let d = Discrete::new(vec![(1.0, 3.0), (2.0, 1.0)]);
+        let s = sorted_samples(&d, 40_000, 6);
+        let ones = s.iter().filter(|&&x| x == 1.0).count();
+        assert!((28_000..32_000).contains(&ones), "ones {ones}");
+        assert!(s.iter().all(|&x| x == 1.0 || x == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no choices")]
+    fn discrete_empty_panics() {
+        Discrete::new(vec![]);
+    }
+
+    #[test]
+    fn mixture_blends() {
+        let d = Mixture::new(Uniform::new(0.0, 1.0), Uniform::new(10.0, 11.0), 0.5);
+        let s = sorted_samples(&d, 20_000, 7);
+        let low = s.iter().filter(|&&x| x < 5.0).count();
+        assert!((9_000..11_000).contains(&low), "low {low}");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let d = Clamped::new(LogNormal::from_median(50.0, 2.0), 10.0, 100.0);
+        let s = sorted_samples(&d, 10_000, 8);
+        assert!(s[0] >= 10.0);
+        assert!(*s.last().unwrap() <= 100.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic workload and trace generation for the WOHA reproduction.
+//!
+//! The paper's evaluation mixes a hand-built demonstration topology (Fig 7)
+//! with a proprietary Yahoo! WebScope trace. This crate regenerates both:
+//! deterministic, seedable distributions calibrated to the published trace
+//! statistics, topology generators, and workload assembly (release times
+//! and deadline rules).
+//!
+//! # Quick example
+//!
+//! ```
+//! use woha_trace::{Rng, yahoo::{yahoo_workflows, YahooTraceConfig}};
+//! use woha_trace::workload::{DeadlineRule, ReleasePattern, Workload};
+//! use woha_model::SimDuration;
+//!
+//! let mut rng = Rng::new(42);
+//! let flows = yahoo_workflows(&YahooTraceConfig::default(), &mut rng);
+//! let workload = Workload::assign(
+//!     &flows,
+//!     ReleasePattern::UniformWindow(SimDuration::from_mins(10)),
+//!     DeadlineRule::Stretch { min: 1.5, max: 3.0, reference_slots: 240 },
+//!     &mut rng,
+//! ).without_single_jobs();
+//! assert_eq!(workload.len(), 46);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod workload;
+pub mod yahoo;
+
+pub use dist::{BoundedPareto, Clamped, Discrete, Distribution, LogNormal, Mixture, Uniform};
+pub use rng::Rng;
+pub use workload::{DeadlineRule, ReleasePattern, Workload};
+pub use yahoo::YahooTraceConfig;

@@ -1,0 +1,260 @@
+//! A small deterministic PRNG for workload generation.
+//!
+//! Every experiment in this workspace must be exactly reproducible from a
+//! seed, across platforms and across runs, so workload generation uses this
+//! self-contained generator (splitmix64-seeded xoshiro256**) rather than a
+//! thread-local or OS-seeded source. The `rand` crate is only used in
+//! benches and tests where reproducibility does not matter.
+
+/// A seedable, deterministic random number generator (xoshiro256**).
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.range_f64(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the xoshiro state, per the
+        // reference implementation's seeding recommendation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent generator for a named substream. Forking lets
+    /// one experiment seed draw independent streams for, say, topology shape
+    /// and task durations, so adding draws to one stream does not perturb
+    /// the other.
+    pub fn fork(&self, stream: u64) -> Rng {
+        let mut child = Rng::new(self.state[0] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        // Decorrelate from the parent further by mixing in the rest of the state.
+        child.state[1] ^= self.state[1];
+        child.state[2] ^= self.state[2].rotate_left(17);
+        child.state[3] ^= self.state[3].rotate_left(43);
+        child
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → uniform in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping is fine here: workload
+        // generation does not need perfectly unbiased sampling, but we use
+        // Lemire-style widening multiply to keep bias below 2^-64 anyway.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A standard normal variate (Box–Muller).
+    pub fn next_standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniformly shuffles a slice (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        let values: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(values.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let root = Rng::new(99);
+        let mut a1 = root.fork(1);
+        let mut a2 = root.fork(1);
+        let mut b = root.fork(2);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Rng::new(5);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = Rng::new(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.range_usize(0, 10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = Rng::new(13);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = Rng::new(17);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut r = Rng::new(23);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items)));
+        }
+    }
+}

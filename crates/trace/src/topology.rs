@@ -1,0 +1,344 @@
+//! Workflow topology generators.
+//!
+//! These produce [`WorkflowBuilder`]s (so callers still choose submission
+//! times and deadlines) for the standard shapes used in the paper's
+//! evaluation and in tests: chains, fork-joins, diamonds, the 33-job demo
+//! topology of Fig 7, and random layered DAGs for the Yahoo-like workload.
+
+use crate::rng::Rng;
+use woha_model::{JobId, JobSpec, SimDuration, WorkflowBuilder};
+
+/// A linear chain `j0 -> j1 -> ... -> j(n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::topology::chain;
+/// use woha_model::{JobSpec, SimDuration};
+/// let b = chain("c", 3, |i| JobSpec::new(format!("j{i}"), 2, 1,
+///     SimDuration::from_secs(10), SimDuration::from_secs(20)));
+/// let w = b.build().unwrap();
+/// assert_eq!(w.job_count(), 3);
+/// assert_eq!(w.levels(), vec![2, 1, 0]);
+/// ```
+pub fn chain(
+    name: impl Into<String>,
+    n: usize,
+    mut make_job: impl FnMut(usize) -> JobSpec,
+) -> WorkflowBuilder {
+    assert!(n > 0, "chain needs at least one job");
+    let mut b = WorkflowBuilder::new(name);
+    let mut prev: Option<JobId> = None;
+    for i in 0..n {
+        let id = b.add_job(make_job(i));
+        if let Some(p) = prev {
+            b.add_dependency(p, id);
+        }
+        prev = Some(id);
+    }
+    b
+}
+
+/// A fork-join: one source, `width` parallel middle jobs, one sink.
+///
+/// # Panics
+///
+/// Panics if `width == 0`. Job indices passed to `make_job` are `0` for the
+/// source, `1..=width` for the middle jobs, and `width + 1` for the sink.
+pub fn fork_join(
+    name: impl Into<String>,
+    width: usize,
+    mut make_job: impl FnMut(usize) -> JobSpec,
+) -> WorkflowBuilder {
+    assert!(width > 0, "fork-join needs at least one middle job");
+    let mut b = WorkflowBuilder::new(name);
+    let source = b.add_job(make_job(0));
+    let middles: Vec<JobId> = (0..width).map(|i| b.add_job(make_job(i + 1))).collect();
+    let sink = b.add_job(make_job(width + 1));
+    for &m in &middles {
+        b.add_dependency(source, m);
+        b.add_dependency(m, sink);
+    }
+    b
+}
+
+/// The four-job diamond `a -> {b, c} -> d`.
+pub fn diamond(
+    name: impl Into<String>,
+    mut make_job: impl FnMut(usize) -> JobSpec,
+) -> WorkflowBuilder {
+    fork_join(name, 2, &mut make_job)
+}
+
+/// A layered DAG: `widths[l]` jobs on layer `l`, every job on layer `l > 0`
+/// depending on 1–2 jobs of layer `l-1` chosen by a deterministic spread, so
+/// the DAG is connected and reproducible.
+///
+/// # Panics
+///
+/// Panics if `widths` is empty or contains a zero.
+pub fn layered(
+    name: impl Into<String>,
+    widths: &[usize],
+    mut make_job: impl FnMut(usize, usize, usize) -> JobSpec,
+) -> WorkflowBuilder {
+    assert!(!widths.is_empty(), "need at least one layer");
+    assert!(widths.iter().all(|&w| w > 0), "layer widths must be positive");
+    let mut b = WorkflowBuilder::new(name);
+    let mut index = 0usize;
+    let mut prev_layer: Vec<JobId> = Vec::new();
+    for (layer, &width) in widths.iter().enumerate() {
+        let mut this_layer = Vec::with_capacity(width);
+        for slot in 0..width {
+            let id = b.add_job(make_job(index, layer, slot));
+            index += 1;
+            if layer > 0 {
+                let prev_width = prev_layer.len();
+                // Spread dependencies evenly across the previous layer.
+                let primary = slot * prev_width / width;
+                b.add_dependency(prev_layer[primary], id);
+                // A second edge when the shapes allow, to create joins.
+                let secondary = (primary + 1) % prev_width;
+                if secondary != primary && (slot + layer) % 2 == 0 {
+                    b.add_dependency(prev_layer[secondary], id);
+                }
+            }
+            this_layer.push(id);
+        }
+        prev_layer = this_layer;
+    }
+    b
+}
+
+/// The per-level job templates of the Fig 7 demo topology.
+///
+/// The paper shows a 33-job tree-like DAG without publishing task counts;
+/// these templates are calibrated so that one workflow alone on the paper's
+/// 32-slave cluster (64 map + 32 reduce slots) finishes comfortably within
+/// the tightest 60-minute relative deadline, while three concurrent
+/// instances under fair sharing do not — the regime Figs 11–19 exercise.
+fn fig7_job(level: usize, slot: usize) -> JobSpec {
+    let name = format!("L{level}-{slot}");
+    match level {
+        // A wide ingestion job: needs many slots at once early.
+        0 => JobSpec::new(
+            name,
+            48,
+            20,
+            SimDuration::from_secs(150),
+            SimDuration::from_secs(300),
+        ),
+        // Fan-out extraction jobs.
+        1 => JobSpec::new(
+            name,
+            24,
+            6,
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(240),
+        ),
+        // Wide middle layers of modest jobs: the bulk of the workflow's
+        // work, with real reduce phases contending for the scarce reduce
+        // slots (1 per slave).
+        2 | 3 => JobSpec::new(
+            name,
+            18,
+            6,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(200),
+        ),
+        // Narrowing aggregation.
+        4 => JobSpec::new(
+            name,
+            12,
+            4,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(250),
+        ),
+        // Small jobs that unlock the tail.
+        5 => JobSpec::new(
+            name,
+            4,
+            2,
+            SimDuration::from_secs(80),
+            SimDuration::from_secs(220),
+        ),
+        // Final long-running report jobs: little parallelism, long chain.
+        _ => JobSpec::new(
+            name,
+            3,
+            1,
+            SimDuration::from_secs(150),
+            SimDuration::from_secs(450),
+        ),
+    }
+}
+
+/// The 33-job demonstration workflow topology of the paper's Fig 7.
+///
+/// Layer widths `[1, 3, 6, 9, 8, 4, 2]` (33 jobs) connected as a layered
+/// DAG. Callers set the submission time and deadline, matching the Fig 11
+/// scenario of three instances released 5 minutes apart.
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::topology::paper_fig7;
+/// use woha_model::{SimDuration, SimTime};
+/// let w = paper_fig7("W-1")
+///     .submit_at(SimTime::ZERO)
+///     .relative_deadline(SimDuration::from_mins(80))
+///     .build()
+///     .unwrap();
+/// assert_eq!(w.job_count(), 33);
+/// ```
+pub fn paper_fig7(name: impl Into<String>) -> WorkflowBuilder {
+    layered(name, &[1, 3, 6, 9, 8, 4, 2], |_, level, slot| {
+        fig7_job(level, slot)
+    })
+}
+
+/// A random layered DAG with `job_count` jobs, for the Yahoo-like workload.
+///
+/// The layer structure is drawn from `rng`: the workflow gets between 2 and
+/// `max(2, job_count)` layers with random widths summing to `job_count`.
+/// Jobs are produced by `make_job(index)`.
+///
+/// # Panics
+///
+/// Panics if `job_count < 2` (single-job workflows carry no topology; build
+/// those directly).
+pub fn random_layered(
+    name: impl Into<String>,
+    job_count: usize,
+    rng: &mut Rng,
+    mut make_job: impl FnMut(usize) -> JobSpec,
+) -> WorkflowBuilder {
+    assert!(job_count >= 2, "random_layered needs at least two jobs");
+    // Choose the number of layers: between 2 and job_count, biased small.
+    let max_layers = job_count.min(6);
+    let layers = rng.range_usize(2, max_layers + 1);
+    // Distribute jobs over layers: start with one per layer, then scatter
+    // the remainder.
+    let mut widths = vec![1usize; layers];
+    for _ in 0..(job_count - layers) {
+        let l = rng.range_usize(0, layers);
+        widths[l] += 1;
+    }
+    layered(name, &widths, |index, _, _| make_job(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woha_model::SimTime;
+
+    fn tiny_job(i: usize) -> JobSpec {
+        JobSpec::new(
+            format!("j{i}"),
+            1 + (i as u32 % 3),
+            i as u32 % 2,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        )
+    }
+
+    #[test]
+    fn chain_structure() {
+        let w = chain("c", 5, tiny_job).build().unwrap();
+        assert_eq!(w.job_count(), 5);
+        assert_eq!(w.initially_ready(), vec![JobId::new(0)]);
+        assert_eq!(w.levels(), vec![4, 3, 2, 1, 0]);
+        for i in 1..5 {
+            assert_eq!(w.prerequisites(JobId::new(i)), &[JobId::new(i - 1)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn chain_rejects_zero() {
+        chain("c", 0, tiny_job);
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let w = fork_join("f", 4, tiny_job).build().unwrap();
+        assert_eq!(w.job_count(), 6);
+        let sink = JobId::new(5);
+        assert_eq!(w.prerequisites(sink).len(), 4);
+        assert_eq!(w.dependents(JobId::new(0)).len(), 4);
+        assert_eq!(w.levels()[0], 2);
+    }
+
+    #[test]
+    fn diamond_is_fork_join_2() {
+        let w = diamond("d", tiny_job).build().unwrap();
+        assert_eq!(w.job_count(), 4);
+        assert_eq!(w.levels(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn layered_is_connected_and_acyclic() {
+        let w = layered("l", &[2, 3, 2], |i, _, _| tiny_job(i)).build().unwrap();
+        assert_eq!(w.job_count(), 7);
+        // Every non-source job has at least one prerequisite.
+        let sources = w.initially_ready();
+        for j in w.job_ids() {
+            if !sources.contains(&j) {
+                assert!(!w.prerequisites(j).is_empty());
+            }
+        }
+        // Sources are exactly layer 0.
+        assert_eq!(sources, vec![JobId::new(0), JobId::new(1)]);
+    }
+
+    #[test]
+    fn fig7_shape() {
+        let w = paper_fig7("w")
+            .submit_at(SimTime::ZERO)
+            .relative_deadline(SimDuration::from_mins(80))
+            .build()
+            .unwrap();
+        assert_eq!(w.job_count(), 33);
+        assert_eq!(w.initially_ready().len(), 1);
+        // Level structure has 7 layers (HLF level of the source is 6).
+        assert_eq!(w.levels()[0], 6);
+        // The workflow is non-trivial but executable well within 60 min on
+        // a dedicated 64-map/32-reduce cluster: its critical path must be
+        // far below the tightest deadline.
+        assert!(w.critical_path() < SimDuration::from_mins(45));
+        // But it must carry real work: more than 30 cluster-minutes total.
+        assert!(w.total_work() > SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn fig7_instances_are_identical_topologies() {
+        let a = paper_fig7("a").build().unwrap();
+        let b = paper_fig7("b").build().unwrap();
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.to_dag(), b.to_dag());
+    }
+
+    #[test]
+    fn random_layered_deterministic_per_seed() {
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(5);
+        let a = random_layered("a", 8, &mut r1, tiny_job).build().unwrap();
+        let b = random_layered("b", 8, &mut r2, tiny_job).build().unwrap();
+        assert_eq!(a.to_dag(), b.to_dag());
+        assert_eq!(a.job_count(), 8);
+    }
+
+    #[test]
+    fn random_layered_respects_job_count() {
+        let mut rng = Rng::new(9);
+        for n in 2..20 {
+            let w = random_layered("w", n, &mut rng, tiny_job).build().unwrap();
+            assert_eq!(w.job_count(), n);
+            assert!(w.to_dag().is_acyclic());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: build a deadline-bound workflow, run it on a simulated
+//! Hadoop cluster under WOHA, and inspect the outcome.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use woha::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    // 1. Describe a workflow: a three-stage nightly ETL pipeline with a
+    //    30-minute deadline.
+    let mut builder = WorkflowBuilder::new("nightly-etl");
+    let extract = builder.add_job(JobSpec::new(
+        "extract",
+        16, // mappers
+        4,  // reducers
+        SimDuration::from_secs(40),
+        SimDuration::from_secs(90),
+    ));
+    let transform = builder.add_job(JobSpec::new(
+        "transform",
+        8,
+        2,
+        SimDuration::from_secs(30),
+        SimDuration::from_secs(60),
+    ));
+    let load = builder.add_job(JobSpec::new(
+        "load",
+        4,
+        1,
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(120),
+    ));
+    builder.add_dependency(extract, transform);
+    builder.add_dependency(transform, load);
+    builder.relative_deadline(SimDuration::from_mins(30));
+    let workflow = builder.build()?;
+
+    println!("{workflow}");
+    println!("critical path: {}", workflow.critical_path());
+    println!("total work:    {}", workflow.total_work());
+
+    // 2. Generate the client-side scheduling plan the WOHA client would
+    //    ship to the JobTracker, and look at it.
+    let cluster = ClusterConfig::uniform(8, 2, 1); // 8 slaves: 16 map + 8 reduce slots
+    let total_slots = 24;
+    let priorities = JobPriorities::compute(&workflow, PriorityPolicy::Lpf);
+    let plan = generate_plan(&workflow, &priorities, total_slots, CapMode::MinFeasible);
+    println!(
+        "\nscheduling plan: cap {} slots, span {}, {} requirement entries, {} bytes encoded",
+        plan.resource_cap(),
+        plan.span(),
+        plan.requirements().len(),
+        plan.encoded_size_bytes(),
+    );
+
+    // 3. Run the workflow under the WOHA scheduler.
+    let mut scheduler = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, total_slots));
+    let report = run_simulation(
+        &[workflow],
+        &mut scheduler,
+        &cluster,
+        &SimConfig::default(),
+    );
+
+    // 4. Inspect the outcome.
+    let outcome = &report.outcomes[0];
+    println!(
+        "\nfinished at {} (deadline {}) — {}",
+        outcome.finished.expect("workflow completes"),
+        outcome.deadline,
+        if outcome.met_deadline() {
+            "deadline met"
+        } else {
+            "deadline MISSED"
+        }
+    );
+    println!(
+        "cluster utilization over the run: {:.1}%",
+        report.overall_utilization() * 100.0
+    );
+    assert!(outcome.met_deadline());
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! End-to-end integration tests: workflows built through every front door
+//! (builder, XML, generators) run on the simulated cluster under every
+//! scheduler, with paper-level outcomes checked.
+
+use woha::prelude::*;
+use woha::trace::topology::{self, paper_fig7};
+
+fn demo_cluster() -> ClusterConfig {
+    ClusterConfig::uniform(32, 2, 1)
+}
+
+fn fig11_workflows() -> Vec<WorkflowSpec> {
+    let releases = [0u64, 5, 10];
+    let deadlines = [80u64, 70, 60];
+    releases
+        .iter()
+        .zip(&deadlines)
+        .enumerate()
+        .map(|(i, (&rel, &dl))| {
+            paper_fig7(format!("W-{}", i + 1))
+                .submit_at(SimTime::from_mins(rel))
+                .relative_deadline(SimDuration::from_mins(dl))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn all_schedulers(total_slots: u32) -> Vec<Box<dyn WorkflowScheduler>> {
+    let mut v: Vec<Box<dyn WorkflowScheduler>> = vec![
+        Box::new(EdfScheduler::new()),
+        Box::new(FifoScheduler::new()),
+        Box::new(FairScheduler::new()),
+    ];
+    for policy in [PriorityPolicy::Lpf, PriorityPolicy::Hlf, PriorityPolicy::Mpf] {
+        v.push(Box::new(WohaScheduler::new(WohaConfig::new(
+            policy,
+            total_slots,
+        ))));
+    }
+    v
+}
+
+/// The headline result: on the Fig 11 scenario, every WOHA variant meets
+/// all three deadlines while each ported baseline misses at least one.
+#[test]
+fn fig11_headline_result() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig::default();
+    for mut scheduler in all_schedulers(96) {
+        let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &config);
+        assert!(report.completed, "{}", report.scheduler);
+        assert_eq!(report.invalid_assignments, 0, "{}", report.scheduler);
+        let misses = report.deadline_misses();
+        if report.scheduler.starts_with("WOHA") {
+            assert_eq!(misses, 0, "{} must meet all deadlines", report.scheduler);
+        } else {
+            assert!(misses >= 1, "{} should miss a deadline", report.scheduler);
+        }
+    }
+}
+
+/// Work conservation: whichever scheduler runs, the total executed task
+/// count and per-workflow task accounting are identical.
+#[test]
+fn schedulers_execute_identical_work() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig::default();
+    let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
+    for mut scheduler in all_schedulers(96) {
+        let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &config);
+        assert_eq!(report.tasks_executed, expected, "{}", report.scheduler);
+    }
+}
+
+/// The same run twice is bit-identical (deterministic simulation), and a
+/// different jitter seed changes it.
+#[test]
+fn runs_are_deterministic() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig {
+        duration_jitter: 0.2,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let run = |cfg: &SimConfig| {
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        run_simulation(&workflows, &mut s, &cluster, cfg)
+    };
+    assert_eq!(run(&config), run(&config));
+    let other = SimConfig { seed: 2, ..config };
+    assert_ne!(run(&config).outcomes, run(&other).outcomes);
+}
+
+/// WOHA still meets the Fig 11 deadlines when task durations deviate from
+/// the estimates by ±15% (the plan is "just a rough estimation").
+#[test]
+fn woha_tolerates_estimation_error() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    for seed in 1..=3 {
+        let config = SimConfig {
+            duration_jitter: 0.15,
+            seed,
+            ..SimConfig::default()
+        };
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let report = run_simulation(&workflows, &mut s, &cluster, &config);
+        assert!(
+            report.deadline_misses() <= 1,
+            "seed {seed}: {:?}",
+            report.workspans()
+        );
+    }
+}
+
+/// An XML-configured workflow runs end to end and meets its deadline.
+#[test]
+fn xml_workflow_end_to_end() {
+    let xml = r#"
+    <workflow name="it" deadline="20m">
+      <job name="a" mappers="8" reducers="2" map-duration="30s" reduce-duration="60s">
+        <output path="/t/a"/>
+      </job>
+      <job name="b" mappers="4" reducers="1" map-duration="20s" reduce-duration="90s">
+        <input path="/t/a"/>
+        <output path="/t/b"/>
+      </job>
+    </workflow>"#;
+    let spec = WorkflowConfig::parse(xml)
+        .unwrap()
+        .to_spec(SimTime::ZERO)
+        .unwrap();
+    let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Hlf, 12));
+    let report = run_simulation(
+        &[spec],
+        &mut s,
+        &ClusterConfig::uniform(4, 2, 1),
+        &SimConfig::default(),
+    );
+    assert!(report.completed);
+    assert_eq!(report.deadline_misses(), 0);
+}
+
+/// A workflow whose deadline is impossible is still completed (best
+/// effort), just late.
+#[test]
+fn impossible_deadline_is_best_effort() {
+    let mut b = WorkflowBuilder::new("doomed");
+    b.add_job(JobSpec::new(
+        "long",
+        4,
+        2,
+        SimDuration::from_mins(10),
+        SimDuration::from_mins(10),
+    ));
+    b.relative_deadline(SimDuration::from_secs(30));
+    let w = b.build().unwrap();
+    let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 6));
+    let report = run_simulation(
+        &[w],
+        &mut s,
+        &ClusterConfig::uniform(2, 2, 1),
+        &SimConfig::default(),
+    );
+    assert!(report.completed);
+    assert_eq!(report.deadline_misses(), 1);
+    assert!(report.max_tardiness() > SimDuration::from_mins(15));
+}
+
+/// Generated topologies of every shape run to completion under every
+/// scheduler on a small cluster.
+#[test]
+fn generated_topologies_run_everywhere() {
+    let job = |i: usize| {
+        JobSpec::new(
+            format!("j{i}"),
+            3,
+            1,
+            SimDuration::from_secs(15),
+            SimDuration::from_secs(25),
+        )
+    };
+    let mut rng = Rng::new(11);
+    let mut workflows = vec![
+        topology::chain("chain", 5, job).build().unwrap(),
+        topology::fork_join("fj", 4, job).build().unwrap(),
+        topology::diamond("dia", job).build().unwrap(),
+        topology::random_layered("rnd", 9, &mut rng, job)
+            .build()
+            .unwrap(),
+    ];
+    for (i, w) in workflows.iter_mut().enumerate() {
+        *w = w.reissued(
+            w.name().to_string(),
+            SimTime::from_secs(10 * i as u64),
+            SimTime::from_mins(60),
+        );
+    }
+    let cluster = ClusterConfig::uniform(3, 2, 1);
+    for mut scheduler in all_schedulers(9) {
+        let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &SimConfig::default());
+        assert!(report.completed, "{}", report.scheduler);
+        assert_eq!(report.deadline_misses(), 0, "{}", report.scheduler);
+    }
+}
+
+/// The Yahoo-like workload runs to completion on a trace-scale cluster
+/// under every scheduler, and WOHA's mean miss ratio beats FIFO's.
+#[test]
+fn yahoo_workload_end_to_end() {
+    let mut rng = Rng::new(99);
+    let flows = yahoo_workflows(
+        &YahooTraceConfig {
+            map_count_max: 150,
+            reduce_count_max: 30,
+            ..YahooTraceConfig::default()
+        },
+        &mut rng,
+    );
+    let workload = Workload::assign(
+        &flows,
+        ReleasePattern::UniformWindow(SimDuration::from_mins(12)),
+        DeadlineRule::UniformRelative {
+            min: SimDuration::from_mins(3),
+            max: SimDuration::from_mins(12),
+            floor_stretch: 1.2,
+            reference_slots: 100,
+        },
+        &mut rng,
+    )
+    .without_single_jobs();
+    let cluster = ClusterConfig::with_totals(240, 240);
+    let config = SimConfig::default();
+
+    let mut fifo = FifoScheduler::new();
+    let fifo_report = run_simulation(workload.workflows(), &mut fifo, &cluster, &config);
+    let mut woha = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 480));
+    let woha_report = run_simulation(workload.workflows(), &mut woha, &cluster, &config);
+
+    assert!(fifo_report.completed && woha_report.completed);
+    assert!(
+        woha_report.miss_ratio() <= fifo_report.miss_ratio(),
+        "woha {:.2} vs fifo {:.2}",
+        woha_report.miss_ratio(),
+        fifo_report.miss_ratio()
+    );
+}

@@ -1,0 +1,161 @@
+//! Cross-crate property-based invariants: the scheduling plan generator,
+//! the simulator, and the schedulers agree on the laws listed in
+//! DESIGN.md §6.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use woha::prelude::*;
+
+/// An arbitrary small workflow: forward-edge layered DAG, 2–8 jobs.
+fn arb_workflow() -> impl Strategy<Value = WorkflowSpec> {
+    (
+        2usize..8,
+        vec((0usize..8, 0usize..8), 0..12),
+        vec((1u32..6, 0u32..3, 5u64..60, 5u64..120), 8),
+        60u64..240,
+    )
+        .prop_map(|(n, edges, jobs, deadline_mins)| {
+            let mut b = WorkflowBuilder::new("prop");
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let (m, r, md, rd) = jobs[i];
+                    b.add_job(JobSpec::new(
+                        format!("j{i}"),
+                        m,
+                        r,
+                        SimDuration::from_secs(md),
+                        SimDuration::from_secs(rd),
+                    ))
+                })
+                .collect();
+            for (a, z) in edges {
+                let (a, z) = (a % n, z % n);
+                if a < z {
+                    b.add_dependency(ids[a], ids[z]);
+                }
+            }
+            b.relative_deadline(SimDuration::from_mins(deadline_mins));
+            b.build().expect("forward edges are acyclic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plan invariants: total requirement equals the task count, the
+    /// requirement curve is monotone, and span shrinks (weakly) as the cap
+    /// grows.
+    #[test]
+    fn plan_invariants(w in arb_workflow(), cap in 1u32..32) {
+        for policy in [PriorityPolicy::Hlf, PriorityPolicy::Lpf, PriorityPolicy::Mpf] {
+            let pri = JobPriorities::compute(&w, policy);
+            let plan = generate_reqs(&w, &pri, cap);
+            prop_assert_eq!(plan.total_tasks(), w.total_tasks());
+            prop_assert_eq!(
+                plan.requirements().last().map(|r| r.cumulative),
+                Some(w.total_tasks())
+            );
+            // Monotone non-increasing in ttd.
+            let mut last = u64::MAX;
+            for probe in 0..20 {
+                let ttd = SimDuration::from_millis(
+                    plan.span().as_millis() * probe / 19,
+                );
+                let req = plan.required_at(ttd);
+                prop_assert!(req <= last);
+                last = req;
+            }
+            // The plan can never finish faster than the critical path or
+            // than total work on `cap` slots.
+            prop_assert!(plan.span() >= w.critical_path());
+            let work_bound = w.total_work().as_millis() / u64::from(cap);
+            prop_assert!(plan.span().as_millis() >= work_bound);
+            // More slots can occasionally lengthen a list schedule
+            // (Graham's timing anomaly), but never by 2x or more.
+            let bigger = generate_reqs(&w, &pri, cap + 4);
+            prop_assert!(bigger.span().as_millis() < plan.span().as_millis() * 2);
+        }
+    }
+
+    /// The binary-searched cap yields a feasible plan whenever the full
+    /// cluster is feasible (minimality is only up to Graham's timing
+    /// anomaly, which the binary search shares with the paper).
+    #[test]
+    fn min_feasible_cap_is_feasible(w in arb_workflow()) {
+        let pri = JobPriorities::compute(&w, PriorityPolicy::Hlf);
+        let total = 32;
+        let budget = w.relative_deadline();
+        let plan = generate_plan(&w, &pri, total, CapMode::MinFeasible);
+        prop_assert!(plan.resource_cap() >= 1 && plan.resource_cap() <= total);
+        let full = generate_reqs(&w, &pri, total);
+        if full.span() <= budget {
+            prop_assert!(plan.span() <= budget);
+        } else {
+            prop_assert_eq!(plan.resource_cap(), total);
+        }
+    }
+
+    /// Simulator invariants across schedulers: every run completes, no
+    /// invalid assignments, exactly the right number of tasks execute,
+    /// every finish time is after the submission, and reducers never beat
+    /// the workflow's first possible map wave.
+    #[test]
+    fn simulation_invariants(
+        workflows in vec(arb_workflow(), 1..4),
+        seed in 0u64..4,
+    ) {
+        let cluster = ClusterConfig::uniform(3, 2, 1);
+        let config = SimConfig {
+            duration_jitter: 0.1,
+            seed,
+            ..SimConfig::default()
+        };
+        let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
+        let mut schedulers: Vec<Box<dyn WorkflowScheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(FairScheduler::new()),
+            Box::new(EdfScheduler::new()),
+            Box::new(WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 9))),
+        ];
+        for scheduler in &mut schedulers {
+            let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &config);
+            prop_assert!(report.completed, "{}", report.scheduler);
+            prop_assert_eq!(report.invalid_assignments, 0);
+            prop_assert_eq!(report.tasks_executed, expected);
+            for (o, w) in report.outcomes.iter().zip(&workflows) {
+                let finish = o.finished.expect("completed run");
+                prop_assert!(finish > w.submit_time());
+                // No workflow can beat its own critical path (jitter can
+                // shrink durations by at most 10%).
+                let floor = w.critical_path().mul_f64(0.85);
+                prop_assert!(
+                    finish.saturating_since(w.submit_time()) >= floor,
+                    "{} finished impossibly fast", o.name
+                );
+            }
+            // Utilization is a valid fraction.
+            let u = report.overall_utilization();
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// The WOHA queue strategies (DSL, BST) produce byte-identical
+    /// outcomes — they implement the same algorithm.
+    #[test]
+    fn dsl_and_bst_schedules_agree(
+        workflows in vec(arb_workflow(), 1..4),
+    ) {
+        let cluster = ClusterConfig::uniform(3, 2, 1);
+        let config = SimConfig::default();
+        let run = |queue| {
+            let mut s = WohaScheduler::new(WohaConfig {
+                queue,
+                ..WohaConfig::new(PriorityPolicy::Hlf, 9)
+            });
+            run_simulation(&workflows, &mut s, &cluster, &config)
+        };
+        let dsl = run(QueueStrategy::Dsl);
+        let bst = run(QueueStrategy::Bst);
+        prop_assert_eq!(dsl.outcomes, bst.outcomes);
+    }
+}
