@@ -46,14 +46,10 @@ fn bench_assign_task(c: &mut Criterion) {
             if strategy == QueueStrategy::Naive && n > 1_000 {
                 continue; // minutes per sample otherwise
             }
-            group.bench_with_input(
-                BenchmarkId::new(format!("{strategy:?}"), n),
-                &n,
-                |b, &n| {
-                    let mut harness = QueueHarness::new(strategy, n);
-                    b.iter(|| black_box(harness.assign_task()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{strategy:?}"), n), &n, |b, &n| {
+                let mut harness = QueueHarness::new(strategy, n);
+                b.iter(|| black_box(harness.assign_task()));
+            });
         }
     }
     group.finish();

@@ -1,0 +1,41 @@
+//! Node-failure resilience study: sweeps the per-node MTBF over the
+//! Yahoo-like deadline workload (the Figs 8–10 scenario on the middle
+//! cluster) and compares deadline-miss ratio, total tardiness, and
+//! fault-subsystem disruption across EDF, FIFO, Fair and WOHA-LPF.
+
+use woha_bench::experiments::failures::{default_mtbf_points, run_failure_sweep};
+use woha_bench::scenarios::{trace_clusters, yahoo_workload, YahooScenario};
+use woha_model::SimDuration;
+use woha_sim::SimConfig;
+
+fn main() {
+    let scenario = YahooScenario::default();
+    let workload = yahoo_workload(&scenario);
+    let (label, cluster) = trace_clusters().remove(1); // 240m-240r
+    let config = SimConfig {
+        duration_jitter: 0.1,
+        seed: scenario.seed,
+        ..SimConfig::default()
+    };
+    let mttr = SimDuration::from_mins(5);
+    let sweep = run_failure_sweep(
+        workload.workflows(),
+        &cluster,
+        &default_mtbf_points(),
+        mttr,
+        &config,
+    );
+    println!(
+        "Failure study — {} multi-job Yahoo-like workflows on {label}, \
+         per-node exponential crashes (MTTR 5m, 2 missed heartbeats to detect)\n",
+        sweep.workflow_count
+    );
+    println!("deadline-miss ratio");
+    print!("{}", sweep.miss_ratio_table().render());
+    println!("\ntotal tardiness (s)");
+    print!("{}", sweep.tardiness_table().render());
+    println!(
+        "\ndisruption: node failures / tasks requeued / map outputs lost / work lost (slot-s)"
+    );
+    print!("{}", sweep.disruption_table().render());
+}

@@ -13,6 +13,9 @@ fn main() {
     println!("capped plans use the smallest cap meeting each deadline (2 for W1/W2).\n");
     println!("For context, the ported baselines on the same scenario:");
     for (kind, report) in run_fig2_baselines() {
-        println!("  {kind}: {} of 3 deadlines missed", report.deadline_misses());
+        println!(
+            "  {kind}: {} of 3 deadlines missed",
+            report.deadline_misses()
+        );
     }
 }

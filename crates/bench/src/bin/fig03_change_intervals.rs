@@ -6,7 +6,10 @@ use woha_bench::experiments::plans::run_fig3;
 
 fn main() {
     let r = run_fig3(20140614, 400);
-    println!("Fig 3 — progress requirement change intervals ({} intervals)\n", r.intervals);
+    println!(
+        "Fig 3 — progress requirement change intervals ({} intervals)\n",
+        r.intervals
+    );
     print!("{}", r.table().render());
     println!("\npaper reference: all intervals > 10 ms; >99% > 10 s (their trace);");
     println!("our second-granularity estimates put all intervals >= 1 s, most >= 10 s.");

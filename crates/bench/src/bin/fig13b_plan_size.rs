@@ -7,6 +7,13 @@ fn main() {
     let points = run_fig13b(20140614, 64);
     println!("Fig 13(b) — scheduling plan size (bytes) vs workflow task count\n");
     print!("{}", fig13b_table(&points).render());
-    let max = points.iter().map(|p| *p.bytes.iter().max().unwrap()).max().unwrap();
-    println!("\nlargest plan: {} bytes (paper: <= 7 KB at 1400+ tasks, mostly < 2 KB)", max);
+    let max = points
+        .iter()
+        .map(|p| *p.bytes.iter().max().unwrap())
+        .max()
+        .unwrap();
+    println!(
+        "\nlargest plan: {} bytes (paper: <= 7 KB at 1400+ tasks, mostly < 2 KB)",
+        max
+    );
 }

@@ -26,7 +26,12 @@ fn run_fig11_with(config_woha: WohaConfig, heartbeat: Option<SimDuration>) -> Si
 /// Resource-cap ablation: deadline misses and total tardiness on the
 /// Fig 11 scenario under different cap modes.
 pub fn cap_ablation() -> Table {
-    let mut t = Table::new(vec!["cap mode", "misses", "total tardiness(s)", "W-3 span(s)"]);
+    let mut t = Table::new(vec![
+        "cap mode",
+        "misses",
+        "total tardiness(s)",
+        "W-3 span(s)",
+    ]);
     let modes: Vec<(String, CapMode)> = vec![
         ("uncapped (full 96)".into(), CapMode::Uncapped),
         ("fixed 8".into(), CapMode::Fixed(8)),
@@ -74,7 +79,12 @@ pub fn slack_ablation() -> Table {
 
 /// Heartbeat-interval ablation on the Fig 11 scenario.
 pub fn heartbeat_ablation() -> Table {
-    let mut t = Table::new(vec!["heartbeat", "misses", "W-1 span(s)", "events processed"]);
+    let mut t = Table::new(vec![
+        "heartbeat",
+        "misses",
+        "W-1 span(s)",
+        "events processed",
+    ]);
     for secs in [1u64, 2, 3, 5, 10] {
         let report = run_fig11_with(
             WohaConfig::new(PriorityPolicy::Lpf, 96),
@@ -96,7 +106,12 @@ pub fn heartbeat_ablation() -> Table {
 pub fn replan_ablation(jitter: f64, seeds: std::ops::Range<u64>) -> Table {
     let workflows = fig11_workflows();
     let cluster = demo_cluster();
-    let mut t = Table::new(vec!["seed", "misses (static plan)", "misses (replan)", "replans"]);
+    let mut t = Table::new(vec![
+        "seed",
+        "misses (static plan)",
+        "misses (replan)",
+        "replans",
+    ]);
     for seed in seeds {
         let config = SimConfig {
             duration_jitter: jitter,
@@ -133,7 +148,10 @@ mod tests {
         // The min-feasible row must report zero misses.
         let last = text.lines().last().unwrap();
         assert!(last.starts_with("min-feasible"), "{text}");
-        assert!(last.contains("  0  "), "min-feasible should meet all: {text}");
+        assert!(
+            last.contains("  0  "),
+            "min-feasible should meet all: {text}"
+        );
         assert_eq!(t.len(), 5);
     }
 

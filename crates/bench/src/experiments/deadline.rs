@@ -178,7 +178,10 @@ mod tests {
         let edf = sweep.mean_miss_ratio(SchedulerKind::Edf);
         for kind in SchedulerKind::WOHA {
             let woha = sweep.mean_miss_ratio(kind);
-            assert!(woha <= edf + 1e-9, "{kind} {woha:.3} should beat EDF {edf:.3}");
+            assert!(
+                woha <= edf + 1e-9,
+                "{kind} {woha:.3} should beat EDF {edf:.3}"
+            );
         }
 
         // The paper's crossover: WOHA-HLF/LPF visibly outperform EDF at
@@ -186,7 +189,10 @@ mod tests {
         // narrows at the largest size.
         let edf_mid = sweep.miss_ratio("240m-240r", SchedulerKind::Edf);
         let woha_mid = sweep.miss_ratio("240m-240r", SchedulerKind::WohaLpf);
-        assert!(woha_mid < edf_mid, "mid: woha {woha_mid:.2} vs edf {edf_mid:.2}");
+        assert!(
+            woha_mid < edf_mid,
+            "mid: woha {woha_mid:.2} vs edf {edf_mid:.2}"
+        );
         let edf_big = sweep.miss_ratio("280m-280r", SchedulerKind::Edf);
         let woha_big = sweep.miss_ratio("280m-280r", SchedulerKind::WohaLpf);
         assert!((edf_big - woha_big).abs() <= 0.05, "merge at large size");

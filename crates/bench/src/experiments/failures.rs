@@ -1,0 +1,203 @@
+//! Node-failure resilience study: the deadline-miss ratio and tardiness of
+//! the schedulers as the per-node MTBF shrinks (no counterpart figure in
+//! the paper, whose testbed never loses nodes; this probes how WOHA's
+//! progress-based priorities and the baselines degrade when the simulator's
+//! fault injector takes nodes away mid-flight).
+
+use crate::runner::run_many;
+use crate::schedulers::SchedulerKind;
+use crate::table::{fmt_f64, Table};
+use woha_model::{SimDuration, WorkflowSpec};
+use woha_sim::{ClusterConfig, FaultConfig, SimConfig, SimReport};
+
+/// The four schedulers the study compares (one WOHA variant suffices; the
+/// three policies share the fault-handling path).
+pub const SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Edf,
+    SchedulerKind::Fifo,
+    SchedulerKind::Fair,
+    SchedulerKind::WohaLpf,
+];
+
+/// One MTBF point of the sweep: a label and the per-node mean time between
+/// failures (`None` = fault-free baseline).
+pub type MtbfPoint = (String, Option<SimDuration>);
+
+/// The default sweep: fault-free down to a crash every 2 h per node.
+pub fn default_mtbf_points() -> Vec<MtbfPoint> {
+    let mut points = vec![("none".to_string(), None)];
+    for hours in [16u64, 8, 4, 2] {
+        points.push((
+            format!("{hours}h"),
+            Some(SimDuration::from_mins(hours * 60)),
+        ));
+    }
+    points
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct FailureCell {
+    /// MTBF label ("none", "8h", ...).
+    pub mtbf: String,
+    /// Scheduler.
+    pub scheduler: SchedulerKind,
+    /// Full report.
+    pub report: SimReport,
+}
+
+/// The whole sweep: every (MTBF, scheduler) pair.
+#[derive(Debug, Clone)]
+pub struct FailureSweep {
+    /// All cells, grouped by MTBF in sweep order.
+    pub cells: Vec<FailureCell>,
+    /// Number of workflows in the workload.
+    pub workflow_count: usize,
+}
+
+/// Runs the sweep: the same workload and cluster under every
+/// `(MTBF point, scheduler)` pair. Nodes repair after an exponential
+/// downtime of mean `mttr`; `seed` drives jitter and the fault streams, so
+/// each point is reproducible and all schedulers at one point face the
+/// same crash schedule.
+pub fn run_failure_sweep(
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    points: &[MtbfPoint],
+    mttr: SimDuration,
+    config: &SimConfig,
+) -> FailureSweep {
+    let mut cells = Vec::new();
+    for (label, mtbf) in points {
+        let faulty = match mtbf {
+            Some(mtbf) => cluster
+                .clone()
+                .with_faults(FaultConfig::with_mtbf(*mtbf, mttr)),
+            None => cluster.clone(),
+        };
+        for (scheduler, report) in run_many(&SCHEDULERS, workflows, &faulty, config) {
+            cells.push(FailureCell {
+                mtbf: label.clone(),
+                scheduler,
+                report,
+            });
+        }
+    }
+    FailureSweep {
+        cells,
+        workflow_count: workflows.len(),
+    }
+}
+
+impl FailureSweep {
+    /// The report of one cell.
+    pub fn report(&self, mtbf: &str, scheduler: SchedulerKind) -> &SimReport {
+        &self
+            .cells
+            .iter()
+            .find(|c| c.mtbf == mtbf && c.scheduler == scheduler)
+            .expect("cell exists")
+            .report
+    }
+
+    fn metric_table(&self, metric: impl Fn(&SimReport) -> String) -> Table {
+        let points: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.mtbf) {
+                    seen.push(c.mtbf.clone());
+                }
+            }
+            seen
+        };
+        let mut columns = vec!["scheduler".to_string()];
+        columns.extend(points.iter().map(|p| format!("mtbf {p}")));
+        let mut t = Table::new(columns);
+        for kind in SCHEDULERS {
+            let mut row = vec![kind.to_string()];
+            for point in &points {
+                row.push(metric(self.report(point, kind)));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Deadline-miss ratio per (scheduler, MTBF).
+    pub fn miss_ratio_table(&self) -> Table {
+        self.metric_table(|r| fmt_f64(r.deadline_misses() as f64 / r.outcomes.len().max(1) as f64))
+    }
+
+    /// Total tardiness (s) per (scheduler, MTBF).
+    pub fn tardiness_table(&self) -> Table {
+        self.metric_table(|r| format!("{:.0}", r.total_tardiness().as_secs_f64()))
+    }
+
+    /// Fault-subsystem counters per (scheduler, MTBF): crashes seen before
+    /// the run ended, tasks requeued, map outputs lost, and work thrown
+    /// away, as `failures/requeued/maps-lost/lost-slot-s`.
+    pub fn disruption_table(&self) -> Table {
+        self.metric_table(|r| {
+            format!(
+                "{}/{}/{}/{:.0}",
+                r.node_failures,
+                r.tasks_requeued,
+                r.map_outputs_lost,
+                r.work_lost_slot_ms as f64 / 1000.0
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{demo_cluster, fig11_workflows};
+
+    #[test]
+    fn failures_degrade_deadline_performance() {
+        let workflows = fig11_workflows();
+        let cluster = demo_cluster();
+        let points = vec![
+            ("none".to_string(), None),
+            ("12m".to_string(), Some(SimDuration::from_mins(12))),
+        ];
+        let config = SimConfig {
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let sweep = run_failure_sweep(
+            &workflows,
+            &cluster,
+            &points,
+            SimDuration::from_mins(3),
+            &config,
+        );
+        assert_eq!(sweep.cells.len(), 2 * SCHEDULERS.len());
+        for kind in SCHEDULERS {
+            let clean = sweep.report("none", kind);
+            let faulty = sweep.report("12m", kind);
+            // Every run terminates even under heavy churn.
+            assert!(clean.completed, "{kind}");
+            assert!(faulty.completed, "{kind}");
+            assert_eq!(clean.node_failures, 0, "{kind}");
+            assert!(faulty.node_failures > 0, "{kind}");
+            assert!(faulty.tasks_requeued > 0, "{kind}");
+            // Losing nodes never helps: misses and tardiness only grow.
+            assert!(
+                faulty.deadline_misses() >= clean.deadline_misses(),
+                "{kind}: {} < {}",
+                faulty.deadline_misses(),
+                clean.deadline_misses()
+            );
+            assert!(
+                faulty.total_tardiness() >= clean.total_tardiness(),
+                "{kind}"
+            );
+        }
+        // The tables cover every point.
+        assert_eq!(sweep.miss_ratio_table().len(), SCHEDULERS.len());
+        assert_eq!(sweep.tardiness_table().len(), SCHEDULERS.len());
+        assert_eq!(sweep.disruption_table().len(), SCHEDULERS.len());
+    }
+}

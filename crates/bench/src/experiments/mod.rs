@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod deadline;
 pub mod demo;
+pub mod failures;
 pub mod plans;
 pub mod throughput;
 pub mod tracestats;

@@ -59,11 +59,8 @@ impl Fig2Result {
             "capped finish(s)",
         ]);
         for (u, c) in self.uncapped.outcomes.iter().zip(&self.capped.outcomes) {
-            let fin = |o: &woha_sim::WorkflowOutcome, censor| {
-                o.finished
-                    .unwrap_or(censor)
-                    .as_secs_f64()
-            };
+            let fin =
+                |o: &woha_sim::WorkflowOutcome, censor| o.finished.unwrap_or(censor).as_secs_f64();
             t.row(vec![
                 u.name.clone(),
                 format!("{:.0}", u.deadline.as_secs_f64()),
@@ -162,12 +159,9 @@ pub fn run_fig13b(seed: u64, cap: u32) -> Vec<PlanSizePoint> {
     for extra in 0..10usize {
         let jobs = 10 + extra * 4;
         let mut job_rng = rng.fork(1_000 + extra as u64);
-        let w = woha_trace::topology::random_layered(
-            format!("big-{extra}"),
-            jobs,
-            &mut rng,
-            |j| config.sample_job(format!("big-{extra}-j{j}"), &mut job_rng),
-        )
+        let w = woha_trace::topology::random_layered(format!("big-{extra}"), jobs, &mut rng, |j| {
+            config.sample_job(format!("big-{extra}-j{j}"), &mut job_rng)
+        })
         .build()
         .expect("valid workflow");
         flows.push(w);
@@ -196,7 +190,12 @@ pub fn run_fig13b(seed: u64, cap: u32) -> Vec<PlanSizePoint> {
 
 /// Renders the Fig 13(b) table.
 pub fn fig13b_table(points: &[PlanSizePoint]) -> Table {
-    let mut t = Table::new(vec!["tasks", "MPF plan (B)", "LPF plan (B)", "HLF plan (B)"]);
+    let mut t = Table::new(vec![
+        "tasks",
+        "MPF plan (B)",
+        "LPF plan (B)",
+        "HLF plan (B)",
+    ]);
     for p in points {
         t.row(vec![
             p.tasks.to_string(),

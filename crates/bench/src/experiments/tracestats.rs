@@ -38,16 +38,22 @@ pub fn run_trace_stats(seed: u64) -> TraceStats {
     TraceStats {
         map_duration: Cdf::from_samples(jobs.iter().map(|j| j.map_duration().as_secs_f64())),
         reduce_duration: Cdf::from_samples(
-            with_reduces.iter().map(|j| j.reduce_duration().as_secs_f64()),
+            with_reduces
+                .iter()
+                .map(|j| j.reduce_duration().as_secs_f64()),
         ),
-        duration_ratio: Cdf::from_samples(with_reduces.iter().map(|j| {
-            j.reduce_duration().as_secs_f64() / j.map_duration().as_secs_f64().max(1e-9)
-        })),
+        duration_ratio: Cdf::from_samples(
+            with_reduces.iter().map(|j| {
+                j.reduce_duration().as_secs_f64() / j.map_duration().as_secs_f64().max(1e-9)
+            }),
+        ),
         map_count: Cdf::from_samples(jobs.iter().map(|j| f64::from(j.map_tasks()))),
         reduce_count: Cdf::from_samples(jobs.iter().map(|j| f64::from(j.reduce_tasks()))),
-        count_ratio: Cdf::from_samples(with_reduces.iter().map(|j| {
-            f64::from(j.map_tasks()) / f64::from(j.reduce_tasks()).max(1.0)
-        })),
+        count_ratio: Cdf::from_samples(
+            with_reduces
+                .iter()
+                .map(|j| f64::from(j.map_tasks()) / f64::from(j.reduce_tasks()).max(1.0)),
+        ),
         jobs,
     }
 }
@@ -88,7 +94,12 @@ impl TraceStats {
 
     /// The Fig 6(a) table: CDF points of task counts.
     pub fn fig6a_table(&self) -> Table {
-        let mut t = Table::new(vec!["tasks", "F(mappers)", "F(reducers)", "paper reference"]);
+        let mut t = Table::new(vec![
+            "tasks",
+            "F(mappers)",
+            "F(reducers)",
+            "paper reference",
+        ]);
         let probes: [(f64, &str); 5] = [
             (1.0, ""),
             (10.0, ">60% of jobs have <10 reducers"),
@@ -129,8 +140,8 @@ mod tests {
         let s = run_trace_stats(2024);
         assert_eq!(s.jobs.len(), TRACE_JOBS);
         // Fig 5(a): 10-100s band holds most mappers.
-        let band = s.map_duration.fraction_at_or_below(100.0)
-            - s.map_duration.fraction_at_or_below(10.0);
+        let band =
+            s.map_duration.fraction_at_or_below(100.0) - s.map_duration.fraction_at_or_below(10.0);
         assert!(band > 0.6, "band {band}");
         // >50% reducers over 100s, ~10% over 1000s.
         assert!(s.reduce_duration.fraction_at_or_below(100.0) < 0.5);

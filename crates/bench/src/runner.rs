@@ -27,14 +27,13 @@ pub fn run_many(
 ) -> Vec<(SchedulerKind, SimReport)> {
     let mut results: Vec<Option<(SchedulerKind, SimReport)>> = Vec::new();
     results.resize_with(kinds.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &kind) in results.iter_mut().zip(kinds) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some((kind, run_one(kind, workflows, cluster, config)));
             });
         }
-    })
-    .expect("experiment threads do not panic");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every thread filled its slot"))

@@ -3,7 +3,7 @@
 use std::fmt;
 use woha_core::{CapMode, PriorityPolicy};
 use woha_model::{config::parse_duration, SimTime};
-use woha_sim::ClusterConfig;
+use woha_sim::{ClusterConfig, FaultConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,7 +25,10 @@ pub enum Command {
         cap: CapMode,
     },
     /// `woha-cli simulate <workflow.xml[@release]>... [--cluster NxMxR]
-    /// [--scheduler S] [--jitter F] [--seed N] [--failures P] [--json]`
+    /// [--scheduler S] [--jitter F] [--seed N] [--failures P] [--mtbf D]
+    /// [--mttr D] [--detect-missed N] [--blacklist-after N] [--json]`
+    ///
+    /// Node-fault flags attach a [`FaultConfig`] to the cluster.
     Simulate {
         /// Workflow files with optional release offsets.
         workflows: Vec<WorkflowArg>,
@@ -96,6 +99,13 @@ USAGE:
       --jitter F          task duration jitter fraction (default 0)
       --seed N            jitter/failure seed (default 0)
       --failures P        task failure probability (default 0)
+      --mtbf D            mean time between node crashes, e.g. 30m
+                          (default: no node faults)
+      --mttr D            mean node repair time (default 5m; needs --mtbf)
+      --detect-missed N   missed heartbeats before a node is declared lost
+                          (default 2; needs --mtbf)
+      --blacklist-after N crashes before a node is blacklisted
+                          (default 0 = never; needs --mtbf)
       --json              machine-readable output
 
   woha-cli help
@@ -154,7 +164,9 @@ fn parse_cap(raw: &str) -> Result<CapMode, ArgError> {
     }
 }
 
-const SCHEDULERS: [&str; 7] = ["woha-lpf", "woha-hlf", "woha-mpf", "fifo", "fair", "edf", "all"];
+const SCHEDULERS: [&str; 7] = [
+    "woha-lpf", "woha-hlf", "woha-mpf", "fifo", "fair", "edf", "all",
+];
 
 /// Parses a full command line (excluding the program name).
 ///
@@ -218,6 +230,10 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut seed = 0u64;
             let mut failures = 0.0f64;
             let mut json = false;
+            let mut mtbf = None;
+            let mut mttr = None;
+            let mut detect_missed = None;
+            let mut blacklist_after = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -251,6 +267,40 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                             return Err(err("--failures must be in [0, 1)"));
                         }
                     }
+                    "--mtbf" => {
+                        let raw = next_value(&mut it, "--mtbf")?;
+                        let d = parse_duration(&raw)
+                            .map_err(|e| err(format!("bad --mtbf {raw:?}: {e}")))?;
+                        if d.is_zero() {
+                            return Err(err("--mtbf must be positive"));
+                        }
+                        mtbf = Some(d);
+                    }
+                    "--mttr" => {
+                        let raw = next_value(&mut it, "--mttr")?;
+                        let d = parse_duration(&raw)
+                            .map_err(|e| err(format!("bad --mttr {raw:?}: {e}")))?;
+                        if d.is_zero() {
+                            return Err(err("--mttr must be positive"));
+                        }
+                        mttr = Some(d);
+                    }
+                    "--detect-missed" => {
+                        let n: u32 = next_value(&mut it, "--detect-missed")?
+                            .parse()
+                            .map_err(|_| err("--detect-missed needs a positive integer"))?;
+                        if n == 0 {
+                            return Err(err("--detect-missed must be positive"));
+                        }
+                        detect_missed = Some(n);
+                    }
+                    "--blacklist-after" => {
+                        blacklist_after = Some(
+                            next_value(&mut it, "--blacklist-after")?
+                                .parse::<u32>()
+                                .map_err(|_| err("--blacklist-after needs an integer"))?,
+                        );
+                    }
                     "--json" => json = true,
                     other if !other.starts_with('-') => {
                         workflows.push(parse_workflow_arg(other)?);
@@ -260,6 +310,23 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             if workflows.is_empty() {
                 return Err(err("simulate needs at least one workflow file"));
+            }
+            match mtbf {
+                Some(mtbf) => {
+                    let mut faults =
+                        FaultConfig::with_mtbf(mtbf, mttr.unwrap_or(FaultConfig::default().mttr));
+                    if let Some(n) = detect_missed {
+                        faults.detect_missed_heartbeats = n;
+                    }
+                    if let Some(n) = blacklist_after {
+                        faults.blacklist_after = n;
+                    }
+                    cluster = cluster.with_faults(faults);
+                }
+                None if mttr.is_some() || detect_missed.is_some() || blacklist_after.is_some() => {
+                    return Err(err("--mttr/--detect-missed/--blacklist-after need --mtbf"));
+                }
+                None => {}
             }
             Ok(Command::Simulate {
                 workflows,
@@ -277,10 +344,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     }
 }
 
-fn next_value<'a>(
-    it: &mut std::slice::Iter<'a, String>,
-    flag: &str,
-) -> Result<String, ArgError> {
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<String, ArgError> {
     it.next()
         .cloned()
         .ok_or_else(|| err(format!("{flag} needs a value")))
@@ -385,6 +449,70 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_fault_flags_attach_config() {
+        use woha_model::SimDuration;
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "30m",
+            "--mttr",
+            "2m",
+            "--detect-missed",
+            "3",
+            "--blacklist-after",
+            "2",
+            "--cluster",
+            "4x2x1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { cluster, .. } => {
+                let f = cluster.faults();
+                assert!(f.enabled());
+                assert_eq!(f.mtbf, Some(SimDuration::from_mins(30)));
+                assert_eq!(f.mttr, SimDuration::from_mins(2));
+                assert_eq!(f.detect_missed_heartbeats, 3);
+                assert_eq!(f.blacklist_after, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults kick in when only --mtbf is given.
+        let cmd = parse(&args(&["simulate", "a.xml", "--mtbf", "1h"])).unwrap();
+        match cmd {
+            Command::Simulate { cluster, .. } => {
+                assert_eq!(cluster.faults().mtbf, Some(SimDuration::from_mins(60)));
+                assert_eq!(cluster.faults().mttr, SimDuration::from_mins(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // No fault flags: the cluster stays fault-free.
+        let cmd = parse(&args(&["simulate", "a.xml"])).unwrap();
+        match cmd {
+            Command::Simulate { cluster, .. } => assert!(!cluster.faults().enabled()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_flags() {
+        assert!(parse(&args(&["simulate", "a.xml", "--mtbf", "0s"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--mtbf", "soon"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--mttr", "2m"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--detect-missed", "0"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--blacklist-after", "2"])).is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--detect-missed",
+            "x"
+        ]))
+        .is_err());
     }
 
     #[test]

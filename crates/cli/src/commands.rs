@@ -34,15 +34,16 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             seed,
             failures,
             json,
-        } => simulate(&workflows, &cluster, &scheduler, jitter, seed, failures, json),
+        } => simulate(
+            &workflows, &cluster, &scheduler, jitter, seed, failures, json,
+        ),
     }
 }
 
 fn load(arg: &WorkflowArg) -> Result<WorkflowSpec, Box<dyn Error>> {
-    let text = std::fs::read_to_string(&arg.path)
-        .map_err(|e| format!("cannot read {}: {e}", arg.path))?;
-    let config =
-        WorkflowConfig::parse(&text).map_err(|e| format!("{}: {e}", arg.path))?;
+    let text =
+        std::fs::read_to_string(&arg.path).map_err(|e| format!("cannot read {}: {e}", arg.path))?;
+    let config = WorkflowConfig::parse(&text).map_err(|e| format!("{}: {e}", arg.path))?;
     Ok(config
         .to_spec(arg.release)
         .map_err(|e| format!("{}: {e}", arg.path))?)
@@ -74,12 +75,7 @@ fn validate(workflows: &[WorkflowArg]) -> Result<String, Box<dyn Error>> {
                 .iter()
                 .map(|&p| w.job(p).name())
                 .collect();
-            writeln!(
-                out,
-                "  {} <- [{}]",
-                w.job(j),
-                prereqs.join(", ")
-            )?;
+            writeln!(out, "  {} <- [{}]", w.job(j), prereqs.join(", "))?;
         }
     }
     Ok(out)
@@ -108,11 +104,7 @@ fn plan(
         plan.requirements().len(),
         plan.encoded_size_bytes(),
     )?;
-    let order: Vec<&str> = plan
-        .job_order()
-        .iter()
-        .map(|&j| w.job(j).name())
-        .collect();
+    let order: Vec<&str> = plan.job_order().iter().map(|&j| w.job(j).name()).collect();
     writeln!(out, "  job order: {}", order.join(" > "))?;
     writeln!(out, "  ttd        cumulative tasks required")?;
     for r in plan.requirements() {
@@ -150,18 +142,14 @@ fn simulate(
     failures: f64,
     json: bool,
 ) -> Result<String, Box<dyn Error>> {
-    let specs: Vec<WorkflowSpec> = workflows
-        .iter()
-        .map(load)
-        .collect::<Result<_, _>>()?;
+    let specs: Vec<WorkflowSpec> = workflows.iter().map(load).collect::<Result<_, _>>()?;
     let config = SimConfig {
         duration_jitter: jitter,
         task_failure_prob: failures,
         seed,
         ..SimConfig::default()
     };
-    let total_slots =
-        cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
+    let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
     let names: Vec<&str> = if scheduler == "all" {
         vec!["woha-lpf", "woha-hlf", "woha-mpf", "edf", "fifo", "fair"]
     } else {
@@ -188,6 +176,19 @@ fn simulate(
             report.max_tardiness(),
             report.overall_utilization() * 100.0,
         )?;
+        if cluster.faults().enabled() {
+            writeln!(
+                out,
+                "  node failures {}  recoveries {}  blacklisted {}  tasks requeued {}  \
+                 map outputs lost {}  work lost {:.1} slot-s",
+                report.node_failures,
+                report.node_recoveries,
+                report.nodes_blacklisted,
+                report.tasks_requeued,
+                report.map_outputs_lost,
+                report.work_lost_slot_ms as f64 / 1000.0,
+            )?;
+        }
         for o in &report.outcomes {
             writeln!(
                 out,
@@ -355,6 +356,26 @@ mod tests {
             assert!(out.contains(&format!("=== {name} ===")), "{out}");
         }
         assert!(out.contains("submit      120s"), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_node_faults_reports_summary() {
+        let path = sample_file();
+        let out = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "fifo",
+            "--mtbf",
+            "5m",
+            "--mttr",
+            "30s",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("node failures"), "{out}");
+        assert!(out.contains("=== FIFO ==="), "{out}");
     }
 
     #[test]

@@ -91,8 +91,7 @@ fn work_by_kind(w: &WorkflowSpec) -> [u128; 2] {
     let mut work = [0u128; 2];
     for job in w.jobs() {
         work[0] += u128::from(job.map_duration().as_millis()) * u128::from(job.map_tasks());
-        work[1] +=
-            u128::from(job.reduce_duration().as_millis()) * u128::from(job.reduce_tasks());
+        work[1] += u128::from(job.reduce_duration().as_millis()) * u128::from(job.reduce_tasks());
     }
     work
 }
@@ -169,11 +168,7 @@ impl AdmissionController {
     /// # Errors
     ///
     /// Returns the first [`RejectReason`] that proves infeasibility.
-    pub fn try_admit(
-        &mut self,
-        workflow: &WorkflowSpec,
-        now: SimTime,
-    ) -> Result<(), RejectReason> {
+    pub fn try_admit(&mut self, workflow: &WorkflowSpec, now: SimTime) -> Result<(), RejectReason> {
         if workflow.deadline() == SimTime::MAX {
             return Ok(());
         }
@@ -186,11 +181,11 @@ impl AdmissionController {
             });
         }
         let work_ms = work_by_kind(workflow);
-        for kind in 0..2 {
+        for (kind, &demand_ms) in work_ms.iter().enumerate() {
             let own_supply = self.supply_ms(kind, now, workflow.deadline());
-            if work_ms[kind] > own_supply {
+            if demand_ms > own_supply {
                 return Err(RejectReason::OwnWorkExceedsCapacity {
-                    demand_ms: work_ms[kind],
+                    demand_ms,
                     supply_ms: own_supply,
                 });
             }
@@ -267,7 +262,10 @@ mod tests {
     #[test]
     fn admits_feasible_workflow() {
         let mut ctl = controller();
-        assert_eq!(ctl.try_admit(&workflow("w", 4, 30, 10), SimTime::ZERO), Ok(()));
+        assert_eq!(
+            ctl.try_admit(&workflow("w", 4, 30, 10), SimTime::ZERO),
+            Ok(())
+        );
         assert_eq!(ctl.admitted_count(), 1);
     }
 
@@ -301,25 +299,35 @@ mod tests {
         // Each workflow: 20 maps x 60s = 1200 slot-s of map work; map
         // supply by 10 min is 4 x 600 = 2400 slot-s. Two fit exactly; the
         // third overloads.
-        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
-        assert!(ctl.try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert!(ctl
+            .try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
         let third = ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO);
         assert!(
             matches!(third, Err(RejectReason::AggregateOverload { .. })),
             "{third:?}"
         );
         // A later deadline gives the third workflow room.
-        assert!(ctl.try_admit(&workflow("c", 20, 60, 20), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("c", 20, 60, 20), SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
     fn earlier_deadline_is_checked_against_shorter_horizon() {
         let mut ctl = controller();
         // A big workflow due late fits (2100 of 2400 slot-s)...
-        assert!(ctl.try_admit(&workflow("big", 35, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("big", 35, 60, 10), SimTime::ZERO)
+            .is_ok());
         // ...and a small workflow due very early only adds demand at its
         // own deadline (300 of 480 slot-s by minute 2), so it is admitted.
-        assert!(ctl.try_admit(&workflow("small", 5, 60, 2), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("small", 5, 60, 2), SimTime::ZERO)
+            .is_ok());
         // But a second big one due at minute 10 now fails the aggregate
         // (2100 + 300 + 2100 > 2400).
         assert!(matches!(
@@ -331,17 +339,27 @@ mod tests {
     #[test]
     fn completion_releases_capacity() {
         let mut ctl = controller();
-        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
-        assert!(ctl.try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
-        assert!(ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO).is_err());
+        assert!(ctl
+            .try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert!(ctl
+            .try_admit(&workflow("b", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert!(ctl
+            .try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO)
+            .is_err());
         ctl.complete("a");
-        assert!(ctl.try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("c", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
     fn expire_drops_past_deadlines() {
         let mut ctl = controller();
-        assert!(ctl.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
         ctl.expire(SimTime::from_mins(11));
         assert_eq!(ctl.admitted_count(), 0);
     }
@@ -364,13 +382,17 @@ mod tests {
 
     #[test]
     fn margin_shrinks_supply() {
-        let mut strict = AdmissionController::new(&ClusterConfig::uniform(2, 2, 1))
-            .with_margin(0.5);
+        let mut strict =
+            AdmissionController::new(&ClusterConfig::uniform(2, 2, 1)).with_margin(0.5);
         // 4 map slots, margin 0.5 -> 2 effective; 20x60s = 1200 slot-s
         // demand vs 2 x 600 = 1200 supply: admitted exactly at the
         // boundary, and one more map task tips it over.
-        assert!(strict.try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
-        assert!(strict.try_admit(&workflow("b", 1, 60, 10), SimTime::ZERO).is_err());
+        assert!(strict
+            .try_admit(&workflow("a", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert!(strict
+            .try_admit(&workflow("b", 1, 60, 10), SimTime::ZERO)
+            .is_err());
     }
 
     #[test]

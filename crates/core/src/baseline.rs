@@ -241,14 +241,31 @@ mod tests {
     fn edf_favors_earliest_deadline() {
         // The later-submitted workflow has the earlier deadline: EDF should
         // finish it first, FIFO should not.
-        let workflows = vec![fat("late-deadline", 0, 3_000), fat("early-deadline", 1, 135)];
+        let workflows = vec![
+            fat("late-deadline", 0, 3_000),
+            fat("early-deadline", 1, 135),
+        ];
         let edf = run(&mut EdfScheduler::new(), &workflows);
         let fifo = run(&mut FifoScheduler::new(), &workflows);
-        let edf_early = edf.outcome_by_name("early-deadline").unwrap().finished.unwrap();
-        let edf_late = edf.outcome_by_name("late-deadline").unwrap().finished.unwrap();
+        let edf_early = edf
+            .outcome_by_name("early-deadline")
+            .unwrap()
+            .finished
+            .unwrap();
+        let edf_late = edf
+            .outcome_by_name("late-deadline")
+            .unwrap()
+            .finished
+            .unwrap();
         assert!(edf_early < edf_late, "EDF must favor the earlier deadline");
-        assert!(edf.outcome_by_name("early-deadline").unwrap().met_deadline());
-        assert!(!fifo.outcome_by_name("early-deadline").unwrap().met_deadline());
+        assert!(edf
+            .outcome_by_name("early-deadline")
+            .unwrap()
+            .met_deadline());
+        assert!(!fifo
+            .outcome_by_name("early-deadline")
+            .unwrap()
+            .met_deadline());
     }
 
     #[test]
@@ -270,14 +287,29 @@ mod tests {
     #[test]
     fn fifo_with_chained_jobs_releases_queue_entries() {
         let mut b = WorkflowBuilder::new("chain");
-        let a = b.add_job(JobSpec::new("a", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
-        let z = b.add_job(JobSpec::new("z", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
+        let a = b.add_job(JobSpec::new(
+            "a",
+            2,
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        ));
+        let z = b.add_job(JobSpec::new(
+            "z",
+            2,
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        ));
         b.add_dependency(a, z);
         b.relative_deadline(SimDuration::from_mins(10));
         let w = b.build().unwrap();
         let mut sched = FifoScheduler::new();
         let report = run(&mut sched, &[w]);
         assert!(report.completed);
-        assert!(sched.queue.is_empty(), "completed jobs must leave the queue");
+        assert!(
+            sched.queue.is_empty(),
+            "completed jobs must leave the queue"
+        );
     }
 }

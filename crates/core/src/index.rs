@@ -183,7 +183,11 @@ impl WorkflowIndex for BstIndex {
     }
 
     fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_> {
-        Box::new(self.pri.iter().map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf))))
+        Box::new(
+            self.pri
+                .iter()
+                .map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf))),
+        )
     }
 
     fn len(&self) -> usize {
@@ -286,7 +290,9 @@ mod tests {
         let mut live: Vec<(WorkflowId, SimTime, i64, SimTime)> = Vec::new();
         let mut state = 99u64;
         let mut rand = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for i in 0..2_000u64 {

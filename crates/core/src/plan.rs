@@ -271,10 +271,8 @@ impl SchedulingPlan {
             other => return Err(PlanDecodeError::BadPolicy(other)),
         };
         cursor += 1;
-        let resource_cap =
-            u32::try_from(read_varint(bytes, &mut cursor)?).map_err(|_| {
-                PlanDecodeError::Inconsistent("resource cap exceeds u32")
-            })?;
+        let resource_cap = u32::try_from(read_varint(bytes, &mut cursor)?)
+            .map_err(|_| PlanDecodeError::Inconsistent("resource cap exceeds u32"))?;
         let span = SimDuration::from_millis(read_varint(bytes, &mut cursor)?);
         let total_tasks = read_varint(bytes, &mut cursor)?;
         let job_count = read_varint(bytes, &mut cursor)? as usize;
@@ -359,7 +357,14 @@ mod tests {
             .collect();
         let span = reqs.first().map(|r| r.ttd).unwrap_or(SimDuration::ZERO);
         let total = reqs.last().map(|r| r.cumulative).unwrap_or(0);
-        SchedulingPlan::new(PriorityPolicy::Hlf, 8, vec![JobId::new(0)], reqs, span, total)
+        SchedulingPlan::new(
+            PriorityPolicy::Hlf,
+            8,
+            vec![JobId::new(0)],
+            reqs,
+            span,
+            total,
+        )
     }
 
     #[test]
@@ -414,7 +419,10 @@ mod tests {
     fn empty_plan_is_usable() {
         let p = plan(&[]);
         assert_eq!(p.required_at(SimDuration::ZERO), 0);
-        assert_eq!(p.next_change_index(SimTime::from_secs(10), SimTime::ZERO), 0);
+        assert_eq!(
+            p.next_change_index(SimTime::from_secs(10), SimTime::ZERO),
+            0
+        );
         assert!(p.change_intervals().is_empty());
     }
 
@@ -452,7 +460,9 @@ mod tests {
             PlanDecodeError::TrailingBytes(1)
         ));
         // Overlong varint.
-        let bytes = [0u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80];
+        let bytes = [
+            0u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+        ];
         assert_eq!(
             SchedulingPlan::decode(&bytes).unwrap_err(),
             PlanDecodeError::VarintOverflow

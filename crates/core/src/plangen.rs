@@ -108,8 +108,9 @@ pub fn generate_reqs(
     // priority (rank descending, id ascending). Small, so a sorted Vec.
     let mut active: Vec<usize> = Vec::new();
     let insert_active = |active: &mut Vec<usize>, priorities: &JobPriorities, j: usize| {
-        let pos = active
-            .partition_point(|&other| priorities.beats(JobId::new(other as u32), JobId::new(j as u32)));
+        let pos = active.partition_point(|&other| {
+            priorities.beats(JobId::new(other as u32), JobId::new(j as u32))
+        });
         active.insert(pos, j);
     };
 
@@ -118,7 +119,12 @@ pub fn generate_reqs(
         .into_iter()
         .map(|j| j.index())
         .collect();
-    push(&mut events, &mut seq, SimTime::ZERO, MiniEvent::Add(initially_ready));
+    push(
+        &mut events,
+        &mut seq,
+        SimTime::ZERO,
+        MiniEvent::Add(initially_ready),
+    );
     push(&mut events, &mut seq, SimTime::ZERO, MiniEvent::Free(cap));
 
     let mut free_slots = 0u32;
@@ -415,7 +421,10 @@ mod tests {
         let mut last_span = SimDuration::MAX;
         for cap in 1..=8 {
             let plan = generate_reqs(&w, &hlf(&w), cap);
-            assert!(plan.span() <= last_span, "span should shrink with more slots");
+            assert!(
+                plan.span() <= last_span,
+                "span should shrink with more slots"
+            );
             last_span = plan.span();
         }
     }
@@ -472,10 +481,34 @@ mod tests {
         // a -> {b, c} -> d where c's chain is heavier: LPF schedules c's
         // tasks before b's when slots are scarce.
         let mut b = WorkflowBuilder::new("w");
-        let ja = b.add_job(JobSpec::new("a", 1, 0, SimDuration::from_secs(1), SimDuration::ZERO));
-        let jb = b.add_job(JobSpec::new("b", 1, 0, SimDuration::from_secs(1), SimDuration::ZERO));
-        let jc = b.add_job(JobSpec::new("c", 1, 0, SimDuration::from_secs(100), SimDuration::ZERO));
-        let jd = b.add_job(JobSpec::new("d", 1, 0, SimDuration::from_secs(1), SimDuration::ZERO));
+        let ja = b.add_job(JobSpec::new(
+            "a",
+            1,
+            0,
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        ));
+        let jb = b.add_job(JobSpec::new(
+            "b",
+            1,
+            0,
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        ));
+        let jc = b.add_job(JobSpec::new(
+            "c",
+            1,
+            0,
+            SimDuration::from_secs(100),
+            SimDuration::ZERO,
+        ));
+        let jd = b.add_job(JobSpec::new(
+            "d",
+            1,
+            0,
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        ));
         b.add_dependency(ja, jb);
         b.add_dependency(ja, jc);
         b.add_dependency(jb, jd);

@@ -29,8 +29,11 @@ pub enum PriorityPolicy {
 
 impl PriorityPolicy {
     /// All policies, in the paper's presentation order.
-    pub const ALL: [PriorityPolicy; 3] =
-        [PriorityPolicy::Hlf, PriorityPolicy::Lpf, PriorityPolicy::Mpf];
+    pub const ALL: [PriorityPolicy; 3] = [
+        PriorityPolicy::Hlf,
+        PriorityPolicy::Lpf,
+        PriorityPolicy::Mpf,
+    ];
 }
 
 impl fmt::Display for PriorityPolicy {
@@ -75,11 +78,7 @@ impl JobPriorities {
     /// Computes priorities for `workflow` under `policy`.
     pub fn compute(workflow: &WorkflowSpec, policy: PriorityPolicy) -> Self {
         let ranks: Vec<u64> = match policy {
-            PriorityPolicy::Hlf => workflow
-                .levels()
-                .into_iter()
-                .map(|l| l as u64)
-                .collect(),
+            PriorityPolicy::Hlf => workflow.levels().into_iter().map(|l| l as u64).collect(),
             PriorityPolicy::Lpf => workflow.longest_paths_millis(),
             PriorityPolicy::Mpf => workflow
                 .to_dag()
@@ -140,13 +139,55 @@ mod tests {
     /// disconnected source with many dependents f, g.
     fn sample() -> (WorkflowSpec, Vec<JobId>) {
         let mut b = WorkflowBuilder::new("w");
-        let ja = b.add_job(JobSpec::new("a", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
-        let jb = b.add_job(JobSpec::new("b", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
-        let jc = b.add_job(JobSpec::new("c", 2, 1, SimDuration::from_secs(500), SimDuration::from_secs(500)));
-        let jd = b.add_job(JobSpec::new("d", 2, 1, SimDuration::from_secs(10), SimDuration::from_secs(10)));
-        let je = b.add_job(JobSpec::new("e", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
-        let jf = b.add_job(JobSpec::new("f", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
-        let jg = b.add_job(JobSpec::new("g", 2, 1, SimDuration::from_secs(5), SimDuration::from_secs(5)));
+        let ja = b.add_job(JobSpec::new(
+            "a",
+            2,
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        ));
+        let jb = b.add_job(JobSpec::new(
+            "b",
+            2,
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
+        let jc = b.add_job(JobSpec::new(
+            "c",
+            2,
+            1,
+            SimDuration::from_secs(500),
+            SimDuration::from_secs(500),
+        ));
+        let jd = b.add_job(JobSpec::new(
+            "d",
+            2,
+            1,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        ));
+        let je = b.add_job(JobSpec::new(
+            "e",
+            2,
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
+        let jf = b.add_job(JobSpec::new(
+            "f",
+            2,
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
+        let jg = b.add_job(JobSpec::new(
+            "g",
+            2,
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
         b.add_dependency(ja, jb);
         b.add_dependency(ja, jc);
         b.add_dependency(jb, jd);

@@ -107,6 +107,18 @@ impl WorkflowProgress {
         self.rho += 1;
         self.lag -= 1;
     }
+
+    /// Rolls back one task assignment after the task failed (injected
+    /// attempt failure or node loss) and re-entered the pending queue:
+    /// `ρ ← ρ - 1`, `p ← p + 1`. The inverse of
+    /// [`on_task_assigned`](Self::on_task_assigned); saturates at zero so
+    /// spurious rollbacks cannot underflow.
+    pub fn on_task_failed(&mut self) {
+        if self.rho > 0 {
+            self.rho -= 1;
+            self.lag += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +205,26 @@ mod tests {
         }
         assert_eq!(p.rho(), 6);
         assert_eq!(p.lag(), -2); // 2 tasks ahead of plan
+    }
+
+    #[test]
+    fn task_failure_rolls_back_progress() {
+        let mut p = WorkflowProgress::new(
+            WorkflowId::new(1),
+            plan(),
+            SimTime::from_secs(150),
+            SimTime::ZERO,
+        );
+        p.catch_up(SimTime::from_secs(50));
+        p.on_task_assigned();
+        p.on_task_assigned();
+        assert_eq!((p.rho(), p.lag()), (2, 2));
+        p.on_task_failed();
+        assert_eq!((p.rho(), p.lag()), (1, 3));
+        // Saturates: rolling back below zero progress is a no-op.
+        p.on_task_failed();
+        p.on_task_failed();
+        assert_eq!((p.rho(), p.lag()), (0, 4));
     }
 
     #[test]

@@ -281,7 +281,10 @@ mod tests {
         // Map scheduled but not finished; 3 reduces pending.
         let remaining = remaining_workflow(pool.workflow(wf)).unwrap();
         assert_eq!(remaining.jobs()[0].map_tasks(), 1, "phantom map");
-        assert_eq!(remaining.jobs()[0].map_duration(), SimDuration::from_millis(1));
+        assert_eq!(
+            remaining.jobs()[0].map_duration(),
+            SimDuration::from_millis(1)
+        );
         assert_eq!(remaining.jobs()[0].reduce_tasks(), 3);
     }
 

@@ -157,7 +157,7 @@ impl<K: Ord, V> SkipList<K, V> {
     /// Allocates a slot for `(key, value)` and returns its index. The
     /// node's forward pointers are left for the caller to fill.
     fn alloc(&mut self, key: K, value: V, level: usize) -> u32 {
-        debug_assert!(level >= 1 && level <= MAX_LEVEL);
+        debug_assert!((1..=MAX_LEVEL).contains(&level));
         match self.free.pop() {
             Some(idx) => {
                 self.keys[idx as usize] = key;
@@ -170,7 +170,7 @@ impl<K: Ord, V> SkipList<K, V> {
                 self.keys.push(key);
                 self.values.push(value);
                 self.levels.push(level as u8);
-                self.forward.extend(std::iter::repeat(NIL).take(MAX_LEVEL));
+                self.forward.extend(std::iter::repeat_n(NIL, MAX_LEVEL));
                 idx
             }
         }
@@ -214,10 +214,10 @@ impl<K: Ord, V> SkipList<K, V> {
             self.level = level;
         }
         let idx = self.alloc(key, value, level);
-        for l in 0..level {
-            let next = self.next_at(preds[l], l);
+        for (l, &pred) in preds.iter().enumerate().take(level) {
+            let next = self.next_at(pred, l);
             self.forward[idx as usize * MAX_LEVEL + l] = next;
-            self.set_next(preds[l], l, idx);
+            self.set_next(pred, l, idx);
         }
         self.len += 1;
         None
@@ -249,10 +249,10 @@ impl<K: Ord, V> SkipList<K, V> {
             return None;
         }
         let node_level = usize::from(self.levels[target as usize]);
-        for l in 0..node_level {
-            debug_assert_eq!(self.next_at(preds[l], l), target);
+        for (l, &pred) in preds.iter().enumerate().take(node_level) {
+            debug_assert_eq!(self.next_at(pred, l), target);
             let after = self.next_of(target, l);
-            self.set_next(preds[l], l, after);
+            self.set_next(pred, l, after);
         }
         self.free.push(target);
         self.len -= 1;

@@ -115,6 +115,9 @@ pub struct WohaScheduler {
     last_replan: Vec<SimTime>,
     /// Total replans performed (observable for tests and reports).
     replans: u64,
+    /// Total `ρ` rollbacks after task failures / node losses (observable
+    /// for tests and reports).
+    rho_rollbacks: u64,
 }
 
 impl WohaScheduler {
@@ -133,12 +136,19 @@ impl WohaScheduler {
             naive_members: Vec::new(),
             last_replan: Vec::new(),
             replans: 0,
+            rho_rollbacks: 0,
         }
     }
 
     /// Number of mid-flight replans performed so far.
     pub fn replans(&self) -> u64 {
         self.replans
+    }
+
+    /// Number of `ρ` rollbacks performed after task failures or node
+    /// losses.
+    pub fn rho_rollbacks(&self) -> u64 {
+        self.rho_rollbacks
     }
 
     /// The scheduler's configuration.
@@ -174,8 +184,59 @@ impl WohaScheduler {
                 .expect("indexed workflow has a record");
             let (old_ct, old_lag) = (record.next_change(), record.lag());
             record.catch_up(now);
-            index.update(wf, old_ct, old_lag, record.next_change(), record.lag(), record.deadline());
+            index.update(
+                wf,
+                old_ct,
+                old_lag,
+                record.next_change(),
+                record.lag(),
+                record.deadline(),
+            );
         }
+    }
+
+    /// Replanning checkpoint shared by job completions and node losses:
+    /// replaces the workflow's plan when it has fallen far enough behind
+    /// and the previous replan is old enough (see [`ReplanConfig`]).
+    fn maybe_replan(&mut self, pool: &WorkflowPool, wf: WorkflowId, now: SimTime) {
+        let Some(rc) = self.config.replan else {
+            return;
+        };
+        let slot = wf.as_u64() as usize;
+        let Some(record) = self.records.get(slot).and_then(Option::as_ref) else {
+            return;
+        };
+        let threshold = (record.plan().total_tasks() as f64 * rc.lag_fraction) as i64;
+        if record.lag() <= threshold.max(1)
+            || now.saturating_since(self.last_replan[slot]) < rc.min_interval
+        {
+            return;
+        }
+        let deadline = record.deadline();
+        let budget = deadline.saturating_since(now);
+        if budget.is_zero() {
+            return; // already past the effective deadline; nothing to re-pace
+        }
+        let Some(new_plan) = replan(
+            pool.workflow(wf),
+            self.config.policy,
+            self.config.total_slots,
+            self.config.cap_mode,
+            budget,
+        ) else {
+            return;
+        };
+        let old = self.records[slot].take().expect("record checked above");
+        if let Some(index) = self.index.as_mut() {
+            index.remove(wf, old.next_change(), old.lag(), old.deadline());
+        }
+        let new_record = WorkflowProgress::new(wf, new_plan, deadline, now);
+        if let Some(index) = self.index.as_mut() {
+            index.insert(wf, new_record.next_change(), new_record.lag(), deadline);
+        }
+        self.records[slot] = Some(new_record);
+        self.last_replan[slot] = now;
+        self.replans += 1;
     }
 
     /// Picks the highest-priority workflow with an eligible task of `kind`,
@@ -249,53 +310,10 @@ impl WorkflowScheduler for WohaScheduler {
         self.records[slot] = Some(record);
     }
 
-    fn on_job_completed(
-        &mut self,
-        pool: &WorkflowPool,
-        wf: WorkflowId,
-        _job: JobId,
-        now: SimTime,
-    ) {
+    fn on_job_completed(&mut self, pool: &WorkflowPool, wf: WorkflowId, _job: JobId, now: SimTime) {
         // Mid-flight replanning checkpoint: job completions are frequent
         // enough to react but far rarer than slot offers.
-        let Some(rc) = self.config.replan else {
-            return;
-        };
-        let slot = wf.as_u64() as usize;
-        let Some(record) = self.records.get(slot).and_then(Option::as_ref) else {
-            return;
-        };
-        let threshold = (record.plan().total_tasks() as f64 * rc.lag_fraction) as i64;
-        if record.lag() <= threshold.max(1)
-            || now.saturating_since(self.last_replan[slot]) < rc.min_interval
-        {
-            return;
-        }
-        let deadline = record.deadline();
-        let budget = deadline.saturating_since(now);
-        if budget.is_zero() {
-            return; // already past the effective deadline; nothing to re-pace
-        }
-        let Some(new_plan) = replan(
-            pool.workflow(wf),
-            self.config.policy,
-            self.config.total_slots,
-            self.config.cap_mode,
-            budget,
-        ) else {
-            return;
-        };
-        let old = self.records[slot].take().expect("record checked above");
-        if let Some(index) = self.index.as_mut() {
-            index.remove(wf, old.next_change(), old.lag(), old.deadline());
-        }
-        let new_record = WorkflowProgress::new(wf, new_plan, deadline, now);
-        if let Some(index) = self.index.as_mut() {
-            index.insert(wf, new_record.next_change(), new_record.lag(), deadline);
-        }
-        self.records[slot] = Some(new_record);
-        self.last_replan[slot] = now;
-        self.replans += 1;
+        self.maybe_replan(pool, wf, now);
     }
 
     fn on_workflow_completed(&mut self, _pool: &WorkflowPool, wf: WorkflowId, _now: SimTime) {
@@ -323,6 +341,50 @@ impl WorkflowScheduler for WohaScheduler {
         let new_lag = record.lag();
         if let Some(index) = self.index.as_mut() {
             index.update(wf, ct, old_lag, ct, new_lag, deadline);
+        }
+    }
+
+    fn on_task_failed(
+        &mut self,
+        _pool: &WorkflowPool,
+        wf: WorkflowId,
+        _job: JobId,
+        _kind: SlotKind,
+        _now: SimTime,
+    ) {
+        // The failed task re-enters the pending queue, so the counted
+        // assignment never happened: roll back `ρ` (and the priority) the
+        // same way an assignment advanced them. Guarded: a late failure
+        // notification for an already-completed workflow is a no-op.
+        let slot = wf.as_u64() as usize;
+        let Some(record) = self.records.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let (ct, old_lag, deadline) = (record.next_change(), record.lag(), record.deadline());
+        record.on_task_failed();
+        let new_lag = record.lag();
+        if let Some(index) = self.index.as_mut() {
+            index.update(wf, ct, old_lag, ct, new_lag, deadline);
+        }
+        self.rho_rollbacks += 1;
+    }
+
+    fn on_node_lost(&mut self, pool: &WorkflowPool, _node: woha_model::NodeId, now: SimTime) {
+        // A node loss can throw many workflows behind their plans at once
+        // (rolled-back tasks plus invalidated map outputs), so treat it as
+        // a replanning checkpoint for every queued workflow. `maybe_replan`
+        // itself filters by lag threshold and the per-workflow cooldown.
+        if self.config.replan.is_none() {
+            return;
+        }
+        let queued: Vec<WorkflowId> = self
+            .records
+            .iter()
+            .flatten()
+            .map(WorkflowProgress::id)
+            .collect();
+        for wf in queued {
+            self.maybe_replan(pool, wf, now);
         }
     }
 
@@ -509,6 +571,55 @@ mod tests {
         };
         assert_eq!(base.deadline_misses(), 0);
         assert_eq!(with_replan.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn node_crash_rolls_back_progress() {
+        use woha_sim::{FaultConfig, ScriptedFault};
+        // Node 2 dies at t=5 with two of job a's maps running on it; the
+        // rolled-back assignments must be mirrored in ρ (and any lost map
+        // outputs, had there been completed maps on the node).
+        let workflows = vec![chain_workflow("w", 0, 600)];
+        let cluster = ClusterConfig::uniform(3, 2, 1).with_faults(FaultConfig::scripted(vec![
+            ScriptedFault {
+                node: woha_model::NodeId::new(2),
+                down_at: SimTime::from_secs(5),
+                up_at: Some(SimTime::from_secs(60)),
+            },
+        ]));
+        let mut sched = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 9));
+        let report = run_simulation(&workflows, &mut sched, &cluster, &SimConfig::default());
+        assert!(report.completed);
+        assert_eq!(report.node_failures, 1);
+        assert!(report.tasks_requeued > 0);
+        assert!(sched.rho_rollbacks() > 0, "hooks should have fired");
+        assert_eq!(
+            sched.rho_rollbacks(),
+            report.tasks_requeued + report.map_outputs_lost
+        );
+        assert_eq!(report.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn node_loss_is_a_replanning_checkpoint() {
+        // Submit a workflow, let it idle far past its plan, then deliver a
+        // node-loss notification: the on_node_lost checkpoint must replan
+        // without waiting for a job completion.
+        let mut pool = woha_sim::WorkflowPool::new();
+        let wf = pool.register(chain_workflow("w", 0, 120));
+        let mut sched = WohaScheduler::new(WohaConfig {
+            replan: Some(crate::replan::ReplanConfig {
+                lag_fraction: 0.1,
+                min_interval: SimDuration::from_secs(1),
+            }),
+            ..WohaConfig::new(PriorityPolicy::Lpf, 9)
+        });
+        sched.on_workflow_submitted(&pool, wf, SimTime::ZERO);
+        let now = SimTime::from_secs(60);
+        let _ = sched.assign_task(&pool, SlotKind::Map, now); // refresh lags
+        assert_eq!(sched.replans(), 0);
+        sched.on_node_lost(&pool, woha_model::NodeId::new(0), now);
+        assert!(sched.replans() > 0, "node loss should trigger a replan");
     }
 
     #[test]

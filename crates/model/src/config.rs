@@ -297,10 +297,11 @@ fn parse_job(e: &Element) -> Result<JobConfig, ModelError> {
 }
 
 fn require_attr<'a>(e: &'a Element, attribute: &str) -> Result<&'a str, ModelError> {
-    e.attr(attribute).ok_or_else(|| ModelError::MissingAttribute {
-        element: e.name.clone(),
-        attribute: attribute.to_string(),
-    })
+    e.attr(attribute)
+        .ok_or_else(|| ModelError::MissingAttribute {
+            element: e.name.clone(),
+            attribute: attribute.to_string(),
+        })
 }
 
 fn parse_u32(e: &Element, attribute: &str) -> Result<u32, ModelError> {
@@ -351,11 +352,11 @@ pub fn format_duration(d: SimDuration) -> String {
     if ms == 0 {
         return "0s".to_string();
     }
-    if ms % 3_600_000 == 0 {
+    if ms.is_multiple_of(3_600_000) {
         format!("{}h", ms / 3_600_000)
-    } else if ms % 60_000 == 0 {
+    } else if ms.is_multiple_of(60_000) {
         format!("{}m", ms / 60_000)
-    } else if ms % 1_000 == 0 {
+    } else if ms.is_multiple_of(1_000) {
         format!("{}s", ms / 1_000)
     } else {
         format!("{ms}ms")
@@ -422,9 +423,10 @@ mod tests {
 
     #[test]
     fn missing_deadline_is_none() {
-        let cfg =
-            WorkflowConfig::parse(r#"<workflow name="w"><job name="a" mappers="1" map-duration="5s"/></workflow>"#)
-                .unwrap();
+        let cfg = WorkflowConfig::parse(
+            r#"<workflow name="w"><job name="a" mappers="1" map-duration="5s"/></workflow>"#,
+        )
+        .unwrap();
         assert_eq!(cfg.relative_deadline, None);
         let spec = cfg.to_spec(SimTime::ZERO).unwrap();
         assert_eq!(spec.deadline(), SimTime::MAX);
@@ -464,25 +466,34 @@ mod tests {
     #[test]
     fn rejects_missing_and_bad_attributes() {
         assert!(matches!(
-            WorkflowConfig::parse(r#"<workflow><job name="a" mappers="1" map-duration="5s"/></workflow>"#)
-                .unwrap_err(),
+            WorkflowConfig::parse(
+                r#"<workflow><job name="a" mappers="1" map-duration="5s"/></workflow>"#
+            )
+            .unwrap_err(),
             ModelError::MissingAttribute { .. }
         ));
         assert!(matches!(
-            WorkflowConfig::parse(r#"<workflow name="w"><job name="a" mappers="lots" map-duration="5s"/></workflow>"#)
-                .unwrap_err(),
+            WorkflowConfig::parse(
+                r#"<workflow name="w"><job name="a" mappers="lots" map-duration="5s"/></workflow>"#
+            )
+            .unwrap_err(),
             ModelError::InvalidNumber { .. }
         ));
         assert!(matches!(
-            WorkflowConfig::parse(r#"<workflow name="w"><job name="a" mappers="1" map-duration="soon"/></workflow>"#)
-                .unwrap_err(),
+            WorkflowConfig::parse(
+                r#"<workflow name="w"><job name="a" mappers="1" map-duration="soon"/></workflow>"#
+            )
+            .unwrap_err(),
             ModelError::InvalidDuration(_)
         ));
     }
 
     #[test]
     fn duration_parsing() {
-        assert_eq!(parse_duration("250ms").unwrap(), SimDuration::from_millis(250));
+        assert_eq!(
+            parse_duration("250ms").unwrap(),
+            SimDuration::from_millis(250)
+        );
         assert_eq!(parse_duration("30s").unwrap(), SimDuration::from_secs(30));
         assert_eq!(parse_duration("80m").unwrap(), SimDuration::from_mins(80));
         assert_eq!(parse_duration("2h").unwrap(), SimDuration::from_mins(120));

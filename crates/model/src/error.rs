@@ -59,7 +59,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::Cycle { job } => {
-                write!(f, "workflow prerequisite relation contains a cycle through {job}")
+                write!(
+                    f,
+                    "workflow prerequisite relation contains a cycle through {job}"
+                )
             }
             ModelError::UnknownJob { job, job_count } => write!(
                 f,
@@ -83,7 +86,10 @@ impl fmt::Display for ModelError {
                 write!(f, "attribute {attribute:?} has non-numeric value {value:?}")
             }
             ModelError::MissingAttribute { element, attribute } => {
-                write!(f, "element <{element}> is missing required attribute {attribute:?}")
+                write!(
+                    f,
+                    "element <{element}> is missing required attribute {attribute:?}"
+                )
             }
             ModelError::Xml(e) => write!(f, "malformed workflow XML: {e}"),
             ModelError::Schema(msg) => write!(f, "workflow XML does not match schema: {msg}"),
@@ -149,7 +155,10 @@ impl fmt::Display for XmlError {
                 write!(f, "unexpected end of input while reading {context}")
             }
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "closing tag </{found}> does not match open tag <{expected}>")
+                write!(
+                    f,
+                    "closing tag </{found}> does not match open tag <{expected}>"
+                )
             }
             XmlError::UnexpectedChar {
                 found,

@@ -216,7 +216,11 @@ impl TaskId {
 
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}/{}{}", self.workflow, self.job, self.kind, self.index)
+        write!(
+            f,
+            "{}/{}/{}{}",
+            self.workflow, self.job, self.kind, self.index
+        )
     }
 }
 

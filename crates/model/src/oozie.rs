@@ -128,11 +128,9 @@ pub fn from_oozie_xml(
             }
             "action" => {
                 let action_name = require(child, "name")?;
-                let ok = child
-                    .first_named("ok")
-                    .ok_or_else(|| {
-                        ModelError::Schema(format!("action {action_name:?} has no <ok> transition"))
-                    })?;
+                let ok = child.first_named("ok").ok_or_else(|| {
+                    ModelError::Schema(format!("action {action_name:?} has no <ok> transition"))
+                })?;
                 let ok_to = ok.attr("to").ok_or_else(|| ModelError::MissingAttribute {
                     element: "ok".into(),
                     attribute: "to".into(),
@@ -213,9 +211,7 @@ pub fn from_oozie_xml(
         let result = match node {
             Node::Action { .. } => vec![target.to_string()],
             Node::End | Node::Kill => Vec::new(),
-            Node::Start { to } | Node::Join { to } => {
-                actions_reached(to, nodes, memo, depth + 1)?
-            }
+            Node::Start { to } | Node::Join { to } => actions_reached(to, nodes, memo, depth + 1)?,
             Node::Fork { paths } => {
                 let mut all = Vec::new();
                 for p in paths {
@@ -236,7 +232,10 @@ pub fn from_oozie_xml(
             unreachable!("action_order only holds actions");
         };
         for dependent in actions_reached(ok_to, &nodes, &mut memo, 0)? {
-            depends_on.entry(dependent).or_default().push(action.clone());
+            depends_on
+                .entry(dependent)
+                .or_default()
+                .push(action.clone());
         }
     }
     // Verify the start transition reaches at least one action.

@@ -272,7 +272,7 @@ fn fmt_millis(ms: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     if ms == u64::MAX {
         return f.write_str("inf");
     }
-    if ms % 1_000 == 0 {
+    if ms.is_multiple_of(1_000) {
         write!(f, "{}s", ms / 1_000)
     } else {
         write!(f, "{}.{:03}s", ms / 1_000, ms % 1_000)

@@ -185,12 +185,7 @@ impl WorkflowSpec {
     /// The critical-path length of the workflow: the heaviest chain of job
     /// lengths. A lower bound on the workflow's makespan on any cluster.
     pub fn critical_path(&self) -> SimDuration {
-        SimDuration::from_millis(
-            self.longest_paths_millis()
-                .into_iter()
-                .max()
-                .unwrap_or(0),
-        )
+        SimDuration::from_millis(self.longest_paths_millis().into_iter().max().unwrap_or(0))
     }
 
     /// A copy of this workflow with a new name, submission time, and
@@ -385,7 +380,10 @@ mod tests {
         let w = diamond();
         assert_eq!(w.name(), "diamond");
         assert_eq!(w.job_count(), 4);
-        assert_eq!(w.prerequisites(JobId::new(3)), &[JobId::new(1), JobId::new(2)]);
+        assert_eq!(
+            w.prerequisites(JobId::new(3)),
+            &[JobId::new(1), JobId::new(2)]
+        );
         assert_eq!(w.dependents(JobId::new(0)), &[JobId::new(1), JobId::new(2)]);
         assert_eq!(w.initially_ready(), vec![JobId::new(0)]);
         assert_eq!(w.job_by_name("r"), Some(JobId::new(2)));

@@ -387,11 +387,8 @@ impl<'a> Parser<'a> {
                     return Ok(Some(Node::Element(element)));
                 }
                 self.expect(b'>', "'>' closing an open tag")?;
-                loop {
-                    match self.parse_node()? {
-                        Some(child) => element.children.push(child),
-                        None => break,
-                    }
+                while let Some(child) = self.parse_node()? {
+                    element.children.push(child);
                 }
                 if !self.starts_with("</") {
                     return Err(XmlError::UnexpectedEof {
@@ -460,7 +457,10 @@ mod tests {
         assert_eq!(doc.attr("deadline"), Some("80m"));
         let jobs: Vec<&Element> = doc.elements_named("job").collect();
         assert_eq!(jobs.len(), 2);
-        assert_eq!(jobs[0].first_named("input").unwrap().attr("path"), Some("/a"));
+        assert_eq!(
+            jobs[0].first_named("input").unwrap().attr("path"),
+            Some("/a")
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ proptest! {
 }
 
 fn arb_workflow() -> impl Strategy<Value = WorkflowSpec> {
-    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..20), 1u64..100)
+    (
+        2usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12), 0..20),
+        1u64..100,
+    )
         .prop_map(|(n, raw_edges, deadline_mins)| {
             let mut b = WorkflowBuilder::new("prop");
             let ids: Vec<JobId> = (0..n)

@@ -1,5 +1,6 @@
 //! Cluster configuration: nodes and their map/reduce slots.
 
+use crate::fault::FaultConfig;
 use serde::{Deserialize, Serialize};
 use woha_model::{NodeId, SimDuration, SlotKind};
 
@@ -19,6 +20,18 @@ impl NodeConfig {
             SlotKind::Map => self.map_slots,
             SlotKind::Reduce => self.reduce_slots,
         }
+    }
+
+    /// Total slots of both kinds on this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sum overflows `u32` (also in release builds — slot
+    /// counts feed capacity math that must not wrap silently).
+    pub fn total_slots(&self) -> u32 {
+        self.map_slots
+            .checked_add(self.reduce_slots)
+            .expect("node slot count overflows u32")
     }
 }
 
@@ -44,6 +57,7 @@ impl NodeConfig {
 pub struct ClusterConfig {
     nodes: Vec<NodeConfig>,
     heartbeat_interval: SimDuration,
+    faults: FaultConfig,
 }
 
 impl ClusterConfig {
@@ -60,16 +74,16 @@ impl ClusterConfig {
     /// Panics if `node_count` is zero or both slot counts are zero.
     pub fn uniform(node_count: u32, map_slots: u32, reduce_slots: u32) -> Self {
         assert!(node_count > 0, "cluster needs at least one node");
-        assert!(map_slots + reduce_slots > 0, "nodes need at least one slot");
+        let node = NodeConfig {
+            map_slots,
+            reduce_slots,
+        };
+        // Checked: `map_slots + reduce_slots` would wrap in release builds.
+        assert!(node.total_slots() > 0, "nodes need at least one slot");
         ClusterConfig {
-            nodes: vec![
-                NodeConfig {
-                    map_slots,
-                    reduce_slots
-                };
-                node_count as usize
-            ],
+            nodes: vec![node; node_count as usize],
             heartbeat_interval: Self::DEFAULT_HEARTBEAT,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -81,7 +95,10 @@ impl ClusterConfig {
     ///
     /// Panics if both totals are zero.
     pub fn with_totals(map_slots: u32, reduce_slots: u32) -> Self {
-        assert!(map_slots + reduce_slots > 0, "cluster needs slots");
+        let total = map_slots
+            .checked_add(reduce_slots)
+            .expect("cluster slot count overflows u32");
+        assert!(total > 0, "cluster needs slots");
         let node_count = map_slots.div_ceil(2).max(reduce_slots.div_ceil(2)).max(1);
         let mut nodes = Vec::with_capacity(node_count as usize);
         let mut maps_left = map_slots;
@@ -100,6 +117,7 @@ impl ClusterConfig {
         ClusterConfig {
             nodes,
             heartbeat_interval: Self::DEFAULT_HEARTBEAT,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -111,6 +129,13 @@ impl ClusterConfig {
     pub fn with_heartbeat(mut self, interval: SimDuration) -> Self {
         assert!(!interval.is_zero(), "heartbeat interval must be positive");
         self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Attaches a fault-injection configuration (builder-style). The
+    /// default configuration injects nothing.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -139,19 +164,36 @@ impl ClusterConfig {
     }
 
     /// Total slots of a kind across the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total overflows `u32`.
     pub fn total_slots(&self, kind: SlotKind) -> u32 {
-        self.nodes.iter().map(|n| n.slots(kind)).sum()
+        self.nodes.iter().map(|n| n.slots(kind)).fold(0u32, |a, s| {
+            a.checked_add(s).expect("cluster slot count overflows u32")
+        })
     }
 
     /// Total slots of both kinds (the resource cap `n` handed to the
     /// Scheduling Plan Generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total overflows `u32`.
     pub fn total_all_slots(&self) -> u32 {
-        self.total_slots(SlotKind::Map) + self.total_slots(SlotKind::Reduce)
+        self.total_slots(SlotKind::Map)
+            .checked_add(self.total_slots(SlotKind::Reduce))
+            .expect("cluster slot count overflows u32")
     }
 
     /// TaskTracker heartbeat interval.
     pub fn heartbeat_interval(&self) -> SimDuration {
         self.heartbeat_interval
+    }
+
+    /// The fault-injection configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
     }
 }
 
@@ -212,5 +254,44 @@ mod tests {
         let ids: Vec<NodeId> = c.node_ids().collect();
         assert_eq!(ids.len(), 5);
         assert_eq!(ids[4], NodeId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn uniform_rejects_slot_overflow() {
+        ClusterConfig::uniform(1, u32::MAX, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn with_totals_rejects_slot_overflow() {
+        ClusterConfig::with_totals(u32::MAX, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn node_total_slots_rejects_overflow() {
+        NodeConfig {
+            map_slots: u32::MAX,
+            reduce_slots: u32::MAX,
+        }
+        .total_slots();
+    }
+
+    #[test]
+    fn faults_default_disabled_and_builder_attaches() {
+        use crate::fault::{FaultConfig, ScriptedFault};
+        use woha_model::SimTime;
+
+        let c = ClusterConfig::uniform(2, 1, 1);
+        assert!(!c.faults().enabled());
+        let f = FaultConfig::scripted(vec![ScriptedFault {
+            node: NodeId::new(1),
+            down_at: SimTime::from_secs(5),
+            up_at: None,
+        }]);
+        let c = c.with_faults(f.clone());
+        assert!(c.faults().enabled());
+        assert_eq!(c.faults(), &f);
     }
 }

@@ -21,9 +21,17 @@
 //! deterministic per-task jitter ([`SimConfig::duration_jitter`]), so plans
 //! are tested against "error in execution time prediction" exactly as the
 //! paper cautions.
+//!
+//! When the cluster carries a [`FaultConfig`](crate::FaultConfig), nodes
+//! crash and recover (see [`crate::fault`]): running attempts die with the
+//! node, the JobTracker requeues them once its failure detector declares
+//! the node lost (or the node re-registers first), completed map outputs
+//! hosted on the node are re-executed while reducers still need them, and
+//! repeatedly-crashing nodes can be blacklisted.
 
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
+use crate::fault::{splitmix, FaultStream};
 use crate::metrics::{SimReport, TimelineRecorder, WorkflowOutcome};
 use crate::scheduler::WorkflowScheduler;
 use crate::state::WorkflowPool;
@@ -158,6 +166,19 @@ struct AttemptGroup {
     attempt_count: u8,
 }
 
+/// Work destroyed by a node crash, parked until the JobTracker learns of
+/// the crash (failure-detector timeout or the node re-registering).
+#[derive(Debug, Clone, Copy)]
+struct LostTask {
+    wf: WorkflowId,
+    job: JobId,
+    kind: SlotKind,
+    /// Whether this was the only live attempt of its logical task: solo
+    /// attempts are requeued as pending; non-solo ones just release their
+    /// running count because a twin is still racing elsewhere.
+    solo: bool,
+}
+
 /// Deterministic preferred node for `(wf, job, task, replica)`.
 fn preferred_node(
     seed: u64,
@@ -177,16 +198,16 @@ fn preferred_node(
     NodeId::new((h % node_count as u64) as u32)
 }
 
-/// splitmix64 finalizer used by both the jitter and failure streams.
-fn splitmix(mut h: u64) -> u64 {
-    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    h ^ (h >> 31)
-}
-
 /// Deterministic per-task jitter factor: a splitmix64 hash of the task's
 /// identity mapped into `[1 - jitter, 1 + jitter]`.
-fn jitter_factor(seed: u64, wf: WorkflowId, job: JobId, kind: SlotKind, index: u32, jitter: f64) -> f64 {
+fn jitter_factor(
+    seed: u64,
+    wf: WorkflowId,
+    job: JobId,
+    kind: SlotKind,
+    index: u32,
+    jitter: f64,
+) -> f64 {
     if jitter <= 0.0 {
         return 1.0;
     }
@@ -232,11 +253,15 @@ impl NodeSlots {
 
 struct Sim<'a> {
     config: &'a SimConfig,
+    cluster: &'a ClusterConfig,
     queue: EventQueue,
     pool: WorkflowPool,
     nodes: Vec<NodeSlots>,
     remaining: usize,
     now: SimTime,
+    /// Unified seeded stream behind failure, straggler, crash, and repair
+    /// draws: `(config, seed)` fully determines a run.
+    rng: FaultStream,
     // busy accounting
     busy_count: [u32; 2],
     busy_integral_ms: [u128; 2],
@@ -258,7 +283,7 @@ struct Sim<'a> {
     remote_map_tasks: u64,
     delay_skip_count: u64,
     scheduler_nanos: u64,
-    // Speculation bookkeeping (speculation mode only).
+    // Attempt bookkeeping (speculation and/or fault mode).
     attempts: HashMap<u64, Attempt>,
     groups: HashMap<u64, AttemptGroup>,
     next_attempt: u64,
@@ -266,6 +291,33 @@ struct Sim<'a> {
     stragglers: u64,
     speculative_launched: u64,
     speculative_wins: u64,
+    /// Whether per-attempt state is tracked (needed to race duplicates and
+    /// to know what died with a node).
+    track_attempts: bool,
+    // Fault-injection state (fault mode only).
+    fault_mode: bool,
+    /// Whether each node is currently up.
+    alive: Vec<bool>,
+    /// Whether each node has been blacklisted (never rejoins).
+    node_blacklisted: Vec<bool>,
+    /// Outage counter per node; stamps [`Event::NodeLost`] detections so
+    /// stale ones (the node already recovered) are dropped.
+    incident: Vec<u64>,
+    /// Crashes per node (drives blacklisting).
+    crash_count: Vec<u32>,
+    /// Whether the node's periodic heartbeat chain is still scheduled.
+    heartbeat_live: Vec<bool>,
+    /// Work killed by a crash, awaiting requeue at detection or recovery.
+    lost_pending: Vec<Vec<LostTask>>,
+    /// Nodes hosting each incomplete job's completed map outputs (one entry
+    /// per completed map execution; jobs with reducers only).
+    map_output_hosts: HashMap<(WorkflowId, JobId), Vec<NodeId>>,
+    node_failures: u64,
+    node_recoveries: u64,
+    nodes_blacklisted: u64,
+    tasks_requeued: u64,
+    map_outputs_lost: u64,
+    work_lost_slot_ms: u128,
 }
 
 impl<'a> Sim<'a> {
@@ -320,12 +372,7 @@ impl<'a> Sim<'a> {
     /// on `node`: a node-local task if one exists, otherwise the last
     /// pending one at the remote penalty. Returns `(task index, local?)`,
     /// or `None` to decline the offer (delay scheduling).
-    fn pick_map_task(
-        &mut self,
-        wf: WorkflowId,
-        job: JobId,
-        node: NodeId,
-    ) -> Option<(u32, bool)> {
+    fn pick_map_task(&mut self, wf: WorkflowId, job: JobId, node: NodeId) -> Option<(u32, bool)> {
         let loc = self.config.locality.expect("locality mode");
         let seed = self.config.seed;
         let node_count = self.node_count;
@@ -334,9 +381,7 @@ impl<'a> Sim<'a> {
             .get_mut(&(wf, job))
             .expect("activated job has pending map ids");
         let local_pos = ids.iter().position(|&task| {
-            (0..loc.replicas).any(|r| {
-                preferred_node(seed, wf, job, task, r, node_count) == node
-            })
+            (0..loc.replicas).any(|r| preferred_node(seed, wf, job, task, r, node_count) == node)
         });
         if let Some(pos) = local_pos {
             let task = ids.swap_remove(pos);
@@ -364,16 +409,16 @@ impl<'a> Sim<'a> {
         kind: SlotKind,
         attempt: u64,
     ) {
-        // Speculation bookkeeping: resolve which attempt this is and
-        // whether it still matters.
-        if self.config.speculation.is_some() {
+        // Attempt bookkeeping: resolve which attempt this is and whether it
+        // still matters (its twin may have won, or its node may have died).
+        if self.track_attempts {
             let info = self
                 .attempts
                 .remove(&attempt)
                 .expect("completion for a registered attempt");
             if info.cancelled {
-                // The race was decided earlier; this slot was already
-                // freed when the attempt was killed.
+                // The race was decided (or the node crashed) earlier; this
+                // slot was already freed when the attempt was killed.
                 return;
             }
             // This attempt wins its group. Kill the twin, if racing.
@@ -386,6 +431,11 @@ impl<'a> Sim<'a> {
                     continue;
                 }
                 if let Some(other) = self.attempts.get_mut(&other_id) {
+                    if other.cancelled {
+                        // Already killed by a node crash; its accounting
+                        // was settled then.
+                        continue;
+                    }
                     other.cancelled = true;
                     let other = *other;
                     // Free the loser's slot immediately (Hadoop kills it).
@@ -430,19 +480,27 @@ impl<'a> Sim<'a> {
                         ids.push(spec_maps + retried);
                     }
                 }
+                scheduler.on_task_failed(&self.pool, wf, job, kind, self.now);
                 self.assign_node(scheduler, node);
                 return;
             }
         }
+        if self.fault_mode
+            && kind == SlotKind::Map
+            && self.pool.workflow(wf).spec().job(job).reduce_tasks() > 0
+        {
+            // Remember where the map output lives: reducers fetch it from
+            // the mapper's local disk, so it dies with the node.
+            self.map_output_hosts
+                .entry((wf, job))
+                .or_default()
+                .push(node);
+        }
         let job_done = self.pool.workflow_mut(wf).finish_task(job, kind, self.now);
         if job_done {
+            self.map_output_hosts.remove(&(wf, job));
             scheduler.on_job_completed(&self.pool, wf, job, self.now);
-            let dependents: Vec<JobId> = self
-                .pool
-                .workflow(wf)
-                .spec()
-                .dependents(job)
-                .to_vec();
+            let dependents: Vec<JobId> = self.pool.workflow(wf).spec().dependents(job).to_vec();
             for dep in dependents {
                 if self.pool.workflow_mut(wf).satisfy_prereq(dep) {
                     self.begin_job_submission(wf, dep);
@@ -458,7 +516,7 @@ impl<'a> Sim<'a> {
 
     /// Deterministic failure roll for the current completion.
     fn roll_failure(&self) -> bool {
-        self.roll(0xFA11_FA11_FA11_FA11, self.completion_seq) < self.config.task_failure_prob
+        self.rng.task_failure(self.completion_seq) < self.config.task_failure_prob
     }
 
     /// Offers all of `node`'s free slots to the scheduler, as a heartbeat
@@ -540,10 +598,12 @@ impl<'a> Sim<'a> {
         let attempt = self.next_attempt;
         self.next_attempt += 1;
         if let Some(spec) = self.config.speculation {
-            if self.roll(0x57A6_57A6_57A6_57A6, attempt) < spec.straggler_prob {
+            if self.rng.straggler(attempt) < spec.straggler_prob {
                 factor *= spec.straggler_factor.max(1.0);
                 self.stragglers += 1;
             }
+        }
+        if self.track_attempts {
             let group = self.next_group;
             self.next_group += 1;
             self.attempts.insert(
@@ -595,12 +655,6 @@ impl<'a> Sim<'a> {
         true
     }
 
-    /// Deterministic uniform roll in `[0, 1)` for the given salt/sequence.
-    fn roll(&self, salt: u64, sequence: u64) -> f64 {
-        let h = splitmix(self.config.seed ^ salt ^ sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
     /// Launches a speculative duplicate of the most-overdue running
     /// attempt of `kind`, if any, onto `node`. Returns whether a duplicate
     /// was launched.
@@ -634,7 +688,7 @@ impl<'a> Sim<'a> {
         self.next_attempt += 1;
         // The duplicate gets a fresh duration (its own straggler roll).
         let mut factor = 1.0;
-        if self.roll(0x57A6_57A6_57A6_57A6, attempt) < spec.straggler_prob {
+        if self.rng.straggler(attempt) < spec.straggler_prob {
             factor *= spec.straggler_factor.max(1.0);
             self.stragglers += 1;
         }
@@ -677,6 +731,193 @@ impl<'a> Sim<'a> {
         );
         true
     }
+
+    /// A node crashes: every attempt on it dies, its slots leave the pool,
+    /// and detection (plus repair, for stochastic crashes) is scheduled.
+    /// The JobTracker's pool is *not* touched yet — it still believes the
+    /// tasks are running until [`Self::requeue_lost`].
+    fn handle_node_down(&mut self, node: NodeId) {
+        let i = node.index();
+        if !self.alive[i] || self.node_blacklisted[i] {
+            return;
+        }
+        self.alive[i] = false;
+        self.incident[i] += 1;
+        self.crash_count[i] += 1;
+        self.node_failures += 1;
+        self.touch_busy();
+        // Kill every live attempt on the node, in attempt-id order (the
+        // map iterates in arbitrary order; sorting keeps runs seeded).
+        let mut victims: Vec<u64> = self
+            .attempts
+            .iter()
+            .filter(|(_, a)| a.node == node && !a.cancelled)
+            .map(|(&id, _)| id)
+            .collect();
+        victims.sort_unstable();
+        for id in victims {
+            let a = self.attempts.get_mut(&id).expect("victim is registered");
+            a.cancelled = true;
+            let a = *a;
+            self.busy_count[Self::kind_index(a.kind)] -= 1;
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(self.now, a.wf, a.kind, -1);
+            }
+            self.work_lost_slot_ms += u128::from(self.now.saturating_since(a.started).as_millis());
+            let group = self.groups.get(&a.group).expect("live group");
+            let twin_alive = group.attempts[..usize::from(group.attempt_count)]
+                .iter()
+                .any(|&o| o != id && self.attempts.get(&o).is_some_and(|t| !t.cancelled));
+            if !twin_alive {
+                self.groups.remove(&a.group);
+            }
+            self.lost_pending[i].push(LostTask {
+                wf: a.wf,
+                job: a.job,
+                kind: a.kind,
+                solo: !twin_alive,
+            });
+        }
+        // Slots leave the pool until the node re-registers.
+        self.nodes[i].free_maps = 0;
+        self.nodes[i].free_reduces = 0;
+        let node_cfg = self.cluster.node(node);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record_down(self.now, node_cfg.total_slots() as i32);
+        }
+        let faults = self.cluster.faults();
+        if faults.blacklist_after > 0 && self.crash_count[i] >= faults.blacklist_after {
+            self.node_blacklisted[i] = true;
+            self.nodes_blacklisted += 1;
+        }
+        // Failure detector: the JobTracker declares the node lost after it
+        // misses the configured number of heartbeats.
+        let detect = SimDuration::from_millis(
+            self.cluster.heartbeat_interval().as_millis()
+                * u64::from(faults.detect_missed_heartbeats.max(1)),
+        );
+        self.queue.push(
+            self.now.saturating_add(detect),
+            Event::NodeLost {
+                node,
+                incident: self.incident[i],
+            },
+        );
+        // Stochastic crashes sample their repair time now; scripted faults
+        // carry their own absolute repair times.
+        if let Some(mttr) = faults.mtbf.map(|_| faults.mttr) {
+            let ttr = self.rng.time_to_repair(node, self.incident[i], mttr);
+            self.queue
+                .push(self.now.saturating_add(ttr), Event::NodeUp(node));
+        }
+    }
+
+    /// A node finishes repair and re-registers with the JobTracker. Any
+    /// work not yet requeued is requeued now (re-registration proves the
+    /// old attempts are gone), and its slots rejoin the pool empty.
+    fn handle_node_up(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
+        let i = node.index();
+        if self.alive[i] || self.node_blacklisted[i] {
+            return;
+        }
+        self.requeue_lost(scheduler, node);
+        self.alive[i] = true;
+        self.node_recoveries += 1;
+        let node_cfg = self.cluster.node(node);
+        self.nodes[i].free_maps = node_cfg.map_slots;
+        self.nodes[i].free_reduces = node_cfg.reduce_slots;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record_down(self.now, -(node_cfg.total_slots() as i32));
+        }
+        if !self.heartbeat_live[i] {
+            self.heartbeat_live[i] = true;
+            self.queue.push(self.now, Event::Heartbeat(node));
+        }
+        if let Some(mtbf) = self.cluster.faults().mtbf {
+            let ttf = self.rng.time_to_failure(node, self.incident[i], mtbf);
+            self.queue
+                .push(self.now.saturating_add(ttf), Event::NodeDown(node));
+        }
+    }
+
+    /// The failure detector fires: if the node is still down and the
+    /// detection belongs to the current outage, requeue its work and give
+    /// the scheduler its node-loss checkpoint.
+    fn handle_node_lost(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        node: NodeId,
+        incident: u64,
+    ) {
+        let i = node.index();
+        if self.alive[i] || self.incident[i] != incident {
+            return;
+        }
+        self.requeue_lost(scheduler, node);
+        scheduler.on_node_lost(&self.pool, node, self.now);
+    }
+
+    /// Applies the JobTracker-side consequences of a crash: killed attempts
+    /// re-enter the pending queues, and completed map outputs hosted on the
+    /// node are invalidated and re-executed while reducers still need them.
+    fn requeue_lost(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
+        let lost = std::mem::take(&mut self.lost_pending[node.index()]);
+        for t in lost {
+            if t.solo {
+                self.pool.workflow_mut(t.wf).fail_task(t.job, t.kind);
+                self.tasks_requeued += 1;
+                if t.kind == SlotKind::Map && self.config.locality.is_some() {
+                    let spec_maps = self.pool.workflow(t.wf).spec().job(t.job).map_tasks();
+                    let retried = self.pool.workflow(t.wf).job(t.job).retried(t.kind);
+                    if let Some(ids) = self.pending_map_ids.get_mut(&(t.wf, t.job)) {
+                        ids.push(spec_maps + retried);
+                    }
+                }
+                scheduler.on_task_failed(&self.pool, t.wf, t.job, t.kind, self.now);
+            } else {
+                // A twin is still racing on another node: only undo this
+                // attempt's running count.
+                self.pool
+                    .workflow_mut(t.wf)
+                    .finish_speculative(t.job, t.kind);
+            }
+        }
+        // Completed map outputs on the node are gone; jobs whose reducers
+        // still need them re-execute those maps (in key order — the map
+        // iterates in arbitrary order).
+        let mut jobs: Vec<(WorkflowId, JobId)> = self
+            .map_output_hosts
+            .iter()
+            .filter(|(_, hosts)| hosts.contains(&node))
+            .map(|(&key, _)| key)
+            .collect();
+        jobs.sort_unstable_by_key(|&(wf, job)| (wf.as_u64(), job.as_u32()));
+        for (wf, job) in jobs {
+            let hosts = self
+                .map_output_hosts
+                .get_mut(&(wf, job))
+                .expect("key exists");
+            let before = hosts.len();
+            hosts.retain(|&h| h != node);
+            let lost = (before - hosts.len()) as u32;
+            self.pool
+                .workflow_mut(wf)
+                .invalidate_completed_maps(job, lost);
+            self.map_outputs_lost += u64::from(lost);
+            if self.config.locality.is_some() {
+                let spec_maps = self.pool.workflow(wf).spec().job(job).map_tasks();
+                let retried = self.pool.workflow(wf).job(job).retried(SlotKind::Map);
+                if let Some(ids) = self.pending_map_ids.get_mut(&(wf, job)) {
+                    for k in 0..lost {
+                        ids.push(spec_maps + retried - k);
+                    }
+                }
+            }
+            for _ in 0..lost {
+                scheduler.on_task_failed(&self.pool, wf, job, SlotKind::Map, self.now);
+            }
+        }
+    }
 }
 
 /// Runs one simulation of `workflows` under `scheduler` on `cluster`.
@@ -712,8 +953,11 @@ pub fn run_simulation(
     cluster: &ClusterConfig,
     config: &SimConfig,
 ) -> SimReport {
+    let fault_mode = cluster.faults().enabled();
+    let node_count = cluster.node_count();
     let mut sim = Sim {
         config,
+        cluster,
         queue: EventQueue::new(),
         pool: WorkflowPool::new(),
         nodes: cluster
@@ -726,6 +970,7 @@ pub fn run_simulation(
             .collect(),
         remaining: workflows.len(),
         now: SimTime::ZERO,
+        rng: FaultStream::new(config.seed),
         busy_count: [0, 0],
         busy_integral_ms: [0, 0],
         last_busy_touch: SimTime::ZERO,
@@ -750,6 +995,21 @@ pub fn run_simulation(
         stragglers: 0,
         speculative_launched: 0,
         speculative_wins: 0,
+        track_attempts: config.speculation.is_some() || fault_mode,
+        fault_mode,
+        alive: vec![true; node_count],
+        node_blacklisted: vec![false; node_count],
+        incident: vec![0; node_count],
+        crash_count: vec![0; node_count],
+        heartbeat_live: vec![true; node_count],
+        lost_pending: vec![Vec::new(); node_count],
+        map_output_hosts: HashMap::new(),
+        node_failures: 0,
+        node_recoveries: 0,
+        nodes_blacklisted: 0,
+        tasks_requeued: 0,
+        map_outputs_lost: 0,
+        work_lost_slot_ms: 0,
     };
 
     // Workflow arrivals.
@@ -758,10 +1018,31 @@ pub fn run_simulation(
     }
     // Staggered initial heartbeats.
     let interval_ms = cluster.heartbeat_interval().as_millis();
-    let node_count = cluster.node_count() as u64;
     for (i, node) in cluster.node_ids().enumerate() {
-        let offset = SimDuration::from_millis(interval_ms * i as u64 / node_count.max(1));
-        sim.queue.push(SimTime::ZERO + offset, Event::Heartbeat(node));
+        let offset = SimDuration::from_millis(interval_ms * i as u64 / (node_count as u64).max(1));
+        sim.queue
+            .push(SimTime::ZERO + offset, Event::Heartbeat(node));
+    }
+    // Fault schedule: scripted outages verbatim, plus the first stochastic
+    // crash per node (later crashes chain off each recovery).
+    if fault_mode {
+        for f in &cluster.faults().scripted {
+            assert!(
+                f.node.index() < node_count,
+                "scripted fault for unknown node {:?}",
+                f.node
+            );
+            sim.queue.push(f.down_at, Event::NodeDown(f.node));
+            if let Some(up) = f.up_at {
+                sim.queue.push(up, Event::NodeUp(f.node));
+            }
+        }
+        if let Some(mtbf) = cluster.faults().mtbf {
+            for node in cluster.node_ids() {
+                let ttf = sim.rng.time_to_failure(node, 0, mtbf);
+                sim.queue.push(SimTime::ZERO + ttf, Event::NodeDown(node));
+            }
+        }
     }
 
     let mut truncated = false;
@@ -784,10 +1065,18 @@ pub fn run_simulation(
             }
             Event::JobActivated(wf, job) => sim.handle_activation(scheduler, wf, job),
             Event::Heartbeat(node) => {
-                sim.assign_node(scheduler, node);
-                if sim.remaining > 0 {
-                    sim.queue
-                        .push(sim.now + cluster.heartbeat_interval(), Event::Heartbeat(node));
+                if sim.fault_mode && !sim.alive[node.index()] {
+                    // A dead node stops heartbeating; NodeUp restarts the
+                    // chain when it re-registers.
+                    sim.heartbeat_live[node.index()] = false;
+                } else {
+                    sim.assign_node(scheduler, node);
+                    if sim.remaining > 0 {
+                        sim.queue.push(
+                            sim.now + cluster.heartbeat_interval(),
+                            Event::Heartbeat(node),
+                        );
+                    }
                 }
             }
             Event::TaskComplete {
@@ -797,6 +1086,9 @@ pub fn run_simulation(
                 kind,
                 attempt,
             } => sim.handle_completion(scheduler, node, workflow, job, kind, attempt),
+            Event::NodeDown(node) => sim.handle_node_down(node),
+            Event::NodeUp(node) => sim.handle_node_up(scheduler, node),
+            Event::NodeLost { node, incident } => sim.handle_node_lost(scheduler, node, incident),
         }
     }
     sim.touch_busy();
@@ -815,9 +1107,9 @@ pub fn run_simulation(
         })
         .collect();
     let completed = !truncated && sim.remaining == 0 && outcomes.len() == workflows.len();
-    let timelines = sim.recorder.map(|rec| {
-        rec.finish(sim.pool.len(), end_time, config.sample_interval)
-    });
+    let timelines = sim
+        .recorder
+        .map(|rec| rec.finish(sim.pool.len(), end_time, config.sample_interval));
     SimReport {
         scheduler: scheduler.name().to_string(),
         outcomes,
@@ -840,6 +1132,12 @@ pub fn run_simulation(
         assign_calls: sim.assign_calls,
         invalid_assignments: sim.invalid_assignments,
         events_processed: sim.events_processed,
+        node_failures: sim.node_failures,
+        node_recoveries: sim.node_recoveries,
+        nodes_blacklisted: sim.nodes_blacklisted,
+        tasks_requeued: sim.tasks_requeued,
+        map_outputs_lost: sim.map_outputs_lost,
+        work_lost_slot_ms: sim.work_lost_slot_ms,
         timelines,
     }
 }
@@ -1136,7 +1434,11 @@ mod tests {
             let cfg = SimConfig {
                 speculation: Some(SpeculationConfig {
                     // Disable duplicates by making the threshold absurd.
-                    speculate_after: if speculate { base_spec.speculate_after } else { 1e9 },
+                    speculate_after: if speculate {
+                        base_spec.speculate_after
+                    } else {
+                        1e9
+                    },
                     ..base_spec
                 }),
                 seed: 21,
@@ -1232,7 +1534,10 @@ mod tests {
         let patient = run_with(4);
         assert!(eager.completed && patient.completed);
         assert_eq!(eager.delay_skips, 0);
-        assert!(patient.delay_skips > 0, "delay scheduling must decline offers");
+        assert!(
+            patient.delay_skips > 0,
+            "delay scheduling must decline offers"
+        );
         assert!(
             patient.map_locality_ratio() >= eager.map_locality_ratio(),
             "waiting for local slots must not hurt locality: {} vs {}",
@@ -1260,8 +1565,7 @@ mod tests {
         assert_eq!(
             report.local_map_tasks + report.remote_map_tasks,
             // 6 original maps plus every retried map attempt.
-            6 + u64::from(report.task_failures)
-                - reduce_failures(&report)
+            6 + report.task_failures - reduce_failures(&report)
         );
     }
 
@@ -1269,6 +1573,194 @@ mod tests {
     fn reduce_failures(report: &SimReport) -> u64 {
         // executed = 9 tasks + all failures; map executions are classified.
         report.tasks_executed - (report.local_map_tasks + report.remote_map_tasks) - 3
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultConfig, ScriptedFault};
+
+        fn fault_cluster(faults: FaultConfig) -> ClusterConfig {
+            ClusterConfig::uniform(2, 2, 1).with_faults(faults)
+        }
+
+        fn run(workflows: &[WorkflowSpec], cluster: &ClusterConfig, cfg: &SimConfig) -> SimReport {
+            run_simulation(workflows, &mut SubmitOrderScheduler::new(), cluster, cfg)
+        }
+
+        #[test]
+        fn disabled_fault_config_is_bit_identical() {
+            let w = vec![simple_workflow("w", 0, 600)];
+            let plain = default_run(&w);
+            let with_default = run(
+                &w,
+                &fault_cluster(FaultConfig::default()),
+                &SimConfig::default(),
+            );
+            assert_eq!(plain, with_default);
+        }
+
+        #[test]
+        fn scripted_crash_requeues_and_recovers() {
+            // Crash node 1 while job a's maps run; it recovers at 20 s.
+            let faults = FaultConfig::scripted(vec![ScriptedFault {
+                node: NodeId::new(1),
+                down_at: SimTime::from_secs(5),
+                up_at: Some(SimTime::from_secs(20)),
+            }]);
+            let cfg = SimConfig {
+                track_timelines: true,
+                sample_interval: SimDuration::from_secs(1),
+                ..SimConfig::default()
+            };
+            let cluster = fault_cluster(faults);
+            let w = [simple_workflow("w", 0, 3_000)];
+            let report = run(&w, &cluster, &cfg);
+            assert!(report.completed);
+            assert_eq!(report.node_failures, 1);
+            assert_eq!(report.node_recoveries, 1);
+            assert!(report.tasks_requeued > 0, "running maps died with the node");
+            assert!(report.work_lost_slot_ms > 0);
+            // Every requeued or invalidated task launches again.
+            assert_eq!(
+                report.tasks_executed,
+                9 + report.tasks_requeued + report.map_outputs_lost
+            );
+            // The node's 3 slots leave the pool during the outage and
+            // return after it.
+            let tl = report.timelines.as_ref().unwrap();
+            assert!(tl.down_slots().contains(&3));
+            assert_eq!(*tl.down_slots().last().unwrap(), 0);
+            assert_eq!(report, run(&w, &cluster, &cfg), "fault runs are seeded");
+        }
+
+        #[test]
+        fn node_loss_invalidates_completed_map_outputs() {
+            // Crash node 1 after job a's maps finished (~11.5 s), while its
+            // reduces still run: the two map outputs it hosted must
+            // re-execute before the requeued reduce can restart.
+            let faults = FaultConfig::scripted(vec![ScriptedFault {
+                node: NodeId::new(1),
+                down_at: SimTime::from_secs(15),
+                up_at: Some(SimTime::from_secs(40)),
+            }]);
+            let report = run(
+                &[simple_workflow("w", 0, 3_000)],
+                &fault_cluster(faults),
+                &SimConfig::default(),
+            );
+            assert!(report.completed);
+            assert!(
+                report.map_outputs_lost > 0,
+                "completed maps died with the node"
+            );
+            assert_eq!(
+                report.tasks_executed,
+                9 + report.tasks_requeued + report.map_outputs_lost
+            );
+        }
+
+        #[test]
+        fn crashes_delay_completion() {
+            let w = [simple_workflow("w", 0, 3_000)];
+            let base = default_run(&w);
+            let faults = FaultConfig::scripted(vec![ScriptedFault {
+                node: NodeId::new(1),
+                down_at: SimTime::from_secs(5),
+                up_at: Some(SimTime::from_secs(60)),
+            }]);
+            let faulty = run(&w, &fault_cluster(faults), &SimConfig::default());
+            assert!(
+                faulty.outcomes[0].finished.unwrap() > base.outcomes[0].finished.unwrap(),
+                "losing a node must slow the workflow down"
+            );
+        }
+
+        #[test]
+        fn blacklisted_node_never_rejoins() {
+            let faults = FaultConfig {
+                blacklist_after: 2,
+                scripted: vec![
+                    ScriptedFault {
+                        node: NodeId::new(1),
+                        down_at: SimTime::from_secs(5),
+                        up_at: Some(SimTime::from_secs(10)),
+                    },
+                    ScriptedFault {
+                        node: NodeId::new(1),
+                        down_at: SimTime::from_secs(15),
+                        up_at: Some(SimTime::from_secs(20)),
+                    },
+                ],
+                ..FaultConfig::default()
+            };
+            let cfg = SimConfig {
+                track_timelines: true,
+                sample_interval: SimDuration::from_secs(1),
+                ..SimConfig::default()
+            };
+            let report = run(
+                &[simple_workflow("w", 0, 3_000)],
+                &fault_cluster(faults),
+                &cfg,
+            );
+            assert!(report.completed, "node 0 alone still finishes the work");
+            assert_eq!(report.node_failures, 2);
+            assert_eq!(report.node_recoveries, 1, "second repair is refused");
+            assert_eq!(report.nodes_blacklisted, 1);
+            // The blacklisted node's slots stay out of the pool for good.
+            let tl = report.timelines.as_ref().unwrap();
+            assert_eq!(*tl.down_slots().last().unwrap(), 3);
+        }
+
+        #[test]
+        fn stochastic_faults_are_seeded() {
+            let faults =
+                FaultConfig::with_mtbf(SimDuration::from_secs(45), SimDuration::from_secs(10));
+            let cluster = ClusterConfig::uniform(4, 2, 1).with_faults(faults);
+            let w = [simple_workflow("w", 0, 30_000)];
+            let cfg = SimConfig {
+                seed: 13,
+                ..SimConfig::default()
+            };
+            let r1 = run(&w, &cluster, &cfg);
+            assert!(r1.completed);
+            assert!(r1.node_failures > 0, "45 s MTBF must crash something");
+            assert_eq!(r1, run(&w, &cluster, &cfg));
+            let other = SimConfig {
+                seed: 14,
+                ..SimConfig::default()
+            };
+            assert_ne!(
+                r1,
+                run(&w, &cluster, &other),
+                "seed drives the fault schedule"
+            );
+        }
+
+        #[test]
+        fn faults_compose_with_speculation_failures_and_locality() {
+            let faults = FaultConfig {
+                mtbf: Some(SimDuration::from_secs(60)),
+                mttr: SimDuration::from_secs(8),
+                ..FaultConfig::default()
+            };
+            let cluster = ClusterConfig::uniform(4, 2, 1).with_faults(faults);
+            let cfg = SimConfig {
+                task_failure_prob: 0.2,
+                locality: Some(LocalityConfig::default()),
+                speculation: Some(SpeculationConfig {
+                    straggler_prob: 0.3,
+                    straggler_factor: 6.0,
+                    speculate_after: 1.3,
+                }),
+                seed: 17,
+                ..SimConfig::default()
+            };
+            let w = [simple_workflow("w", 0, 30_000)];
+            let report = run(&w, &cluster, &cfg);
+            assert!(report.completed);
+            assert_eq!(report, run(&w, &cluster, &cfg));
+        }
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub enum Event {
         /// Attempt id (distinguishes speculative duplicates).
         attempt: u64,
     },
+    /// A node crashes: every attempt running on it dies and its slots leave
+    /// the pool. The JobTracker does not know yet — detection follows via
+    /// [`Event::NodeLost`]. Ignored if the node is already down or
+    /// blacklisted (overlapping scripted/stochastic schedules).
+    NodeDown(NodeId),
+    /// A crashed node finishes repair and re-registers with empty slots.
+    /// Ignored if the node is already up or was blacklisted.
+    NodeUp(NodeId),
+    /// The failure detector declares a node lost after it missed the
+    /// configured number of heartbeats: its tasks are requeued and map
+    /// outputs invalidated. `incident` stamps which outage this detection
+    /// belongs to, so a detection scheduled for an outage the node already
+    /// recovered from is recognised as stale and dropped.
+    NodeLost {
+        /// The lost node.
+        node: NodeId,
+        /// The outage this detection was scheduled for.
+        incident: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,11 +141,12 @@ mod tests {
         q.push(SimTime::from_secs(3), Event::WorkflowArrival(3));
         q.push(SimTime::from_secs(1), Event::WorkflowArrival(1));
         q.push(SimTime::from_secs(2), Event::WorkflowArrival(2));
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::WorkflowArrival(i) => i,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::WorkflowArrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -137,11 +157,12 @@ mod tests {
         for i in 0..10 {
             q.push(t, Event::WorkflowArrival(i));
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::WorkflowArrival(i) => i,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::WorkflowArrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

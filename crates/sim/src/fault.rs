@@ -1,0 +1,272 @@
+//! Node-level fault injection: configuration, the seeded fault stream, and
+//! the crash/repair sampling that drives [`crate::event::Event::NodeDown`] /
+//! [`crate::event::Event::NodeUp`].
+//!
+//! The model follows Hadoop-1 operational behaviour:
+//!
+//! - a node (TaskTracker host) crashes, killing every attempt running on it
+//!   and taking its slots out of the pool;
+//! - the JobTracker only learns of the crash after the node misses
+//!   [`FaultConfig::detect_missed_heartbeats`] heartbeats, at which point it
+//!   declares the node *lost*, requeues the node's running tasks, and
+//!   invalidates completed map outputs that reducers still need;
+//! - the node repairs and re-registers after its downtime, unless it has
+//!   crashed [`FaultConfig::blacklist_after`] times and is blacklisted.
+//!
+//! Crash and repair times come from per-node exponential distributions
+//! (mean [`FaultConfig::mtbf`] / [`FaultConfig::mttr`]) drawn from the same
+//! seeded, salted counter streams as task-failure and straggler rolls, so a
+//! `(config, seed)` pair fully determines a run. Deterministic scripted
+//! schedules ([`FaultConfig::scripted`]) serve tests and targeted
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+use woha_model::{NodeId, SimDuration, SimTime};
+
+/// One deterministic, pre-scripted node outage (for tests and targeted
+/// experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedFault {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Absolute crash time.
+    pub down_at: SimTime,
+    /// Absolute repair time; `None` leaves the node down forever.
+    pub up_at: Option<SimTime>,
+}
+
+/// Configuration of the fault-injection subsystem. The default
+/// (`FaultConfig::default()`) injects nothing and leaves the simulator's
+/// behaviour untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean time between failures per node. `None` disables stochastic
+    /// crashes (scripted faults may still fire).
+    pub mtbf: Option<SimDuration>,
+    /// Mean time to repair per node (exponential), used for stochastic
+    /// crashes; scripted faults carry their own repair times.
+    pub mttr: SimDuration,
+    /// Heartbeats a node must miss before the JobTracker declares it lost
+    /// and requeues its work.
+    pub detect_missed_heartbeats: u32,
+    /// Number of crashes after which a node is blacklisted and never
+    /// rejoins the cluster. `0` disables blacklisting.
+    pub blacklist_after: u32,
+    /// Deterministic outage schedule, applied in addition to any
+    /// stochastic crashes.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            mtbf: None,
+            mttr: SimDuration::from_mins(5),
+            detect_missed_heartbeats: 2,
+            blacklist_after: 0,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Stochastic faults with the given MTBF and MTTR.
+    pub fn with_mtbf(mtbf: SimDuration, mttr: SimDuration) -> Self {
+        assert!(!mtbf.is_zero(), "MTBF must be positive");
+        assert!(!mttr.is_zero(), "MTTR must be positive");
+        FaultConfig {
+            mtbf: Some(mtbf),
+            mttr,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A purely scripted fault schedule.
+    pub fn scripted(faults: Vec<ScriptedFault>) -> Self {
+        FaultConfig {
+            scripted: faults,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Whether any fault source is active.
+    pub fn enabled(&self) -> bool {
+        self.mtbf.is_some() || !self.scripted.is_empty()
+    }
+}
+
+/// splitmix64 finalizer: the stateless mixing function behind every
+/// simulator random stream (jitter, locality placement, failures,
+/// stragglers, crashes, repairs).
+pub(crate) fn splitmix(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Salt of the task-failure roll stream (keyed by completion sequence).
+pub(crate) const FAILURE_SALT: u64 = 0xFA11_FA11_FA11_FA11;
+/// Salt of the straggler roll stream (keyed by attempt id).
+pub(crate) const STRAGGLER_SALT: u64 = 0x57A6_57A6_57A6_57A6;
+/// Salt of the node-crash inter-arrival stream.
+const CRASH_SALT: u64 = 0xC4A5_4C4A_54C4_A54C;
+/// Salt of the node-repair duration stream.
+const REPAIR_SALT: u64 = 0x4E9A_144E_9A14_4E9A;
+
+/// The unified seeded random-stream plumbing for every fault-like draw:
+/// task failures, stragglers, node crashes, and node repairs. Each stream
+/// is a salted splitmix64 counter, so draws are stateless, order-independent
+/// and fully determined by `(seed, salt, sequence)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultStream {
+    seed: u64,
+}
+
+impl FaultStream {
+    /// A stream for the given simulation seed.
+    pub fn new(seed: u64) -> Self {
+        FaultStream { seed }
+    }
+
+    /// A uniform draw in `[0, 1)` from the stream with `salt`, at counter
+    /// position `seq`.
+    pub fn roll(&self, salt: u64, seq: u64) -> f64 {
+        let h = splitmix(self.seed ^ salt ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The task-failure roll for the `seq`-th task completion.
+    pub fn task_failure(&self, seq: u64) -> f64 {
+        self.roll(FAILURE_SALT, seq)
+    }
+
+    /// The straggler roll for attempt `attempt`.
+    pub fn straggler(&self, attempt: u64) -> f64 {
+        self.roll(STRAGGLER_SALT, attempt)
+    }
+
+    /// Exponential time to the next crash of `node` after its
+    /// `incident`-th recovery.
+    pub fn time_to_failure(&self, node: NodeId, incident: u64, mtbf: SimDuration) -> SimDuration {
+        self.exponential(CRASH_SALT, node, incident, mtbf)
+    }
+
+    /// Exponential downtime of `node`'s `incident`-th outage.
+    pub fn time_to_repair(&self, node: NodeId, incident: u64, mttr: SimDuration) -> SimDuration {
+        self.exponential(REPAIR_SALT, node, incident, mttr)
+    }
+
+    fn exponential(
+        &self,
+        salt: u64,
+        node: NodeId,
+        incident: u64,
+        mean: SimDuration,
+    ) -> SimDuration {
+        let seq = ((node.index() as u64) << 40) ^ incident;
+        let u = self.roll(salt, seq);
+        // Inverse CDF; u < 1 so the log argument is positive.
+        let ms = -(mean.as_millis() as f64) * (1.0 - u).ln();
+        SimDuration::from_millis(ms as u64).max(SimDuration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled() {
+        let c = FaultConfig::default();
+        assert!(!c.enabled());
+        assert_eq!(c.blacklist_after, 0);
+    }
+
+    #[test]
+    fn constructors_enable() {
+        let c = FaultConfig::with_mtbf(SimDuration::from_mins(60), SimDuration::from_mins(2));
+        assert!(c.enabled());
+        let c = FaultConfig::scripted(vec![ScriptedFault {
+            node: NodeId::new(0),
+            down_at: SimTime::from_secs(10),
+            up_at: None,
+        }]);
+        assert!(c.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF")]
+    fn zero_mtbf_rejected() {
+        FaultConfig::with_mtbf(SimDuration::ZERO, SimDuration::from_mins(2));
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_uniform_ish() {
+        let s = FaultStream::new(42);
+        assert_eq!(s.task_failure(7), s.task_failure(7));
+        assert_ne!(s.task_failure(7), s.task_failure(8));
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| s.roll(0x1234, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn streams_differ_between_seeds_and_salts() {
+        let a = FaultStream::new(1);
+        let b = FaultStream::new(2);
+        assert_ne!(a.task_failure(0), b.task_failure(0));
+        assert_ne!(a.task_failure(0), a.straggler(0));
+    }
+
+    #[test]
+    fn exponential_sampling_tracks_mean() {
+        let s = FaultStream::new(9);
+        let mtbf = SimDuration::from_mins(60);
+        let n = 5_000u64;
+        let total: u64 = (0..n)
+            .map(|i| s.time_to_failure(NodeId::new(3), i, mtbf).as_millis())
+            .sum();
+        let mean_ms = total as f64 / n as f64;
+        let expect = mtbf.as_millis() as f64;
+        assert!(
+            (mean_ms - expect).abs() / expect < 0.05,
+            "mean {mean_ms} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn samples_depend_on_node_and_incident() {
+        let s = FaultStream::new(5);
+        let m = SimDuration::from_mins(30);
+        assert_ne!(
+            s.time_to_failure(NodeId::new(0), 0, m),
+            s.time_to_failure(NodeId::new(1), 0, m)
+        );
+        assert_ne!(
+            s.time_to_failure(NodeId::new(0), 0, m),
+            s.time_to_failure(NodeId::new(0), 1, m)
+        );
+        assert_ne!(
+            s.time_to_failure(NodeId::new(0), 0, m),
+            s.time_to_repair(NodeId::new(0), 0, m)
+        );
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let c = FaultConfig {
+            mtbf: Some(SimDuration::from_mins(90)),
+            mttr: SimDuration::from_mins(3),
+            detect_missed_heartbeats: 3,
+            blacklist_after: 4,
+            scripted: vec![ScriptedFault {
+                node: NodeId::new(2),
+                down_at: SimTime::from_secs(30),
+                up_at: Some(SimTime::from_secs(90)),
+            }],
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -41,12 +41,14 @@
 pub mod cluster;
 pub mod driver;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod scheduler;
 pub mod state;
 
 pub use cluster::{ClusterConfig, NodeConfig};
 pub use driver::{run_simulation, LocalityConfig, SimConfig, SpeculationConfig};
+pub use fault::{FaultConfig, FaultStream, ScriptedFault};
 pub use metrics::{SimReport, Timelines, WorkflowOutcome};
 pub use scheduler::{first_eligible_job, SubmitOrderScheduler, WorkflowScheduler};
 pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};

@@ -51,6 +51,9 @@ pub struct Timelines {
     /// `series[wf][kind][sample]` = slots of `kind` occupied by workflow
     /// `wf` at sample instant.
     series: Vec<[Vec<u32>; 2]>,
+    /// Cluster slots (both kinds) offline at each sample instant because
+    /// their node was down — all zeros when fault injection is disabled.
+    down_slots: Vec<u32>,
 }
 
 impl Timelines {
@@ -82,6 +85,11 @@ impl Timelines {
     pub fn workflow_count(&self) -> usize {
         self.series.len()
     }
+
+    /// Cluster slots offline (node down) at each sample instant.
+    pub fn down_slots(&self) -> &[u32] {
+        &self.down_slots
+    }
 }
 
 /// Records slot-occupancy step changes during a run and resolves them into
@@ -90,6 +98,8 @@ impl Timelines {
 pub(crate) struct TimelineRecorder {
     /// (time, workflow index, kind index, +1/-1)
     deltas: Vec<(SimTime, u32, u8, i8)>,
+    /// (time, signed change in offline slot count)
+    down_deltas: Vec<(SimTime, i32)>,
 }
 
 impl TimelineRecorder {
@@ -101,6 +111,12 @@ impl TimelineRecorder {
         self.deltas.push((time, wf.as_u64() as u32, k, delta));
     }
 
+    /// Records `delta` slots going offline (positive, node crash) or coming
+    /// back (negative, node repair) at `time`.
+    pub(crate) fn record_down(&mut self, time: SimTime, delta: i32) {
+        self.down_deltas.push((time, delta));
+    }
+
     pub(crate) fn finish(
         mut self,
         workflow_count: usize,
@@ -109,10 +125,14 @@ impl TimelineRecorder {
     ) -> Timelines {
         assert!(!interval.is_zero(), "sampling interval must be positive");
         self.deltas.sort_by_key(|&(t, ..)| t);
+        self.down_deltas.sort_by_key(|&(t, _)| t);
         let samples = (horizon.as_millis() / interval.as_millis()) as usize + 1;
         let mut series = vec![[vec![0u32; samples], vec![0u32; samples]]; workflow_count];
+        let mut down_slots = vec![0u32; samples];
         let mut current = vec![[0i32; 2]; workflow_count];
+        let mut down_now = 0i32;
         let mut next_delta = 0usize;
+        let mut next_down = 0usize;
         for s in 0..samples {
             let t = SimTime::from_millis(s as u64 * interval.as_millis());
             while next_delta < self.deltas.len() && self.deltas[next_delta].0 <= t {
@@ -120,14 +140,24 @@ impl TimelineRecorder {
                 current[wf as usize][k as usize] += i32::from(d);
                 next_delta += 1;
             }
+            while next_down < self.down_deltas.len() && self.down_deltas[next_down].0 <= t {
+                down_now += self.down_deltas[next_down].1;
+                next_down += 1;
+            }
             for (wf, counts) in current.iter().enumerate() {
                 for k in 0..2 {
                     debug_assert!(counts[k] >= 0, "negative occupancy");
                     series[wf][k][s] = counts[k].max(0) as u32;
                 }
             }
+            debug_assert!(down_now >= 0, "negative offline slot count");
+            down_slots[s] = down_now.max(0) as u32;
         }
-        Timelines { interval, series }
+        Timelines {
+            interval,
+            series,
+            down_slots,
+        }
     }
 }
 
@@ -180,6 +210,20 @@ pub struct SimReport {
     pub invalid_assignments: u64,
     /// Events processed.
     pub events_processed: u64,
+    /// Node crashes injected (fault mode).
+    pub node_failures: u64,
+    /// Node repairs that re-registered slots with the JobTracker.
+    pub node_recoveries: u64,
+    /// Nodes blacklisted after repeated crashes; they never rejoined.
+    pub nodes_blacklisted: u64,
+    /// Running attempts killed by a node loss and re-queued as pending.
+    pub tasks_requeued: u64,
+    /// Completed map outputs invalidated by a node loss and re-executed
+    /// because reducers still needed them.
+    pub map_outputs_lost: u64,
+    /// Slot-milliseconds of work in progress that node crashes destroyed
+    /// (time each killed attempt had already run).
+    pub work_lost_slot_ms: u128,
     /// Per-workflow slot timelines, when tracking was enabled.
     pub timelines: Option<Timelines>,
 }
@@ -203,6 +247,12 @@ impl PartialEq for SimReport {
             && self.assign_calls == other.assign_calls
             && self.invalid_assignments == other.invalid_assignments
             && self.events_processed == other.events_processed
+            && self.node_failures == other.node_failures
+            && self.node_recoveries == other.node_recoveries
+            && self.nodes_blacklisted == other.nodes_blacklisted
+            && self.tasks_requeued == other.tasks_requeued
+            && self.map_outputs_lost == other.map_outputs_lost
+            && self.work_lost_slot_ms == other.work_lost_slot_ms
             && self.timelines == other.timelines
     }
 }
@@ -296,8 +346,7 @@ impl SimReport {
             .min()
             .unwrap_or(SimTime::ZERO);
         let horizon_ms = u128::from(self.end_time.saturating_since(start).as_millis());
-        let capacity =
-            u128::from(self.total_slots[0] + self.total_slots[1]) * horizon_ms;
+        let capacity = u128::from(self.total_slots[0] + self.total_slots[1]) * horizon_ms;
         if capacity == 0 {
             return 0.0;
         }
@@ -314,7 +363,12 @@ impl SimReport {
 mod tests {
     use super::*;
 
-    fn outcome(name: &str, submit_s: u64, deadline_s: u64, finish_s: Option<u64>) -> WorkflowOutcome {
+    fn outcome(
+        name: &str,
+        submit_s: u64,
+        deadline_s: u64,
+        finish_s: Option<u64>,
+    ) -> WorkflowOutcome {
         WorkflowOutcome {
             id: WorkflowId::new(0),
             name: name.to_string(),
@@ -344,6 +398,12 @@ mod tests {
             assign_calls: 0,
             invalid_assignments: 0,
             events_processed: 0,
+            node_failures: 0,
+            node_recoveries: 0,
+            nodes_blacklisted: 0,
+            tasks_requeued: 0,
+            map_outputs_lost: 0,
+            work_lost_slot_ms: 0,
             timelines: None,
         }
     }
@@ -377,10 +437,7 @@ mod tests {
         assert_eq!(r.deadline_misses(), 2);
         assert!((r.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.max_tardiness(), SimDuration::from_secs(900));
-        assert_eq!(
-            r.total_tardiness(),
-            SimDuration::from_secs(60 + 900)
-        );
+        assert_eq!(r.total_tardiness(), SimDuration::from_secs(60 + 900));
         assert_eq!(r.workspans()[0], SimDuration::from_secs(90));
         assert!(r.outcome_by_name("b").is_some());
         assert!(r.outcome_by_name("zz").is_none());
@@ -418,6 +475,17 @@ mod tests {
         assert_eq!(tl.series(wf, SlotKind::Reduce), &[0, 0, 0, 0, 0]);
         assert_eq!(tl.workflow_count(), 1);
         assert_eq!(tl.interval(), SimDuration::from_secs(10));
+        assert_eq!(tl.down_slots(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn timeline_tracks_offline_slots() {
+        let mut rec = TimelineRecorder::default();
+        // 3 slots offline from t=10s, back at t=30s.
+        rec.record_down(SimTime::from_secs(10), 3);
+        rec.record_down(SimTime::from_secs(30), -3);
+        let tl = rec.finish(0, SimTime::from_secs(40), SimDuration::from_secs(10));
+        assert_eq!(tl.down_slots(), &[0, 3, 3, 0, 0]);
     }
 
     #[test]

@@ -30,24 +30,12 @@ pub trait WorkflowScheduler {
     }
 
     /// A wjob finished its submitter task and became schedulable.
-    fn on_job_activated(
-        &mut self,
-        pool: &WorkflowPool,
-        wf: WorkflowId,
-        job: JobId,
-        now: SimTime,
-    ) {
+    fn on_job_activated(&mut self, pool: &WorkflowPool, wf: WorkflowId, job: JobId, now: SimTime) {
         let _ = (pool, wf, job, now);
     }
 
     /// A wjob completed all of its tasks.
-    fn on_job_completed(
-        &mut self,
-        pool: &WorkflowPool,
-        wf: WorkflowId,
-        job: JobId,
-        now: SimTime,
-    ) {
+    fn on_job_completed(&mut self, pool: &WorkflowPool, wf: WorkflowId, job: JobId, now: SimTime) {
         let _ = (pool, wf, job, now);
     }
 
@@ -68,6 +56,29 @@ pub trait WorkflowScheduler {
         now: SimTime,
     ) {
         let _ = (pool, wf, job, kind, now);
+    }
+
+    /// A previously-assigned task of `(wf, job)` failed (injected attempt
+    /// failure, or its node was lost) and re-entered the pending queue.
+    /// WOHA uses this to roll back the true progress `ρ`; the baselines
+    /// (FIFO, Fair, EDF) keep no per-task progress state and ignore it.
+    fn on_task_failed(
+        &mut self,
+        pool: &WorkflowPool,
+        wf: WorkflowId,
+        job: JobId,
+        kind: SlotKind,
+        now: SimTime,
+    ) {
+        let _ = (pool, wf, job, kind, now);
+    }
+
+    /// The failure detector declared `node` lost (it missed the configured
+    /// number of heartbeats). Fired after every affected task's
+    /// [`on_task_failed`](Self::on_task_failed); WOHA uses it as a
+    /// replanning checkpoint.
+    fn on_node_lost(&mut self, pool: &WorkflowPool, node: woha_model::NodeId, now: SimTime) {
+        let _ = (pool, node, now);
     }
 
     /// Chooses the job to receive the free slot of `kind`, or `None` to
@@ -114,9 +125,8 @@ impl WorkflowScheduler for SubmitOrderScheduler {
         kind: SlotKind,
         _now: SimTime,
     ) -> Option<(WorkflowId, JobId)> {
-        pool.incomplete().find_map(|wf| {
-            first_eligible_job(pool, wf, kind).map(|job| (wf, job))
-        })
+        pool.incomplete()
+            .find_map(|wf| first_eligible_job(pool, wf, kind).map(|job| (wf, job)))
     }
 }
 

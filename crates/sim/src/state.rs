@@ -362,6 +362,24 @@ impl WorkflowState {
         }
     }
 
+    /// Invalidates `count` completed map outputs of `job` after their host
+    /// node was lost: the maps re-enter the pending queue and count as
+    /// retries. Hadoop-1 re-executes such maps because reducers fetch
+    /// intermediate output from the mapper's local disk.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if fewer than `count` maps have completed, or the
+    /// job already finished (its reducers no longer need map output).
+    pub fn invalidate_completed_maps(&mut self, job: JobId, count: u32) {
+        let j = self.job_mut(job);
+        debug_assert!(j.completed_maps >= count, "invalidating unfinished maps");
+        debug_assert_ne!(j.phase, JobPhase::Complete, "job no longer needs maps");
+        j.completed_maps -= count;
+        j.pending_maps += count;
+        j.retried_maps += count;
+    }
+
     /// Records a task completion; returns true when the whole job finished.
     ///
     /// # Panics
@@ -549,7 +567,9 @@ mod tests {
 
         // Run the reduce; job completes.
         pool.workflow_mut(id).start_task(j0, SlotKind::Reduce);
-        let done = pool.workflow_mut(id).finish_task(j0, SlotKind::Reduce, SimTime::from_secs(30));
+        let done = pool
+            .workflow_mut(id)
+            .finish_task(j0, SlotKind::Reduce, SimTime::from_secs(30));
         assert!(done);
         assert_eq!(pool.workflow(id).job(j0).phase(), JobPhase::Complete);
         assert_eq!(
@@ -564,10 +584,15 @@ mod tests {
         pool.workflow_mut(id).begin_submitting(j1);
         pool.workflow_mut(id).activate(j1, SimTime::from_secs(31));
         pool.workflow_mut(id).start_task(j1, SlotKind::Map);
-        let done = pool.workflow_mut(id).finish_task(j1, SlotKind::Map, SimTime::from_secs(40));
+        let done = pool
+            .workflow_mut(id)
+            .finish_task(j1, SlotKind::Map, SimTime::from_secs(40));
         assert!(done);
         assert!(pool.workflow(id).is_complete());
-        assert_eq!(pool.workflow(id).finished_at(), Some(SimTime::from_secs(40)));
+        assert_eq!(
+            pool.workflow(id).finished_at(),
+            Some(SimTime::from_secs(40))
+        );
         assert_eq!(pool.workflow(id).tasks_scheduled(), 4);
         assert_eq!(pool.incomplete().count(), 0);
     }

@@ -72,7 +72,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && mu.is_finite() && sigma.is_finite(), "bad parameters");
+        assert!(
+            sigma >= 0.0 && mu.is_finite() && sigma.is_finite(),
+            "bad parameters"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -129,6 +132,48 @@ impl Distribution for BoundedPareto {
         let la = self.lo.powf(self.alpha);
         let ha = self.hi.powf(self.alpha);
         (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+/// The exponential distribution with the given mean, sampled by inverse
+/// transform. The memoryless workhorse for failure models: node
+/// time-to-failure (mean = MTBF) and time-to-repair (mean = MTTR) in the
+/// simulator's fault injector follow this shape.
+///
+/// # Examples
+///
+/// ```
+/// use woha_trace::{Distribution, Exponential, Rng};
+/// let d = Exponential::new(3_600.0); // MTBF of one hour, in seconds
+/// let x = d.sample(&mut Rng::new(1));
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF; `1 - u` keeps ln() away from zero since u ∈ [0, 1).
+        -self.mean * (1.0 - rng.next_f64()).ln()
     }
 }
 
@@ -307,6 +352,25 @@ mod tests {
         let light = sorted_samples(&BoundedPareto::new(1.0, 1_000.0, 2.0), 50_000, 5);
         let heavy = sorted_samples(&BoundedPareto::new(1.0, 1_000.0, 0.3), 50_000, 5);
         assert!(percentile(&heavy, 0.9) > percentile(&light, 0.9));
+    }
+
+    #[test]
+    fn exponential_mean_and_memorylessness() {
+        let d = Exponential::new(100.0);
+        assert_eq!(d.mean(), 100.0);
+        let s = sorted_samples(&d, 50_000, 9);
+        assert!(s[0] >= 0.0);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 100.0).abs() / 100.0 < 0.03, "mean {mean}");
+        // Median of Exp(λ) is mean·ln 2.
+        let med = percentile(&s, 0.5);
+        assert!((med - 100.0 * 2f64.ln()).abs() / med < 0.05, "median {med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        Exponential::new(0.0);
     }
 
     #[test]

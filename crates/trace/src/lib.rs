@@ -34,7 +34,9 @@ pub mod topology;
 pub mod workload;
 pub mod yahoo;
 
-pub use dist::{BoundedPareto, Clamped, Discrete, Distribution, LogNormal, Mixture, Uniform};
+pub use dist::{
+    BoundedPareto, Clamped, Discrete, Distribution, Exponential, LogNormal, Mixture, Uniform,
+};
 pub use rng::Rng;
 pub use workload::{DeadlineRule, ReleasePattern, Workload};
 pub use yahoo::YahooTraceConfig;

@@ -87,7 +87,10 @@ pub fn layered(
     mut make_job: impl FnMut(usize, usize, usize) -> JobSpec,
 ) -> WorkflowBuilder {
     assert!(!widths.is_empty(), "need at least one layer");
-    assert!(widths.iter().all(|&w| w > 0), "layer widths must be positive");
+    assert!(
+        widths.iter().all(|&w| w > 0),
+        "layer widths must be positive"
+    );
     let mut b = WorkflowBuilder::new(name);
     let mut index = 0usize;
     let mut prev_layer: Vec<JobId> = Vec::new();
@@ -282,7 +285,9 @@ mod tests {
 
     #[test]
     fn layered_is_connected_and_acyclic() {
-        let w = layered("l", &[2, 3, 2], |i, _, _| tiny_job(i)).build().unwrap();
+        let w = layered("l", &[2, 3, 2], |i, _, _| tiny_job(i))
+            .build()
+            .unwrap();
         assert_eq!(w.job_count(), 7);
         // Every non-source job has at least one prerequisite.
         let sources = w.initially_ready();

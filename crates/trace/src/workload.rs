@@ -86,12 +86,10 @@ impl Workload {
             .map(|(k, w)| {
                 let release_time = match release {
                     ReleasePattern::AllAtZero => SimTime::ZERO,
-                    ReleasePattern::EvenlySpaced(interval) => {
-                        SimTime::ZERO + interval * (k as u64)
+                    ReleasePattern::EvenlySpaced(interval) => SimTime::ZERO + interval * (k as u64),
+                    ReleasePattern::UniformWindow(window) => {
+                        SimTime::from_millis(rng.range_u64(0, window.as_millis().max(1)))
                     }
-                    ReleasePattern::UniformWindow(window) => SimTime::from_millis(
-                        rng.range_u64(0, window.as_millis().max(1)),
-                    ),
                 };
                 let deadline_time = match deadline {
                     DeadlineRule::None => SimTime::MAX,
@@ -102,10 +100,11 @@ impl Workload {
                         floor_stretch,
                         reference_slots,
                     } => {
-                        let drawn = SimDuration::from_millis(rng.range_u64(
-                            min.as_millis(),
-                            max.as_millis().max(min.as_millis() + 1),
-                        ));
+                        let drawn =
+                            SimDuration::from_millis(rng.range_u64(
+                                min.as_millis(),
+                                max.as_millis().max(min.as_millis() + 1),
+                            ));
                         let floor = lower_bound(w, reference_slots).mul_f64(floor_stretch);
                         release_time.saturating_add(drawn.max(floor))
                     }
@@ -210,7 +209,10 @@ mod tests {
             &mut Rng::new(1),
         );
         assert_eq!(w.len(), 3);
-        assert!(w.workflows().iter().all(|x| x.submit_time() == SimTime::ZERO));
+        assert!(w
+            .workflows()
+            .iter()
+            .all(|x| x.submit_time() == SimTime::ZERO));
         assert!(w.workflows().iter().all(|x| x.deadline() == SimTime::MAX));
     }
 
@@ -243,8 +245,11 @@ mod tests {
             .iter()
             .all(|x| x.submit_time() < SimTime::from_mins(10)));
         // Releases actually spread out.
-        let distinct: std::collections::BTreeSet<u64> =
-            w.workflows().iter().map(|x| x.submit_time().as_millis()).collect();
+        let distinct: std::collections::BTreeSet<u64> = w
+            .workflows()
+            .iter()
+            .map(|x| x.submit_time().as_millis())
+            .collect();
         assert!(distinct.len() > 40);
     }
 

@@ -72,9 +72,13 @@ impl YahooTraceConfig {
             5.0,
             10_000.0,
         );
-        let map_count = BoundedPareto::new(1.0, f64::from(self.map_count_max), self.map_count_alpha);
-        let red_count =
-            BoundedPareto::new(1.0, f64::from(self.reduce_count_max), self.reduce_count_alpha);
+        let map_count =
+            BoundedPareto::new(1.0, f64::from(self.map_count_max), self.map_count_alpha);
+        let red_count = BoundedPareto::new(
+            1.0,
+            f64::from(self.reduce_count_max),
+            self.reduce_count_alpha,
+        );
 
         let mappers = map_count.sample(rng).round().max(1.0) as u32;
         let mut reducers = red_count.sample(rng).round() as u32;
@@ -117,9 +121,9 @@ impl YahooTraceConfig {
 /// 180 jobs, 15 single-job workflows, largest workflow 12 jobs.
 pub fn yahoo_workflow_sizes() -> Vec<usize> {
     let mut sizes = vec![12, 10, 8, 7, 6, 6, 5, 5, 5, 4, 4, 4, 4, 4];
-    sizes.extend(std::iter::repeat(3).take(17));
-    sizes.extend(std::iter::repeat(2).take(15));
-    sizes.extend(std::iter::repeat(1).take(15));
+    sizes.extend(std::iter::repeat_n(3, 17));
+    sizes.extend(std::iter::repeat_n(2, 15));
+    sizes.extend(std::iter::repeat_n(1, 15));
     sizes
 }
 
@@ -214,8 +218,8 @@ mod tests {
     #[test]
     fn fig6a_mapper_counts_heavy_tail() {
         let jobs = big_trace();
-        let over_100 = jobs.iter().filter(|j| j.map_tasks() > 100).count() as f64
-            / jobs.len() as f64;
+        let over_100 =
+            jobs.iter().filter(|j| j.map_tasks() > 100).count() as f64 / jobs.len() as f64;
         assert!(
             (0.2..0.45).contains(&over_100),
             "{over_100:.2} of jobs have >100 mappers"
@@ -225,8 +229,8 @@ mod tests {
     #[test]
     fn fig6a_reducer_counts_mostly_small() {
         let jobs = big_trace();
-        let under_10 = jobs.iter().filter(|j| j.reduce_tasks() < 10).count() as f64
-            / jobs.len() as f64;
+        let under_10 =
+            jobs.iter().filter(|j| j.reduce_tasks() < 10).count() as f64 / jobs.len() as f64;
         assert!(under_10 > 0.6, "{under_10:.2} of jobs have <10 reducers");
     }
 
@@ -246,7 +250,11 @@ mod tests {
         let sizes = yahoo_workflow_sizes();
         assert_eq!(sizes.len(), 61, "61 workflows");
         assert_eq!(sizes.iter().sum::<usize>(), 180, "180 jobs");
-        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 15, "15 singletons");
+        assert_eq!(
+            sizes.iter().filter(|&&s| s == 1).count(),
+            15,
+            "15 singletons"
+        );
         assert_eq!(*sizes.iter().max().unwrap(), 12, "largest has 12 jobs");
     }
 

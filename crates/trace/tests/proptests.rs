@@ -1,12 +1,12 @@
 //! Property-based tests for the workload-generation crate.
 
 use proptest::prelude::*;
+use woha_model::{JobSpec, SimDuration, SimTime};
 use woha_trace::stats::{Cdf, DecadeHistogram};
 use woha_trace::topology::{chain, fork_join, layered, random_layered};
 use woha_trace::workload::{lower_bound, DeadlineRule, ReleasePattern, Workload};
 use woha_trace::yahoo::{yahoo_workflows, YahooTraceConfig};
 use woha_trace::{BoundedPareto, Clamped, Distribution, LogNormal, Rng, Uniform};
-use woha_model::{JobSpec, SimDuration, SimTime};
 
 fn tiny_job(i: usize) -> JobSpec {
     JobSpec::new(

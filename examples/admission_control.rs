@@ -54,15 +54,13 @@ fn instance(index: usize, deadline: SimDuration) -> WorkflowSpec {
     })
     .expect("valid hPDL");
     config.relative_deadline = Some(deadline);
-    config
-        .to_spec(SimTime::ZERO)
-        .expect("valid workflow")
+    config.to_spec(SimTime::ZERO).expect("valid workflow")
 }
 
 fn main() {
     let cluster = ClusterConfig::uniform(6, 2, 1); // 12 map + 6 reduce slots
-    // A conservative margin: deep fork/join phase structure packs far less
-    // tightly than raw capacity suggests.
+                                                   // A conservative margin: deep fork/join phase structure packs far less
+                                                   // tightly than raw capacity suggests.
     let mut controller = AdmissionController::new(&cluster).with_margin(0.55);
 
     // Eight identical pipelines all want to finish within 25 minutes.

@@ -54,7 +54,11 @@ fn main() {
     run("EDF", &mut EdfScheduler::new());
     run("FIFO", &mut FifoScheduler::new());
     run("Fair", &mut FairScheduler::new());
-    for policy in [PriorityPolicy::Lpf, PriorityPolicy::Hlf, PriorityPolicy::Mpf] {
+    for policy in [
+        PriorityPolicy::Lpf,
+        PriorityPolicy::Hlf,
+        PriorityPolicy::Mpf,
+    ] {
         let mut woha = WohaScheduler::new(WohaConfig::new(policy, total_slots));
         run(&format!("WOHA-{policy}"), &mut woha);
     }

@@ -55,12 +55,7 @@ fn main() -> Result<(), ModelError> {
 
     // 3. Run the workflow under the WOHA scheduler.
     let mut scheduler = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, total_slots));
-    let report = run_simulation(
-        &[workflow],
-        &mut scheduler,
-        &cluster,
-        &SimConfig::default(),
-    );
+    let report = run_simulation(&[workflow], &mut scheduler, &cluster, &SimConfig::default());
 
     // 4. Inspect the outcome.
     let outcome = &report.outcomes[0];

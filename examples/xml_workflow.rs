@@ -90,7 +90,11 @@ fn main() -> Result<(), ModelError> {
         "\nfinished at {} (deadline {}) — {}",
         outcome.finished.expect("completes"),
         outcome.deadline,
-        if outcome.met_deadline() { "deadline met" } else { "deadline MISSED" }
+        if outcome.met_deadline() {
+            "deadline met"
+        } else {
+            "deadline MISSED"
+        }
     );
     Ok(())
 }

@@ -52,12 +52,12 @@ pub mod prelude {
         JobPriorities, PriorityPolicy, QueueStrategy, SchedulingPlan, WohaConfig, WohaScheduler,
     };
     pub use woha_model::{
-        JobId, JobSpec, ModelError, SimDuration, SimTime, SlotKind, WorkflowBuilder,
+        JobId, JobSpec, ModelError, NodeId, SimDuration, SimTime, SlotKind, WorkflowBuilder,
         WorkflowConfig, WorkflowId, WorkflowSpec,
     };
     pub use woha_sim::{
-        run_simulation, ClusterConfig, LocalityConfig, SimConfig, SimReport, SpeculationConfig,
-        WorkflowPool, WorkflowScheduler,
+        run_simulation, ClusterConfig, FaultConfig, LocalityConfig, ScriptedFault, SimConfig,
+        SimReport, SpeculationConfig, WorkflowPool, WorkflowScheduler,
     };
     pub use woha_trace::{
         workload::{DeadlineRule, ReleasePattern, Workload},

@@ -32,7 +32,11 @@ fn all_schedulers(total_slots: u32) -> Vec<Box<dyn WorkflowScheduler>> {
         Box::new(FifoScheduler::new()),
         Box::new(FairScheduler::new()),
     ];
-    for policy in [PriorityPolicy::Lpf, PriorityPolicy::Hlf, PriorityPolicy::Mpf] {
+    for policy in [
+        PriorityPolicy::Lpf,
+        PriorityPolicy::Hlf,
+        PriorityPolicy::Mpf,
+    ] {
         v.push(Box::new(WohaScheduler::new(WohaConfig::new(
             policy,
             total_slots,
@@ -202,10 +206,125 @@ fn generated_topologies_run_everywhere() {
     }
     let cluster = ClusterConfig::uniform(3, 2, 1);
     for mut scheduler in all_schedulers(9) {
-        let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &SimConfig::default());
+        let report = run_simulation(
+            &workflows,
+            scheduler.as_mut(),
+            &cluster,
+            &SimConfig::default(),
+        );
         assert!(report.completed, "{}", report.scheduler);
         assert_eq!(report.deadline_misses(), 0, "{}", report.scheduler);
     }
+}
+
+/// Scripted node crashes under every scheduler: running tasks are
+/// requeued, completed map outputs on the dead node are re-executed before
+/// the dependent reducers can finish, the node's slots leave the pool
+/// until recovery, and every run still terminates.
+#[test]
+fn scripted_crashes_recover_under_every_scheduler() {
+    let mut b = WorkflowBuilder::new("crashy");
+    let a = b.add_job(JobSpec::new(
+        "a",
+        8,
+        2,
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(60),
+    ));
+    let z = b.add_job(JobSpec::new(
+        "z",
+        4,
+        1,
+        SimDuration::from_secs(20),
+        SimDuration::from_secs(30),
+    ));
+    b.add_dependency(a, z);
+    b.relative_deadline(SimDuration::from_mins(30));
+    let workflows = vec![b.build().unwrap()];
+    let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
+
+    // Node 3 dies at t=30 with job a's maps complete (two of its outputs
+    // live there) and its reduces running; node 1 dies during recovery.
+    let cluster = ClusterConfig::uniform(4, 2, 1).with_faults(FaultConfig::scripted(vec![
+        ScriptedFault {
+            node: NodeId::new(3),
+            down_at: SimTime::from_secs(30),
+            up_at: Some(SimTime::from_secs(120)),
+        },
+        ScriptedFault {
+            node: NodeId::new(1),
+            down_at: SimTime::from_secs(50),
+            up_at: Some(SimTime::from_secs(100)),
+        },
+    ]));
+    let config = SimConfig {
+        track_timelines: true,
+        ..SimConfig::default()
+    };
+    for mut scheduler in all_schedulers(12) {
+        let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &config);
+        let name = &report.scheduler;
+        assert!(report.completed, "{name}");
+        assert_eq!(report.invalid_assignments, 0, "{name}");
+        assert_eq!(report.node_failures, 2, "{name}");
+        assert_eq!(report.node_recoveries, 2, "{name}");
+        assert!(
+            report.tasks_requeued + report.map_outputs_lost > 0,
+            "{name}: crashes must cost work"
+        );
+        // Work conservation with re-execution: every requeued task and
+        // every invalidated map output runs again.
+        assert_eq!(
+            report.tasks_executed,
+            expected + report.tasks_requeued + report.map_outputs_lost,
+            "{name}"
+        );
+        // Slots leave the pool during the outages and return afterwards.
+        let tl = report.timelines.as_ref().expect("timelines tracked");
+        assert!(
+            tl.down_slots().iter().any(|&d| d > 0),
+            "{name}: outage must show up in the slot timeline"
+        );
+        assert_eq!(*tl.down_slots().last().unwrap(), 0, "{name}");
+    }
+}
+
+/// Satellite: with node faults, failure injection, stragglers +
+/// speculation, and duration jitter all active, the same `(config, seed)`
+/// produces byte-identical reports; changing the seed changes the fault
+/// schedule.
+#[test]
+fn fault_runs_are_reproducible() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster().with_faults(FaultConfig {
+        mtbf: Some(SimDuration::from_mins(90)),
+        mttr: SimDuration::from_mins(3),
+        detect_missed_heartbeats: 2,
+        blacklist_after: 0,
+        scripted: vec![ScriptedFault {
+            node: NodeId::new(7),
+            down_at: SimTime::from_mins(2),
+            up_at: Some(SimTime::from_mins(8)),
+        }],
+    });
+    let run = |seed: u64| {
+        let config = SimConfig {
+            duration_jitter: 0.15,
+            task_failure_prob: 0.02,
+            speculation: Some(SpeculationConfig::default()),
+            seed,
+            ..SimConfig::default()
+        };
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let mut report = run_simulation(&workflows, &mut s, &cluster, &config);
+        assert!(report.completed);
+        // The only wall-clock (host-time) field; everything else is
+        // simulation state and must reproduce exactly.
+        report.scheduler_nanos = 0;
+        serde_json::to_string(&report).unwrap()
+    };
+    assert_eq!(run(42), run(42), "same seed must be byte-identical");
+    assert_ne!(run(42), run(43), "seed drives the fault schedule");
 }
 
 /// The Yahoo-like workload runs to completion on a trace-scale cluster

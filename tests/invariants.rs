@@ -139,6 +139,52 @@ proptest! {
         }
     }
 
+    /// Fault-injection invariants: under stochastic node crashes with
+    /// recovery (no blacklisting), every run still terminates with the
+    /// full task count plus exactly the requeued and re-executed work, the
+    /// counters balance, and the same seed reproduces the same outcomes.
+    #[test]
+    fn fault_injection_invariants(
+        workflows in vec(arb_workflow(), 1..3),
+        seed in 0u64..4,
+    ) {
+        let cluster = ClusterConfig::uniform(4, 2, 1).with_faults(FaultConfig {
+            mtbf: Some(SimDuration::from_mins(20)),
+            mttr: SimDuration::from_mins(1),
+            detect_missed_heartbeats: 2,
+            blacklist_after: 0,
+            scripted: vec![],
+        });
+        let config = SimConfig { seed, ..SimConfig::default() };
+        let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
+        let mut schedulers: Vec<Box<dyn WorkflowScheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(EdfScheduler::new()),
+            Box::new(WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 12))),
+        ];
+        for scheduler in &mut schedulers {
+            let report = run_simulation(&workflows, scheduler.as_mut(), &cluster, &config);
+            prop_assert!(report.completed, "{}", report.scheduler);
+            prop_assert_eq!(report.invalid_assignments, 0);
+            prop_assert_eq!(
+                report.tasks_executed,
+                expected + report.tasks_requeued + report.map_outputs_lost,
+                "{}", report.scheduler
+            );
+            // Without blacklisting every detected crash eventually heals.
+            prop_assert!(report.node_recoveries <= report.node_failures);
+            prop_assert_eq!(report.nodes_blacklisted, 0);
+            prop_assert!((0.0..=1.0).contains(&report.overall_utilization()));
+        }
+        // Determinism: repeating one scheduler reproduces the outcomes.
+        let mut again = FifoScheduler::new();
+        let second = run_simulation(&workflows, &mut again, &cluster, &config);
+        let mut first = FifoScheduler::new();
+        let first = run_simulation(&workflows, &mut first, &cluster, &config);
+        prop_assert_eq!(first.outcomes, second.outcomes);
+        prop_assert_eq!(first.node_failures, second.node_failures);
+    }
+
     /// The WOHA queue strategies (DSL, BST) produce byte-identical
     /// outcomes — they implement the same algorithm.
     #[test]

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the small
+//! slice of serde this workspace relies on is reimplemented here as a
+//! value-tree model: [`Serialize`] lowers a type to a [`Value`],
+//! [`Deserialize`] rebuilds it, and the vendored `serde_json` renders
+//! `Value` to and from JSON text. The derive macros live in the sibling
+//! `serde_derive` shim and are re-exported here exactly like the real
+//! crate's `derive` feature.
+
+#![forbid(unsafe_code)]
+
+// The derives emit `::serde::...` paths; make them resolve inside this
+// crate's own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing tree of JSON-compatible data.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map), so
+/// serialization output is deterministic and matches field declaration
+/// order, which the byte-identical-report tests rely on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers up to `u64::MAX`.
+    U64(u64),
+    /// Integers beyond `u64::MAX` (the simulator tracks slot-milliseconds
+    /// in `u128`).
+    U128(u128),
+    /// Any number with a fractional part or exponent.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The ordered key/value pairs, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric payload widened to `u128`, if non-negative and integral.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::U64(n) => Some(u128::from(*n)),
+            Value::U128(n) => Some(*n),
+            Value::I64(n) => u128::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::U128(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integers are converted).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::U128(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `v` into `Self`, or explain why it cannot be.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: look up a struct field by name.
+///
+/// A missing key behaves like an explicit `null` so `Option` fields
+/// tolerate hand-written JSON that omits them; any other type reports
+/// the missing field.
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u128()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v.as_u128().ok_or_else(|| Error::custom("expected usize"))?;
+        usize::try_from(n).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::U128(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u128().ok_or_else(|| Error::custom("expected u128"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v.as_i64().ok_or_else(|| Error::custom("expected isize"))?;
+        isize::try_from(n).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for n in [0u64, 7, u64::MAX] {
+            assert_eq!(u64::from_value(&n.to_value()).unwrap(), n);
+        }
+        let big = u128::from(u64::MAX) + 10;
+        assert_eq!(u128::from_value(&big.to_value()).unwrap(), big);
+        assert_eq!(i64::from_value(&(-4i64).to_value()).unwrap(), -4);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let a = [vec![1u32], vec![2, 3]];
+        assert_eq!(<[Vec<u32>; 2]>::from_value(&a.to_value()).unwrap(), a);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Some(5u32).to_value()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+        struct Inner(u64);
+
+        #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+        enum Mode {
+            Off,
+            Fixed(u32),
+        }
+
+        #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+        struct Outer {
+            name: String,
+            inner: Inner,
+            mode: Mode,
+            opt: Option<Vec<u32>>,
+        }
+
+        let x = Outer {
+            name: "x".into(),
+            inner: Inner(9),
+            mode: Mode::Fixed(3),
+            opt: Some(vec![1, 2]),
+        };
+        let v = x.to_value();
+        assert_eq!(Outer::from_value(&v).unwrap(), x);
+        let unit = Mode::Off.to_value();
+        assert_eq!(unit, Value::Str("Off".into()));
+        assert_eq!(Mode::from_value(&unit).unwrap(), Mode::Off);
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate is unavailable in this build environment (no registry
+//! access), so the derives are reimplemented here against the vendored
+//! `serde` shim's value-tree model: `Serialize::to_value` /
+//! `Deserialize::from_value`. The item is parsed directly from the raw
+//! `proc_macro::TokenStream` (no `syn`/`quote`), which is enough because
+//! the workspace only derives on non-generic items without `#[serde]`
+//! attributes: named structs, tuple/newtype structs, and enums with unit
+//! or tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of items this shim knows how to derive for.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut entries = String::new();
+            for i in 0..*arity {
+                entries.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                            binders.join(","),
+                            elems.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    emit(&body)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!("{f}: ::serde::__field(__obj, \"{f}\")?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __arr = __v.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                         if __arr.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for `{name}`\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(",")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a == 0).collect();
+            let data: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a > 0).collect();
+            let mut code = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for (v, _) in &unit {
+                    arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),"
+                    ));
+                }
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                         match __s {{ {arms} _ => {{}} }}\n\
+                     }}\n"
+                ));
+            }
+            if !data.is_empty() {
+                let mut arms = String::new();
+                for (v, arity) in &data {
+                    if *arity == 1 {
+                        arms.push_str(&format!(
+                            "\"{v}\" => return ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(__val)?)),"
+                        ));
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __arr = __val.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for `{name}::{v}`\"))?;\n\
+                                 if __arr.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong arity for `{name}::{v}`\"));\n\
+                                 }}\n\
+                                 return ::std::result::Result::Ok({name}::{v}({}));\n\
+                             }}",
+                            elems.join(",")
+                        ));
+                    }
+                }
+                code.push_str(&format!(
+                    "if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                         if __obj.len() == 1 {{\n\
+                             let (__k, __val) = &__obj[0];\n\
+                             match __k.as_str() {{ {arms} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {code}\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             \"unrecognised value for enum `{name}`\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    emit(&body)
+}
+
+/// Wrap generated impls so lints never fire on derived code.
+fn emit(body: &str) -> TokenStream {
+    let wrapped = format!("#[automatically_derived]\n#[allow(clippy::all)]\n{body}");
+    wrapped
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim generated invalid code: {e}\n{wrapped}"))
+}
+
+/// Parse the derive input into a [`Shape`]. Panics (compile error) on
+/// unsupported input — generics, struct-variant enums — since nothing in
+/// this workspace uses them.
+fn parse_item(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    // Skip attributes and visibility until the `struct` / `enum` keyword.
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next(); // pub(crate) / pub(super)
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("serde_derive shim: expected `struct` or `enum`");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic items are not supported (item `{name}`)");
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: count_top_level(g.stream()),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+        None => Shape::UnitStruct { name },
+        other => panic!("serde_derive shim: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+/// Field names of a named struct, skipping attributes, visibility, and
+/// type tokens (commas inside `<...>` do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token in struct body: {other:?}")
+                }
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next field-separating comma.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// `(name, arity)` for each enum variant; arity 0 is a unit variant.
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let arity = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let stream = g.stream();
+                        iter.next();
+                        count_top_level(stream)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                        "serde_derive shim: struct-style enum variants are not supported \
+                         (variant `{id}`)"
+                    ),
+                    _ => 0,
+                };
+                variants.push((id.to_string(), arity));
+            }
+            other => panic!("serde_derive shim: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Number of comma-separated elements at the top level of a token stream
+/// (angle-bracket aware, tolerant of a trailing comma).
+fn count_top_level(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
