@@ -1,0 +1,244 @@
+//! Master-failover recovery study: what a JobTracker crash costs each
+//! scheduler, swept over checkpoint interval × crash time (no counterpart
+//! figure in the paper, whose testbed never loses the master; this probes
+//! the checkpoint/WAL recovery path the simulator models after Hadoop-1
+//! JobTracker restart).
+//!
+//! Every cell injects one scripted master crash and compares against the
+//! crash-free baseline of the same scheduler, so the tables report the
+//! deadline misses and tardiness *attributable to the outage*.
+
+use crate::runner::run_many;
+use crate::schedulers::SchedulerKind;
+use crate::table::Table;
+use woha_model::{SimDuration, SimTime, WorkflowSpec};
+use woha_sim::{ClusterConfig, FaultConfig, MasterFaultConfig, SimConfig, SimReport};
+
+/// The four schedulers the study compares (one WOHA variant suffices; the
+/// three policies share the recovery path).
+pub const SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Edf,
+    SchedulerKind::Fifo,
+    SchedulerKind::Fair,
+    SchedulerKind::WohaLpf,
+];
+
+/// One cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct FailoverCell {
+    /// Checkpoint-interval label ("1m", "5m", ...).
+    pub interval: String,
+    /// Crash-time label ("10m", "30m", ...).
+    pub crash: String,
+    /// Scheduler.
+    pub scheduler: SchedulerKind,
+    /// Full report (with `recovery` attached).
+    pub report: SimReport,
+}
+
+/// The whole sweep plus the crash-free baselines used for deltas.
+#[derive(Debug, Clone)]
+pub struct FailoverSweep {
+    /// All cells, grouped by interval then crash time in sweep order.
+    pub cells: Vec<FailoverCell>,
+    /// Crash-free baseline report per scheduler.
+    pub baselines: Vec<(SchedulerKind, SimReport)>,
+    /// Number of workflows in the workload.
+    pub workflow_count: usize,
+}
+
+/// Runs the sweep: the same workload and cluster under every
+/// `(checkpoint interval, crash time, scheduler)` triple, with one
+/// scripted master crash per run and the given restart time. `wal`
+/// selects lossless recovery (replay to the crash instant) or
+/// checkpoint-only recovery (everything since the last checkpoint is
+/// lost and redone). A crash-free run per scheduler provides the
+/// baseline for the delta tables.
+pub fn run_failover_sweep(
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    intervals: &[(String, SimDuration)],
+    crash_times: &[(String, SimTime)],
+    mttr: SimDuration,
+    wal: bool,
+    config: &SimConfig,
+) -> FailoverSweep {
+    let baselines = run_many(&SCHEDULERS, workflows, cluster, config);
+    let mut cells = Vec::new();
+    for (interval_label, interval) in intervals {
+        for (crash_label, crash) in crash_times {
+            let faults = FaultConfig {
+                master: MasterFaultConfig {
+                    mtbf: None,
+                    mttr,
+                    checkpoint_interval: *interval,
+                    wal,
+                    scripted: vec![*crash],
+                },
+                ..cluster.faults().clone()
+            };
+            let faulty = cluster.clone().with_faults(faults);
+            for (scheduler, report) in run_many(&SCHEDULERS, workflows, &faulty, config) {
+                cells.push(FailoverCell {
+                    interval: interval_label.clone(),
+                    crash: crash_label.clone(),
+                    scheduler,
+                    report,
+                });
+            }
+        }
+    }
+    FailoverSweep {
+        cells,
+        baselines,
+        workflow_count: workflows.len(),
+    }
+}
+
+fn ordered_unique(labels: impl Iterator<Item = String>) -> Vec<String> {
+    let mut seen = Vec::new();
+    for l in labels {
+        if !seen.contains(&l) {
+            seen.push(l);
+        }
+    }
+    seen
+}
+
+impl FailoverSweep {
+    /// The report of one cell.
+    pub fn report(&self, interval: &str, crash: &str, scheduler: SchedulerKind) -> &SimReport {
+        &self
+            .cells
+            .iter()
+            .find(|c| c.interval == interval && c.crash == crash && c.scheduler == scheduler)
+            .expect("cell exists")
+            .report
+    }
+
+    /// The crash-free baseline of one scheduler.
+    pub fn baseline(&self, scheduler: SchedulerKind) -> &SimReport {
+        &self
+            .baselines
+            .iter()
+            .find(|(k, _)| *k == scheduler)
+            .expect("baseline exists")
+            .1
+    }
+
+    /// One row per `(scheduler, interval)`, one column per crash time.
+    fn metric_table(&self, metric: impl Fn(&SimReport, &SimReport) -> String) -> Table {
+        let intervals = ordered_unique(self.cells.iter().map(|c| c.interval.clone()));
+        let crashes = ordered_unique(self.cells.iter().map(|c| c.crash.clone()));
+        let mut columns = vec!["scheduler @ ckpt".to_string()];
+        columns.extend(crashes.iter().map(|c| format!("crash {c}")));
+        let mut t = Table::new(columns);
+        for kind in SCHEDULERS {
+            for interval in &intervals {
+                let mut row = vec![format!("{kind} @ {interval}")];
+                for crash in &crashes {
+                    row.push(metric(
+                        self.report(interval, crash, kind),
+                        self.baseline(kind),
+                    ));
+                }
+                t.row(row);
+            }
+        }
+        t
+    }
+
+    /// Deadline misses attributable to the outage: cell minus the
+    /// crash-free baseline of the same scheduler.
+    pub fn miss_delta_table(&self) -> Table {
+        self.metric_table(|r, base| {
+            format!(
+                "{:+}",
+                r.deadline_misses() as i64 - base.deadline_misses() as i64
+            )
+        })
+    }
+
+    /// Extra total tardiness (s) over the crash-free baseline.
+    pub fn tardiness_delta_table(&self) -> Table {
+        self.metric_table(|r, base| {
+            format!(
+                "{:+.0}",
+                r.total_tardiness().as_secs_f64() - base.total_tardiness().as_secs_f64()
+            )
+        })
+    }
+
+    /// Recovery-subsystem counters per cell, as
+    /// `readopted/requeued/orphaned/wal-replayed`.
+    pub fn recovery_table(&self) -> Table {
+        self.metric_table(|r, _| {
+            let rec = r.recovery.as_ref().expect("master faults were enabled");
+            format!(
+                "{}/{}/{}/{}",
+                rec.attempts_readopted,
+                rec.attempts_requeued,
+                rec.attempts_orphaned,
+                rec.wal_records_replayed
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{demo_cluster, fig11_workflows};
+
+    #[test]
+    fn master_crashes_only_hurt_and_counters_reconcile() {
+        let workflows = fig11_workflows();
+        let cluster = demo_cluster();
+        let intervals = vec![
+            ("1m".to_string(), SimDuration::from_mins(1)),
+            ("10m".to_string(), SimDuration::from_mins(10)),
+        ];
+        let crashes = vec![("20m".to_string(), SimTime::from_mins(20))];
+        let config = SimConfig {
+            seed: 7,
+            ..SimConfig::default()
+        };
+        for wal in [true, false] {
+            let sweep = run_failover_sweep(
+                &workflows,
+                &cluster,
+                &intervals,
+                &crashes,
+                SimDuration::from_mins(2),
+                wal,
+                &config,
+            );
+            assert_eq!(sweep.cells.len(), 2 * SCHEDULERS.len());
+            for cell in &sweep.cells {
+                assert!(cell.report.completed, "{} wal={wal}", cell.scheduler);
+                let rec = cell.report.recovery.as_ref().expect("master mode");
+                assert_eq!(rec.master_crashes, 1);
+                if wal {
+                    // Lossless recovery loses no attempts.
+                    assert_eq!(rec.attempts_requeued + rec.attempts_orphaned, 0);
+                }
+                // An outage never helps a deadline.
+                let base = sweep.baseline(cell.scheduler);
+                assert!(
+                    cell.report.deadline_misses() >= base.deadline_misses(),
+                    "{} wal={wal}",
+                    cell.scheduler
+                );
+                assert!(cell.report.total_tardiness() >= base.total_tardiness());
+            }
+            assert_eq!(
+                sweep.miss_delta_table().len(),
+                SCHEDULERS.len() * intervals.len()
+            );
+            assert_eq!(
+                sweep.recovery_table().len(),
+                SCHEDULERS.len() * intervals.len()
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod deadline;
 pub mod demo;
 pub mod failures;
+pub mod master_failover;
 pub mod plans;
 pub mod throughput;
 pub mod tracestats;

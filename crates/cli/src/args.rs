@@ -3,7 +3,7 @@
 use std::fmt;
 use woha_core::{CapMode, PriorityPolicy};
 use woha_model::{config::parse_duration, SimTime};
-use woha_sim::{ClusterConfig, FaultConfig};
+use woha_sim::{ClusterConfig, FaultConfig, MasterFaultConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +26,12 @@ pub enum Command {
     },
     /// `woha-cli simulate <workflow.xml[@release]>... [--cluster NxMxR]
     /// [--scheduler S] [--jitter F] [--seed N] [--failures P] [--mtbf D]
-    /// [--mttr D] [--detect-missed N] [--blacklist-after N] [--json]`
+    /// [--mttr D] [--detect-missed N] [--blacklist-after N]
+    /// [--master-mtbf D] [--master-mttr D] [--checkpoint-interval D]
+    /// [--scripted-master-crash T]... [--no-wal] [--json]`
     ///
-    /// Node-fault flags attach a [`FaultConfig`] to the cluster.
+    /// Node-fault and master-fault flags attach a [`FaultConfig`] to the
+    /// cluster.
     Simulate {
         /// Workflow files with optional release offsets.
         workflows: Vec<WorkflowArg>,
@@ -106,6 +109,19 @@ USAGE:
                           (default 2; needs --mtbf)
       --blacklist-after N crashes before a node is blacklisted
                           (default 0 = never; needs --mtbf)
+      --master-mtbf D     mean time between master (JobTracker) crashes
+                          (default: no master faults)
+      --scripted-master-crash T
+                          crash the master at time T, e.g. 90s; repeatable;
+                          overrides --master-mtbf crash timing
+      --master-mttr D     mean master restart time (default 1m; needs
+                          --master-mtbf or --scripted-master-crash)
+      --checkpoint-interval D
+                          master checkpoint period (default 5m; needs a
+                          master-fault flag)
+      --no-wal            disable the master write-ahead log: recover from
+                          the last checkpoint alone (needs a master-fault
+                          flag)
       --json              machine-readable output
 
   woha-cli help
@@ -234,6 +250,11 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut mttr = None;
             let mut detect_missed = None;
             let mut blacklist_after = None;
+            let mut master_mtbf = None;
+            let mut master_mttr = None;
+            let mut checkpoint_interval = None;
+            let mut scripted_crashes = Vec::new();
+            let mut no_wal = false;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -267,24 +288,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                             return Err(err("--failures must be in [0, 1)"));
                         }
                     }
-                    "--mtbf" => {
-                        let raw = next_value(&mut it, "--mtbf")?;
-                        let d = parse_duration(&raw)
-                            .map_err(|e| err(format!("bad --mtbf {raw:?}: {e}")))?;
-                        if d.is_zero() {
-                            return Err(err("--mtbf must be positive"));
-                        }
-                        mtbf = Some(d);
-                    }
-                    "--mttr" => {
-                        let raw = next_value(&mut it, "--mttr")?;
-                        let d = parse_duration(&raw)
-                            .map_err(|e| err(format!("bad --mttr {raw:?}: {e}")))?;
-                        if d.is_zero() {
-                            return Err(err("--mttr must be positive"));
-                        }
-                        mttr = Some(d);
-                    }
+                    "--mtbf" => mtbf = Some(parse_positive_duration(&mut it, "--mtbf")?),
+                    "--mttr" => mttr = Some(parse_positive_duration(&mut it, "--mttr")?),
                     "--detect-missed" => {
                         let n: u32 = next_value(&mut it, "--detect-missed")?
                             .parse()
@@ -301,6 +306,24 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                                 .map_err(|_| err("--blacklist-after needs an integer"))?,
                         );
                     }
+                    "--master-mtbf" => {
+                        master_mtbf = Some(parse_positive_duration(&mut it, "--master-mtbf")?);
+                    }
+                    "--master-mttr" => {
+                        master_mttr = Some(parse_positive_duration(&mut it, "--master-mttr")?);
+                    }
+                    "--checkpoint-interval" => {
+                        checkpoint_interval =
+                            Some(parse_positive_duration(&mut it, "--checkpoint-interval")?);
+                    }
+                    "--scripted-master-crash" => {
+                        let raw = next_value(&mut it, "--scripted-master-crash")?;
+                        let d = parse_duration(&raw).map_err(|e| {
+                            err(format!("bad --scripted-master-crash {raw:?}: {e}"))
+                        })?;
+                        scripted_crashes.push(SimTime::ZERO + d);
+                    }
+                    "--no-wal" => no_wal = true,
                     "--json" => json = true,
                     other if !other.starts_with('-') => {
                         workflows.push(parse_workflow_arg(other)?);
@@ -311,7 +334,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             if workflows.is_empty() {
                 return Err(err("simulate needs at least one workflow file"));
             }
-            match mtbf {
+            let mut faults = match mtbf {
                 Some(mtbf) => {
                     let mut faults =
                         FaultConfig::with_mtbf(mtbf, mttr.unwrap_or(FaultConfig::default().mttr));
@@ -321,12 +344,32 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     if let Some(n) = blacklist_after {
                         faults.blacklist_after = n;
                     }
-                    cluster = cluster.with_faults(faults);
+                    faults
                 }
                 None if mttr.is_some() || detect_missed.is_some() || blacklist_after.is_some() => {
                     return Err(err("--mttr/--detect-missed/--blacklist-after need --mtbf"));
                 }
-                None => {}
+                None => FaultConfig::default(),
+            };
+            if master_mtbf.is_some() || !scripted_crashes.is_empty() {
+                scripted_crashes.sort();
+                let defaults = MasterFaultConfig::default();
+                faults.master = MasterFaultConfig {
+                    mtbf: master_mtbf,
+                    mttr: master_mttr.unwrap_or(defaults.mttr),
+                    checkpoint_interval: checkpoint_interval
+                        .unwrap_or(defaults.checkpoint_interval),
+                    wal: !no_wal,
+                    scripted: scripted_crashes,
+                };
+            } else if master_mttr.is_some() || checkpoint_interval.is_some() || no_wal {
+                return Err(err(
+                    "--master-mttr/--checkpoint-interval/--no-wal need --master-mtbf \
+                     or --scripted-master-crash",
+                ));
+            }
+            if faults.enabled() || faults.master.enabled() {
+                cluster = cluster.with_faults(faults);
             }
             Ok(Command::Simulate {
                 workflows,
@@ -348,6 +391,18 @@ fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<S
     it.next()
         .cloned()
         .ok_or_else(|| err(format!("{flag} needs a value")))
+}
+
+fn parse_positive_duration(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<woha_model::SimDuration, ArgError> {
+    let raw = next_value(it, flag)?;
+    let d = parse_duration(&raw).map_err(|e| err(format!("bad {flag} {raw:?}: {e}")))?;
+    if d.is_zero() {
+        return Err(err(format!("{flag} must be positive")));
+    }
+    Ok(d)
 }
 
 #[cfg(test)]
@@ -495,6 +550,85 @@ mod tests {
             Command::Simulate { cluster, .. } => assert!(!cluster.faults().enabled()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_master_fault_flags_attach_config() {
+        use woha_model::SimDuration;
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--master-mtbf",
+            "2h",
+            "--master-mttr",
+            "45s",
+            "--checkpoint-interval",
+            "3m",
+            "--no-wal",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { cluster, .. } => {
+                let m = &cluster.faults().master;
+                assert!(m.enabled());
+                assert_eq!(m.mtbf, Some(SimDuration::from_mins(120)));
+                assert_eq!(m.mttr, SimDuration::from_secs(45));
+                assert_eq!(m.checkpoint_interval, SimDuration::from_mins(3));
+                assert!(!m.wal);
+                assert!(m.scripted.is_empty());
+                // Master faults alone leave node faults off.
+                assert!(cluster.faults().mtbf.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Scripted crashes enable master faults without --master-mtbf, keep
+        // WAL + defaults, and are sorted.
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--scripted-master-crash",
+            "10m",
+            "--scripted-master-crash",
+            "90s",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { cluster, .. } => {
+                let m = &cluster.faults().master;
+                assert!(m.enabled());
+                assert_eq!(m.mtbf, None);
+                assert!(m.wal);
+                assert_eq!(
+                    m.scripted,
+                    vec![SimTime::from_secs(90), SimTime::from_mins(10)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_master_fault_flags() {
+        assert!(parse(&args(&["simulate", "a.xml", "--master-mtbf", "0s"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--master-mttr", "1m"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--checkpoint-interval", "1m"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--no-wal"])).is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--master-mtbf",
+            "1h",
+            "--checkpoint-interval",
+            "0s"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--scripted-master-crash",
+            "soon"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use woha_core::{
     WohaConfig, WohaScheduler,
 };
 use woha_model::{SlotKind, WorkflowConfig, WorkflowSpec};
-use woha_sim::{run_simulation, ClusterConfig, SimConfig, SimReport, WorkflowScheduler};
+use woha_sim::{try_run_simulation, ClusterConfig, SimConfig, SimReport, WorkflowScheduler};
 
 /// Runs a parsed command, returning its stdout content.
 ///
@@ -159,7 +159,9 @@ fn simulate(
     let mut reports = Vec::new();
     for name in names {
         let mut s = build_scheduler(name, total_slots);
-        reports.push(run_simulation(&specs, s.as_mut(), cluster, &config));
+        let report = try_run_simulation(&specs, s.as_mut(), cluster, &config)
+            .map_err(|e| format!("bad simulation config: {e}"))?;
+        reports.push(report);
     }
 
     if json {
@@ -187,6 +189,22 @@ fn simulate(
                 report.tasks_requeued,
                 report.map_outputs_lost,
                 report.work_lost_slot_ms as f64 / 1000.0,
+            )?;
+        }
+        if let Some(r) = &report.recovery {
+            writeln!(
+                out,
+                "  master crashes {}  downtime {:.1}s  checkpoints {}  wal replayed {}  \
+                 readopted {}  requeued {}  orphaned {}  resubmitted {}wf/{}job",
+                r.master_crashes,
+                r.master_downtime_ms as f64 / 1000.0,
+                r.checkpoints_taken,
+                r.wal_records_replayed,
+                r.attempts_readopted,
+                r.attempts_requeued,
+                r.attempts_orphaned,
+                r.workflows_resubmitted,
+                r.jobs_resubmitted,
             )?;
         }
         for o in &report.outcomes {
@@ -376,6 +394,38 @@ mod tests {
         .unwrap();
         assert!(out.contains("node failures"), "{out}");
         assert!(out.contains("=== FIFO ==="), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_master_faults_reports_recovery() {
+        let path = sample_file();
+        let out = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "fifo",
+            "--scripted-master-crash",
+            "30s",
+            "--master-mttr",
+            "20s",
+        ])
+        .unwrap();
+        assert!(out.contains("master crashes 1"), "{out}");
+        assert!(out.contains("downtime 20.0s"), "{out}");
+        assert!(out.contains("=== FIFO ==="), "{out}");
+        // Recovery counters survive the JSON round-trip too.
+        let json = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "fifo",
+            "--scripted-master-crash",
+            "30s",
+            "--json",
+        ])
+        .unwrap();
+        let parsed: Vec<SimReport> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0].recovery.as_ref().unwrap().master_crashes, 1);
     }
 
     #[test]

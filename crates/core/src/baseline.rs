@@ -7,8 +7,39 @@
 //! topology. FIFO and Fair ignore deadlines entirely; EDF uses only the
 //! deadline, not the workflow's shape or progress.
 
+use serde::{Deserialize, Serialize, Value};
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
-use woha_sim::{WorkflowPool, WorkflowScheduler};
+use woha_sim::{SchedulerState, WorkflowPool, WorkflowScheduler};
+
+/// Encodes an activation queue as an array of `[workflow, job]` pairs for
+/// the master-failover checkpoint (the vendored serde has no tuple impls).
+fn queue_to_value(queue: &[(WorkflowId, JobId)]) -> Value {
+    Value::Array(
+        queue
+            .iter()
+            .map(|&(wf, job)| Value::Array(vec![wf.to_value(), job.to_value()]))
+            .collect(),
+    )
+}
+
+/// Inverse of [`queue_to_value`]; malformed entries are dropped rather than
+/// failing recovery outright.
+fn queue_from_value(state: &Value) -> Vec<(WorkflowId, JobId)> {
+    state
+        .as_array()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_array()?;
+                    let wf = WorkflowId::from_value(pair.first()?).ok()?;
+                    let job = JobId::from_value(pair.get(1)?).ok()?;
+                    Some((wf, job))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
 
 /// Oozie + the default Hadoop `JobQueueTaskScheduler`: an ordered list of
 /// jobs by submission (activation) time; each free slot goes to the first
@@ -23,6 +54,16 @@ impl FifoScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
         FifoScheduler::default()
+    }
+}
+
+impl SchedulerState for FifoScheduler {
+    fn snapshot_state(&self) -> Value {
+        queue_to_value(&self.queue)
+    }
+
+    fn restore_state(&mut self, _pool: &WorkflowPool, state: &Value) {
+        self.queue = queue_from_value(state);
     }
 }
 
@@ -78,6 +119,16 @@ impl FairScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
         FairScheduler::default()
+    }
+}
+
+impl SchedulerState for FairScheduler {
+    fn snapshot_state(&self) -> Value {
+        queue_to_value(&self.activation)
+    }
+
+    fn restore_state(&mut self, _pool: &WorkflowPool, state: &Value) {
+        self.activation = queue_from_value(state);
     }
 }
 
@@ -137,6 +188,16 @@ impl EdfScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
         EdfScheduler::default()
+    }
+}
+
+impl SchedulerState for EdfScheduler {
+    fn snapshot_state(&self) -> Value {
+        queue_to_value(&self.activation)
+    }
+
+    fn restore_state(&mut self, _pool: &WorkflowPool, state: &Value) {
+        self.activation = queue_from_value(state);
     }
 }
 
@@ -282,6 +343,33 @@ mod tests {
         let alone = run(&mut FairScheduler::new(), &[fat("a", 0, 3_000)]);
         let solo = alone.outcome_by_name("a").unwrap().finished.unwrap();
         assert!(fa > solo, "sharing must slow both workflows down");
+    }
+
+    #[test]
+    fn activation_queue_survives_snapshot_restore() {
+        let mut pool = woha_sim::WorkflowPool::new();
+        let a = pool.register(fat("a", 0, 900));
+        let b = pool.register(fat("b", 0, 900));
+        let mut sched = FifoScheduler::new();
+        sched.on_job_activated(&pool, b, JobId::new(0), SimTime::ZERO);
+        sched.on_job_activated(&pool, a, JobId::new(0), SimTime::from_secs(1));
+        let snap = sched.snapshot_state();
+        let mut restored = FifoScheduler::new();
+        restored.restore_state(&pool, &snap);
+        // Order (b before a) is part of FIFO's state and must survive.
+        assert_eq!(restored.queue, sched.queue);
+        assert_eq!(restored.queue[0].0, b);
+
+        let mut edf = EdfScheduler::new();
+        edf.on_job_activated(&pool, a, JobId::new(0), SimTime::ZERO);
+        let mut edf_restored = EdfScheduler::new();
+        edf_restored.restore_state(&pool, &edf.snapshot_state());
+        assert_eq!(edf_restored.activation, edf.activation);
+
+        // A stateless default restores to empty.
+        let mut fair = FairScheduler::new();
+        fair.restore_state(&pool, &serde::Value::Null);
+        assert!(fair.activation.is_empty());
     }
 
     #[test]

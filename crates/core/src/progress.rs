@@ -4,10 +4,11 @@
 //! This is the `W_h.{t, i, p}` bookkeeping of the paper's Algorithm 2.
 
 use crate::plan::SchedulingPlan;
+use serde::{Deserialize, Serialize};
 use woha_model::{SimTime, WorkflowId};
 
 /// Runtime progress record of one queued workflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowProgress {
     id: WorkflowId,
     plan: SchedulingPlan,

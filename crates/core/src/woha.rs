@@ -20,9 +20,9 @@ use crate::plangen::{generate_plan_with_budget, CapMode};
 use crate::priority::{JobPriorities, PriorityPolicy};
 use crate::progress::WorkflowProgress;
 use crate::replan::{replan, ReplanConfig};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
-use woha_sim::{WorkflowPool, WorkflowScheduler};
+use woha_sim::{SchedulerState, WorkflowPool, WorkflowScheduler};
 
 /// Which data structure orders the queued workflows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -263,6 +263,59 @@ impl WohaScheduler {
             }
         }
         None
+    }
+}
+
+/// Serialized form of the WOHA master's private bookkeeping for the
+/// master-failover checkpoint. The incremental index is *not* serialized:
+/// it is derived state, rebuilt from the records on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WohaSnapshot {
+    records: Vec<Option<WorkflowProgress>>,
+    naive_members: Vec<WorkflowId>,
+    last_replan: Vec<SimTime>,
+    replans: u64,
+    rho_rollbacks: u64,
+}
+
+impl SchedulerState for WohaScheduler {
+    fn snapshot_state(&self) -> Value {
+        WohaSnapshot {
+            records: self.records.clone(),
+            naive_members: self.naive_members.clone(),
+            last_replan: self.last_replan.clone(),
+            replans: self.replans,
+            rho_rollbacks: self.rho_rollbacks,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, _pool: &WorkflowPool, state: &Value) {
+        let Ok(snap) = WohaSnapshot::from_value(state) else {
+            return;
+        };
+        self.records = snap.records;
+        self.naive_members = snap.naive_members;
+        self.last_replan = snap.last_replan;
+        self.replans = snap.replans;
+        self.rho_rollbacks = snap.rho_rollbacks;
+        // Rebuild the index by re-inserting every queued record under its
+        // current keys, replacing whatever the index held before.
+        self.index = match self.config.queue {
+            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
+            QueueStrategy::Bst => Some(Box::new(BstIndex::new())),
+            QueueStrategy::Naive => None,
+        };
+        if let Some(index) = self.index.as_mut() {
+            for record in self.records.iter().flatten() {
+                index.insert(
+                    record.id(),
+                    record.next_change(),
+                    record.lag(),
+                    record.deadline(),
+                );
+            }
+        }
     }
 }
 
@@ -581,11 +634,11 @@ mod tests {
         // outputs, had there been completed maps on the node).
         let workflows = vec![chain_workflow("w", 0, 600)];
         let cluster = ClusterConfig::uniform(3, 2, 1).with_faults(FaultConfig::scripted(vec![
-            ScriptedFault {
-                node: woha_model::NodeId::new(2),
-                down_at: SimTime::from_secs(5),
-                up_at: Some(SimTime::from_secs(60)),
-            },
+            ScriptedFault::one(
+                woha_model::NodeId::new(2),
+                SimTime::from_secs(5),
+                Some(SimTime::from_secs(60)),
+            ),
         ]));
         let mut sched = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 9));
         let report = run_simulation(&workflows, &mut sched, &cluster, &SimConfig::default());
@@ -620,6 +673,40 @@ mod tests {
         assert_eq!(sched.replans(), 0);
         sched.on_node_lost(&pool, woha_model::NodeId::new(0), now);
         assert!(sched.replans() > 0, "node loss should trigger a replan");
+    }
+
+    #[test]
+    fn scheduler_state_survives_snapshot_restore() {
+        for queue in QueueStrategy::ALL {
+            let mut pool = woha_sim::WorkflowPool::new();
+            let wf = pool.register(chain_workflow("w", 0, 300));
+            let make = || {
+                WohaScheduler::new(WohaConfig {
+                    queue,
+                    ..WohaConfig::new(PriorityPolicy::Lpf, 9)
+                })
+            };
+            let mut sched = make();
+            sched.on_workflow_submitted(&pool, wf, SimTime::ZERO);
+            let job = JobId::new(0);
+            pool.workflow_mut(wf).begin_submitting(job);
+            pool.workflow_mut(wf).activate(job, SimTime::from_secs(1));
+            sched.on_job_activated(&pool, wf, job, SimTime::from_secs(1));
+            pool.workflow_mut(wf).start_task(job, SlotKind::Map);
+            sched.on_task_assigned(&pool, wf, job, SlotKind::Map, SimTime::from_secs(2));
+
+            let mut restored = make();
+            restored.restore_state(&pool, &sched.snapshot_state());
+            assert_eq!(restored.progress(wf), sched.progress(wf), "{queue:?}");
+            assert_eq!(restored.replans(), sched.replans(), "{queue:?}");
+            // The rebuilt index agrees with the original on the next pick.
+            let now = SimTime::from_secs(3);
+            assert_eq!(
+                restored.assign_task(&pool, SlotKind::Map, now),
+                sched.assign_task(&pool, SlotKind::Map, now),
+                "{queue:?}"
+            );
+        }
     }
 
     #[test]

@@ -285,11 +285,11 @@ mod tests {
 
         let c = ClusterConfig::uniform(2, 1, 1);
         assert!(!c.faults().enabled());
-        let f = FaultConfig::scripted(vec![ScriptedFault {
-            node: NodeId::new(1),
-            down_at: SimTime::from_secs(5),
-            up_at: None,
-        }]);
+        let f = FaultConfig::scripted(vec![ScriptedFault::one(
+            NodeId::new(1),
+            SimTime::from_secs(5),
+            None,
+        )]);
         let c = c.with_faults(f.clone());
         assert!(c.faults().enabled());
         assert_eq!(c.faults(), &f);

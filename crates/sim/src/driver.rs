@@ -28,15 +28,75 @@
 //! the node lost (or the node re-registers first), completed map outputs
 //! hosted on the node are re-executed while reducers still need them, and
 //! repeatedly-crashing nodes can be blacklisted.
+//!
+//! The *master* (JobTracker) can crash too, when
+//! [`MasterFaultConfig`](crate::fault::MasterFaultConfig) is enabled. The
+//! master takes a full-state checkpoint ([`crate::snapshot`]) every
+//! checkpoint interval and appends every processed event to a write-ahead
+//! log in between. A crash freezes the world — nothing is assigned, no
+//! heartbeat is answered — for the restart duration; the replacement
+//! master then restores the latest checkpoint, replays the WAL, and
+//! reconciles with the physical cluster as TaskTrackers re-register:
+//! attempts still running on live nodes are re-adopted, attempts the
+//! recovered state cannot account for are killed and requeued (Hadoop-1
+//! JobTracker-restart semantics), and task completions the master has no
+//! record of are discarded as orphans.
 
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{splitmix, FaultStream};
-use crate::metrics::{SimReport, TimelineRecorder, WorkflowOutcome};
+use crate::metrics::{RecoveryReport, SimReport, TimelineRecorder, WorkflowOutcome};
 use crate::scheduler::WorkflowScheduler;
-use crate::state::WorkflowPool;
-use std::collections::HashMap;
+use crate::snapshot::{
+    completed_workflows, AttemptRecord, DelaySkipRecord, FaultSnapshot, GroupRecord,
+    LostTaskRecord, MapOutputRecord, MasterSnapshot, NodeSlotsRecord, PendingMapsRecord,
+    SnapshotCounters,
+};
+use crate::state::{JobPhase, WorkflowPool};
+use serde::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId, WorkflowSpec};
+
+/// A configuration error detected before the simulation starts.
+///
+/// Returned by [`try_run_simulation`]; [`run_simulation`] panics on these
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A scripted node fault names a node outside the cluster.
+    UnknownScriptedNode {
+        /// The out-of-range node.
+        node: NodeId,
+        /// Number of nodes in the cluster.
+        node_count: usize,
+    },
+    /// Master faults are enabled with a zero checkpoint interval.
+    ZeroCheckpointInterval,
+    /// Master faults are enabled with a zero restart time.
+    ZeroMasterMttr,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownScriptedNode { node, node_count } => write!(
+                f,
+                "scripted fault names node {} but the cluster has {} nodes",
+                node.index(),
+                node_count
+            ),
+            SimError::ZeroCheckpointInterval => {
+                write!(f, "master faults need a positive checkpoint interval")
+            }
+            SimError::ZeroMasterMttr => {
+                write!(f, "master faults need a positive restart time (MTTR)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Data-locality modelling for map tasks (HDFS-style block placement).
 ///
@@ -318,9 +378,35 @@ struct Sim<'a> {
     tasks_requeued: u64,
     map_outputs_lost: u64,
     work_lost_slot_ms: u128,
+    // Master-failover state (master mode only).
+    master_mode: bool,
+    /// Whether the JobTracker process is up. While it is down the world is
+    /// frozen: no event fires until the replacement master recovers.
+    master_alive: bool,
+    /// Whether the driver is replaying the WAL during recovery. Handlers
+    /// mutate state normally but [`Self::schedule`] drops new events: the
+    /// pending future was captured at the crash and is re-applied there.
+    replaying: bool,
+    /// The latest checkpoint, as an encoded [`MasterSnapshot`].
+    checkpoint: Option<Value>,
+    /// Events processed since the latest checkpoint (the write-ahead log).
+    wal: Vec<(SimTime, Event)>,
+    /// Which workload entries have had their arrival processed, by
+    /// workload index.
+    arrived: Vec<bool>,
+    recovery: RecoveryReport,
 }
 
 impl<'a> Sim<'a> {
+    /// Schedules a future event, unless the driver is replaying the WAL
+    /// (the original master already scheduled this future; it was captured
+    /// at the crash and is re-applied shifted by the outage).
+    fn schedule(&mut self, time: SimTime, event: Event) {
+        if !self.replaying {
+            self.queue.push(time, event);
+        }
+    }
+
     fn touch_busy(&mut self) {
         let dt = u128::from(self.now.saturating_since(self.last_busy_touch).as_millis());
         if dt > 0 {
@@ -339,7 +425,7 @@ impl<'a> Sim<'a> {
 
     fn begin_job_submission(&mut self, wf: WorkflowId, job: JobId) {
         self.pool.workflow_mut(wf).begin_submitting(job);
-        self.queue.push(
+        self.schedule(
             self.now.saturating_add(self.config.submit_latency),
             Event::JobActivated(wf, job),
         );
@@ -641,7 +727,7 @@ impl<'a> Sim<'a> {
             rec.record(self.now, wf, kind, 1);
         }
         self.tasks_executed += 1;
-        self.queue.push(
+        self.schedule(
             self.now + duration,
             Event::TaskComplete {
                 node,
@@ -719,7 +805,7 @@ impl<'a> Sim<'a> {
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(now, original.wf, kind, 1);
         }
-        self.queue.push(
+        self.schedule(
             now + duration,
             Event::TaskComplete {
                 node,
@@ -796,7 +882,7 @@ impl<'a> Sim<'a> {
             self.cluster.heartbeat_interval().as_millis()
                 * u64::from(faults.detect_missed_heartbeats.max(1)),
         );
-        self.queue.push(
+        self.schedule(
             self.now.saturating_add(detect),
             Event::NodeLost {
                 node,
@@ -807,8 +893,7 @@ impl<'a> Sim<'a> {
         // carry their own absolute repair times.
         if let Some(mttr) = faults.mtbf.map(|_| faults.mttr) {
             let ttr = self.rng.time_to_repair(node, self.incident[i], mttr);
-            self.queue
-                .push(self.now.saturating_add(ttr), Event::NodeUp(node));
+            self.schedule(self.now.saturating_add(ttr), Event::NodeUp(node));
         }
     }
 
@@ -831,12 +916,11 @@ impl<'a> Sim<'a> {
         }
         if !self.heartbeat_live[i] {
             self.heartbeat_live[i] = true;
-            self.queue.push(self.now, Event::Heartbeat(node));
+            self.schedule(self.now, Event::Heartbeat(node));
         }
         if let Some(mtbf) = self.cluster.faults().mtbf {
             let ttf = self.rng.time_to_failure(node, self.incident[i], mtbf);
-            self.queue
-                .push(self.now.saturating_add(ttf), Event::NodeDown(node));
+            self.schedule(self.now.saturating_add(ttf), Event::NodeDown(node));
         }
     }
 
@@ -918,6 +1002,588 @@ impl<'a> Sim<'a> {
             }
         }
     }
+
+    /// A TaskTracker heartbeat: dead nodes stop the chain; live ones get
+    /// their free slots offered and the next beat scheduled.
+    fn handle_heartbeat(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
+        if self.fault_mode && !self.alive[node.index()] {
+            // A dead node stops heartbeating; NodeUp restarts the chain
+            // when it re-registers.
+            self.heartbeat_live[node.index()] = false;
+        } else {
+            self.assign_node(scheduler, node);
+            if self.remaining > 0 {
+                self.schedule(
+                    self.now + self.cluster.heartbeat_interval(),
+                    Event::Heartbeat(node),
+                );
+            }
+        }
+    }
+
+    /// Applies one event to the master state. Called from the main loop
+    /// and, with [`Self::replaying`] set, from WAL replay during recovery.
+    fn dispatch(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        workflows: &[WorkflowSpec],
+        event: Event,
+    ) {
+        match event {
+            Event::WorkflowArrival(i) => {
+                self.arrived[i] = true;
+                self.handle_arrival(scheduler, &workflows[i]);
+            }
+            Event::JobActivated(wf, job) => self.handle_activation(scheduler, wf, job),
+            Event::Heartbeat(node) => self.handle_heartbeat(scheduler, node),
+            Event::TaskComplete {
+                node,
+                workflow,
+                job,
+                kind,
+                attempt,
+            } => self.handle_completion(scheduler, node, workflow, job, kind, attempt),
+            Event::NodeDown(node) => self.handle_node_down(node),
+            Event::NodeUp(node) => self.handle_node_up(scheduler, node),
+            Event::NodeLost { node, incident } => self.handle_node_lost(scheduler, node, incident),
+            Event::Checkpoint => self.handle_checkpoint(scheduler),
+            Event::MasterCrash { incident } => {
+                self.handle_master_crash(scheduler, workflows, incident)
+            }
+            Event::MasterRecovered { incident } => {
+                self.handle_master_recovered(scheduler, incident)
+            }
+        }
+    }
+
+    /// Serializes the full master state (see [`crate::snapshot`]). Maps
+    /// are emitted as key-sorted vectors so the encoding is deterministic.
+    fn build_snapshot(&self, scheduler: &dyn WorkflowScheduler) -> MasterSnapshot {
+        let mut attempts: Vec<AttemptRecord> = self
+            .attempts
+            .iter()
+            .map(|(&id, a)| AttemptRecord {
+                id,
+                wf: a.wf,
+                job: a.job,
+                kind: a.kind,
+                node: a.node,
+                group: a.group,
+                started: a.started,
+                estimate: a.estimate,
+                speculative: a.speculative,
+                cancelled: a.cancelled,
+            })
+            .collect();
+        attempts.sort_unstable_by_key(|a| a.id);
+        let mut groups: Vec<GroupRecord> = self
+            .groups
+            .iter()
+            .map(|(&id, g)| GroupRecord {
+                id,
+                done: g.done,
+                twin_launched: g.twin_launched,
+                attempts: g.attempts,
+                attempt_count: g.attempt_count,
+            })
+            .collect();
+        groups.sort_unstable_by_key(|g| g.id);
+        let mut pending_map_ids: Vec<PendingMapsRecord> = self
+            .pending_map_ids
+            .iter()
+            .map(|(&(wf, job), ids)| PendingMapsRecord {
+                wf,
+                job,
+                ids: ids.clone(),
+            })
+            .collect();
+        pending_map_ids.sort_unstable_by_key(|r| (r.wf.as_u64(), r.job.as_u32()));
+        let mut delay_skips: Vec<DelaySkipRecord> = self
+            .delay_skips
+            .iter()
+            .map(|(&(wf, job), &skips)| DelaySkipRecord { wf, job, skips })
+            .collect();
+        delay_skips.sort_unstable_by_key(|r| (r.wf.as_u64(), r.job.as_u32()));
+        let mut map_output_hosts: Vec<MapOutputRecord> = self
+            .map_output_hosts
+            .iter()
+            .map(|(&(wf, job), hosts)| MapOutputRecord {
+                wf,
+                job,
+                hosts: hosts.clone(),
+            })
+            .collect();
+        map_output_hosts.sort_unstable_by_key(|r| (r.wf.as_u64(), r.job.as_u32()));
+        MasterSnapshot {
+            taken_at: self.now,
+            pool: self.pool.clone(),
+            arrived: self.arrived.clone(),
+            attempts,
+            groups,
+            next_attempt: self.next_attempt,
+            next_group: self.next_group,
+            pending_map_ids,
+            delay_skips,
+            map_output_hosts,
+            node_slots: self
+                .nodes
+                .iter()
+                .map(|n| NodeSlotsRecord {
+                    free_maps: n.free_maps,
+                    free_reduces: n.free_reduces,
+                })
+                .collect(),
+            busy_count: self.busy_count,
+            completion_seq: self.completion_seq,
+            counters: SnapshotCounters {
+                tasks_executed: self.tasks_executed,
+                task_failures: self.task_failures,
+                assign_calls: self.assign_calls,
+                invalid_assignments: self.invalid_assignments,
+                local_map_tasks: self.local_map_tasks,
+                remote_map_tasks: self.remote_map_tasks,
+                delay_skip_count: self.delay_skip_count,
+                stragglers: self.stragglers,
+                speculative_launched: self.speculative_launched,
+                speculative_wins: self.speculative_wins,
+                node_failures: self.node_failures,
+                node_recoveries: self.node_recoveries,
+                nodes_blacklisted: self.nodes_blacklisted,
+                tasks_requeued: self.tasks_requeued,
+                map_outputs_lost: self.map_outputs_lost,
+                work_lost_slot_ms: self.work_lost_slot_ms,
+            },
+            fault: FaultSnapshot {
+                alive: self.alive.clone(),
+                blacklisted: self.node_blacklisted.clone(),
+                incident: self.incident.clone(),
+                crash_count: self.crash_count.clone(),
+                heartbeat_live: self.heartbeat_live.clone(),
+                lost_pending: self
+                    .lost_pending
+                    .iter()
+                    .map(|v| {
+                        v.iter()
+                            .map(|t| LostTaskRecord {
+                                wf: t.wf,
+                                job: t.job,
+                                kind: t.kind,
+                                solo: t.solo,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            },
+            scheduler: scheduler.snapshot_state(),
+        }
+    }
+
+    /// Replaces the master's logical state with a decoded checkpoint.
+    fn install_snapshot(&mut self, scheduler: &mut dyn WorkflowScheduler, snap: MasterSnapshot) {
+        self.pool = snap.pool;
+        self.arrived = snap.arrived;
+        self.attempts = snap
+            .attempts
+            .into_iter()
+            .map(|r| {
+                (
+                    r.id,
+                    Attempt {
+                        wf: r.wf,
+                        job: r.job,
+                        kind: r.kind,
+                        node: r.node,
+                        group: r.group,
+                        started: r.started,
+                        estimate: r.estimate,
+                        speculative: r.speculative,
+                        cancelled: r.cancelled,
+                    },
+                )
+            })
+            .collect();
+        self.groups = snap
+            .groups
+            .into_iter()
+            .map(|r| {
+                (
+                    r.id,
+                    AttemptGroup {
+                        done: r.done,
+                        twin_launched: r.twin_launched,
+                        attempts: r.attempts,
+                        attempt_count: r.attempt_count,
+                    },
+                )
+            })
+            .collect();
+        self.next_attempt = snap.next_attempt;
+        self.next_group = snap.next_group;
+        self.pending_map_ids = snap
+            .pending_map_ids
+            .into_iter()
+            .map(|r| ((r.wf, r.job), r.ids))
+            .collect();
+        self.delay_skips = snap
+            .delay_skips
+            .into_iter()
+            .map(|r| ((r.wf, r.job), r.skips))
+            .collect();
+        self.map_output_hosts = snap
+            .map_output_hosts
+            .into_iter()
+            .map(|r| ((r.wf, r.job), r.hosts))
+            .collect();
+        for (slots, r) in self.nodes.iter_mut().zip(&snap.node_slots) {
+            slots.free_maps = r.free_maps;
+            slots.free_reduces = r.free_reduces;
+        }
+        self.busy_count = snap.busy_count;
+        self.completion_seq = snap.completion_seq;
+        let c = snap.counters;
+        self.tasks_executed = c.tasks_executed;
+        self.task_failures = c.task_failures;
+        self.assign_calls = c.assign_calls;
+        self.invalid_assignments = c.invalid_assignments;
+        self.local_map_tasks = c.local_map_tasks;
+        self.remote_map_tasks = c.remote_map_tasks;
+        self.delay_skip_count = c.delay_skip_count;
+        self.stragglers = c.stragglers;
+        self.speculative_launched = c.speculative_launched;
+        self.speculative_wins = c.speculative_wins;
+        self.node_failures = c.node_failures;
+        self.node_recoveries = c.node_recoveries;
+        self.nodes_blacklisted = c.nodes_blacklisted;
+        self.tasks_requeued = c.tasks_requeued;
+        self.map_outputs_lost = c.map_outputs_lost;
+        self.work_lost_slot_ms = c.work_lost_slot_ms;
+        let f = snap.fault;
+        self.alive = f.alive;
+        self.node_blacklisted = f.blacklisted;
+        self.incident = f.incident;
+        self.crash_count = f.crash_count;
+        self.heartbeat_live = f.heartbeat_live;
+        self.lost_pending = f
+            .lost_pending
+            .into_iter()
+            .map(|v| {
+                v.into_iter()
+                    .map(|t| LostTask {
+                        wf: t.wf,
+                        job: t.job,
+                        kind: t.kind,
+                        solo: t.solo,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.remaining = self.arrived.len() - completed_workflows(&self.pool);
+        scheduler.restore_state(&self.pool, &snap.scheduler);
+    }
+
+    /// Takes a checkpoint: encodes the current master state and truncates
+    /// the WAL.
+    fn take_checkpoint(&mut self, scheduler: &mut dyn WorkflowScheduler) {
+        let snap = self.build_snapshot(scheduler);
+        self.checkpoint = Some(snap.encode());
+        self.wal.clear();
+        self.recovery.checkpoints_taken += 1;
+    }
+
+    fn handle_checkpoint(&mut self, scheduler: &mut dyn WorkflowScheduler) {
+        self.take_checkpoint(scheduler);
+        let interval = self.cluster.faults().master.checkpoint_interval;
+        self.schedule(self.now.saturating_add(interval), Event::Checkpoint);
+    }
+
+    /// The JobTracker crashes. The world freezes for the restart duration
+    /// (every pending event shifts by the outage); the replacement master
+    /// restores the latest checkpoint, replays the WAL, and reconciles
+    /// with the physical cluster as TaskTrackers re-register.
+    fn handle_master_crash(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        workflows: &[WorkflowSpec],
+        incident: u64,
+    ) {
+        if incident != self.recovery.master_crashes {
+            // A stale crash from before an earlier recovery.
+            return;
+        }
+        let cluster = self.cluster;
+        let mcfg = &cluster.faults().master;
+        self.recovery.master_crashes += 1;
+        self.touch_busy();
+        // Pure-scripted schedules restart in exactly `mttr` (deterministic
+        // for tests); stochastic ones sample an exponential restart time.
+        let outage = if mcfg.mtbf.is_some() {
+            self.rng.master_time_to_repair(incident, mcfg.mttr)
+        } else {
+            mcfg.mttr
+        };
+        self.recovery.master_downtime_ms += outage.as_millis();
+        self.master_alive = false;
+        let crash_time = self.now;
+        let recover_at = crash_time.saturating_add(outage);
+
+        // The physical world at the crash: node liveness, outage ordinals,
+        // and blacklists do not reset because the master restarted.
+        let phys_alive = std::mem::take(&mut self.alive);
+        let phys_blacklisted = std::mem::take(&mut self.node_blacklisted);
+        let phys_incident = std::mem::take(&mut self.incident);
+        let phys_crash_count = std::mem::take(&mut self.crash_count);
+        let phys_heartbeat_live = std::mem::take(&mut self.heartbeat_live);
+
+        let pending = self.queue.drain_ordered();
+
+        // Restore the latest checkpoint and replay the WAL onto it. The
+        // replay re-derives every post-checkpoint decision (same RNG
+        // streams, same attempt ids) without scheduling new events.
+        let snap = MasterSnapshot::decode(self.checkpoint.as_ref().expect("genesis checkpoint"))
+            .expect("checkpoint decodes");
+        let wal = std::mem::take(&mut self.wal);
+        self.install_snapshot(scheduler, snap);
+        self.replaying = true;
+        let recorder = self.recorder.take();
+        for (t, event) in wal {
+            self.now = t;
+            self.recovery.wal_records_replayed += 1;
+            self.dispatch(scheduler, workflows, event);
+        }
+        self.recorder = recorder;
+        self.replaying = false;
+        self.now = crash_time;
+
+        // Node failures that happened but fell into a lost WAL suffix still
+        // count toward the report; derive per-node recoveries from the
+        // crash-count delta and the liveness transition.
+        for i in 0..self.node_count {
+            let missed_downs = i64::from(phys_crash_count[i]) - i64::from(self.crash_count[i]);
+            let missed_ups = missed_downs + i64::from(phys_alive[i]) - i64::from(self.alive[i]);
+            self.node_failures += missed_downs.max(0) as u64;
+            self.node_recoveries += missed_ups.max(0) as u64;
+            if phys_blacklisted[i] && !self.node_blacklisted[i] {
+                self.nodes_blacklisted += 1;
+            }
+        }
+        self.alive = phys_alive;
+        self.node_blacklisted = phys_blacklisted;
+        self.incident = phys_incident;
+        self.crash_count = phys_crash_count;
+        self.heartbeat_live = phys_heartbeat_live;
+
+        // Reconciliation: TaskTrackers re-register with the new master and
+        // report what they are running. An attempt the recovered state
+        // knows about is re-adopted if its node is live and its completion
+        // is still pending; otherwise it is killed and requeued (Hadoop-1
+        // kills attempts the restarted JobTracker cannot account for).
+        let pending_attempts: HashSet<u64> = pending
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::TaskComplete { attempt, .. } => Some(*attempt),
+                _ => None,
+            })
+            .collect();
+        let mut ids: Vec<u64> = self.attempts.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let a = self.attempts[&id];
+            if a.cancelled {
+                continue;
+            }
+            if self.alive[a.node.index()] && pending_attempts.contains(&id) {
+                // Re-adopted: the attempt kept running through the outage;
+                // its completion shifts with everything else.
+                let a = self.attempts.get_mut(&id).expect("registered");
+                a.started = a.started.saturating_add(outage);
+                self.recovery.attempts_readopted += 1;
+                continue;
+            }
+            // Dead node, or the completion fell into the lost WAL suffix:
+            // kill the attempt and requeue its task.
+            let a = self.attempts.get_mut(&id).expect("registered");
+            a.cancelled = true;
+            let a = *a;
+            let twin_alive = self.groups.get(&a.group).is_some_and(|g| {
+                g.attempts[..usize::from(g.attempt_count)]
+                    .iter()
+                    .any(|&o| o != id && self.attempts.get(&o).is_some_and(|t| !t.cancelled))
+            });
+            if twin_alive {
+                self.pool
+                    .workflow_mut(a.wf)
+                    .finish_speculative(a.job, a.kind);
+            } else {
+                self.groups.remove(&a.group);
+                self.pool.workflow_mut(a.wf).fail_task(a.job, a.kind);
+                self.tasks_requeued += 1;
+                if a.kind == SlotKind::Map && self.config.locality.is_some() {
+                    let spec_maps = self.pool.workflow(a.wf).spec().job(a.job).map_tasks();
+                    let retried = self.pool.workflow(a.wf).job(a.job).retried(a.kind);
+                    if let Some(ids) = self.pending_map_ids.get_mut(&(a.wf, a.job)) {
+                        ids.push(spec_maps + retried);
+                    }
+                }
+                scheduler.on_task_failed(&self.pool, a.wf, a.job, a.kind, self.now);
+                self.recovery.attempts_requeued += 1;
+            }
+            self.work_lost_slot_ms +=
+                u128::from(crash_time.saturating_since(a.started).as_millis());
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(crash_time, a.wf, a.kind, -1);
+            }
+            if !pending_attempts.contains(&id) {
+                // No event will ever reference this attempt again.
+                self.attempts.remove(&id);
+            }
+        }
+
+        // Crash work whose detection (NodeLost) and repair (NodeUp) both
+        // fell into the lost suffix would otherwise never be requeued:
+        // re-registration at recovery surfaces it now.
+        for i in 0..self.node_count {
+            if self.lost_pending[i].is_empty() {
+                continue;
+            }
+            let node = NodeId::new(i as u32);
+            let has_wakeup = pending.iter().any(|(_, e)| match e {
+                Event::NodeUp(n) => *n == node,
+                Event::NodeLost {
+                    node: n,
+                    incident: inc,
+                } => *n == node && *inc == self.incident[i],
+                _ => false,
+            });
+            if !has_wakeup {
+                self.requeue_lost(scheduler, node);
+            }
+        }
+
+        // Rebuild slot occupancy from the surviving attempts.
+        self.busy_count = [0, 0];
+        for (i, slots) in self.nodes.iter_mut().enumerate() {
+            if self.alive[i] && !self.node_blacklisted[i] {
+                let cfg = cluster.node(NodeId::new(i as u32));
+                slots.free_maps = cfg.map_slots;
+                slots.free_reduces = cfg.reduce_slots;
+            } else {
+                slots.free_maps = 0;
+                slots.free_reduces = 0;
+            }
+        }
+        for a in self.attempts.values() {
+            if !a.cancelled {
+                self.busy_count[Self::kind_index(a.kind)] += 1;
+                self.nodes[a.node.index()].take(a.kind);
+            }
+        }
+
+        // Rebuild the event queue: recovery fires first, then the frozen
+        // future shifted by the outage. Orphaned completions (attempts the
+        // recovered master has no record of) are discarded; activations of
+        // jobs no longer in the Submitting phase are stale; the checkpoint
+        // cycle restarts fresh at recovery.
+        let mut has_arrival = vec![false; self.arrived.len()];
+        let mut has_activation: Vec<(WorkflowId, JobId)> = Vec::new();
+        for (_, e) in &pending {
+            match e {
+                Event::WorkflowArrival(i) => has_arrival[*i] = true,
+                Event::JobActivated(wf, job) => has_activation.push((*wf, *job)),
+                _ => {}
+            }
+        }
+        self.queue
+            .push(recover_at, Event::MasterRecovered { incident });
+        for (t, event) in pending {
+            let keep = match &event {
+                Event::TaskComplete {
+                    attempt,
+                    workflow,
+                    kind,
+                    ..
+                } => {
+                    if self.attempts.contains_key(attempt) {
+                        true
+                    } else {
+                        self.recovery.attempts_orphaned += 1;
+                        if let Some(rec) = self.recorder.as_mut() {
+                            rec.record(crash_time, *workflow, *kind, -1);
+                        }
+                        false
+                    }
+                }
+                Event::JobActivated(wf, job) => {
+                    // A workflow that arrived after the checkpoint is
+                    // unknown to the restored master: its activation is as
+                    // orphaned as the arrival, which gets resubmitted.
+                    (wf.as_u64() as usize) < self.pool.len()
+                        && self.pool.workflow(*wf).job(*job).phase() == JobPhase::Submitting
+                }
+                Event::Checkpoint => false,
+                _ => true,
+            };
+            if keep {
+                self.queue.push(t.saturating_add(outage), event);
+            }
+        }
+
+        // Arrivals and submitter jobs consumed in the lost suffix are gone
+        // from both the recovered state and the queue: the client (or the
+        // workflow manager) resubmits them to the new master at recovery.
+        let lost: Vec<usize> = (0..self.arrived.len())
+            .filter(|&i| !self.arrived[i] && !has_arrival[i])
+            .collect();
+        for i in lost {
+            self.queue.push(recover_at, Event::WorkflowArrival(i));
+            self.recovery.workflows_resubmitted += 1;
+        }
+        let mut resubmit: Vec<(WorkflowId, JobId)> = Vec::new();
+        for w in self.pool.workflows() {
+            for job in w.spec().job_ids() {
+                if w.job(job).phase() == JobPhase::Submitting
+                    && !has_activation.contains(&(w.id(), job))
+                {
+                    resubmit.push((w.id(), job));
+                }
+            }
+        }
+        for (wf, job) in resubmit {
+            self.queue.push(
+                recover_at.saturating_add(self.config.submit_latency),
+                Event::JobActivated(wf, job),
+            );
+            self.recovery.jobs_resubmitted += 1;
+        }
+    }
+
+    /// The replacement JobTracker finishes recovery and resumes.
+    fn handle_master_recovered(&mut self, scheduler: &mut dyn WorkflowScheduler, incident: u64) {
+        debug_assert_eq!(incident + 1, self.recovery.master_crashes);
+        // The outage contributes zero busy time: the integral window
+        // restarts at recovery.
+        self.last_busy_touch = self.now;
+        self.master_alive = true;
+        // A fresh checkpoint cycle starts immediately.
+        self.take_checkpoint(scheduler);
+        let cluster = self.cluster;
+        let mcfg = &cluster.faults().master;
+        self.schedule(
+            self.now.saturating_add(mcfg.checkpoint_interval),
+            Event::Checkpoint,
+        );
+        // Chain the next stochastic crash (scripted schedules were queued
+        // up front and override stochastic crashes entirely).
+        if mcfg.scripted.is_empty() {
+            if let Some(mtbf) = mcfg.mtbf {
+                let n = self.recovery.master_crashes;
+                let ttf = self.rng.master_time_to_failure(n, mtbf);
+                self.schedule(
+                    self.now.saturating_add(ttf),
+                    Event::MasterCrash { incident: n },
+                );
+            }
+        }
+    }
 }
 
 /// Runs one simulation of `workflows` under `scheduler` on `cluster`.
@@ -947,13 +1613,62 @@ impl<'a> Sim<'a> {
 /// assert!(report.completed);
 /// assert_eq!(report.deadline_misses(), 0);
 /// ```
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`SimError`]); use
+/// [`try_run_simulation`] for a fallible variant.
 pub fn run_simulation(
     workflows: &[WorkflowSpec],
     scheduler: &mut dyn WorkflowScheduler,
     cluster: &ClusterConfig,
     config: &SimConfig,
 ) -> SimReport {
+    try_run_simulation(workflows, scheduler, cluster, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_simulation`]: validates the fault
+/// configuration against the cluster before starting.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when a scripted fault names a node outside the
+/// cluster, or master faults are enabled with a zero checkpoint interval
+/// or restart time.
+pub fn try_run_simulation(
+    workflows: &[WorkflowSpec],
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let node_count = cluster.node_count();
+    for f in &cluster.faults().scripted {
+        for &node in &f.nodes {
+            if node.index() >= node_count {
+                return Err(SimError::UnknownScriptedNode { node, node_count });
+            }
+        }
+    }
+    let mcfg = &cluster.faults().master;
+    if mcfg.enabled() {
+        if mcfg.checkpoint_interval.is_zero() {
+            return Err(SimError::ZeroCheckpointInterval);
+        }
+        if mcfg.mttr.is_zero() {
+            return Err(SimError::ZeroMasterMttr);
+        }
+    }
+    Ok(run_inner(workflows, scheduler, cluster, config))
+}
+
+fn run_inner(
+    workflows: &[WorkflowSpec],
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> SimReport {
     let fault_mode = cluster.faults().enabled();
+    let master_mode = cluster.faults().master.enabled();
     let node_count = cluster.node_count();
     let mut sim = Sim {
         config,
@@ -995,7 +1710,7 @@ pub fn run_simulation(
         stragglers: 0,
         speculative_launched: 0,
         speculative_wins: 0,
-        track_attempts: config.speculation.is_some() || fault_mode,
+        track_attempts: config.speculation.is_some() || fault_mode || master_mode,
         fault_mode,
         alive: vec![true; node_count],
         node_blacklisted: vec![false; node_count],
@@ -1010,6 +1725,13 @@ pub fn run_simulation(
         tasks_requeued: 0,
         map_outputs_lost: 0,
         work_lost_slot_ms: 0,
+        master_mode,
+        master_alive: true,
+        replaying: false,
+        checkpoint: None,
+        wal: Vec::new(),
+        arrived: vec![false; workflows.len()],
+        recovery: RecoveryReport::default(),
     };
 
     // Workflow arrivals.
@@ -1023,24 +1745,48 @@ pub fn run_simulation(
         sim.queue
             .push(SimTime::ZERO + offset, Event::Heartbeat(node));
     }
-    // Fault schedule: scripted outages verbatim, plus the first stochastic
-    // crash per node (later crashes chain off each recovery).
+    // Fault schedule: scripted outages verbatim (each fault takes its node
+    // set down atomically), plus the first stochastic crash per node
+    // (later crashes chain off each recovery).
     if fault_mode {
         for f in &cluster.faults().scripted {
-            assert!(
-                f.node.index() < node_count,
-                "scripted fault for unknown node {:?}",
-                f.node
-            );
-            sim.queue.push(f.down_at, Event::NodeDown(f.node));
-            if let Some(up) = f.up_at {
-                sim.queue.push(up, Event::NodeUp(f.node));
+            for &node in &f.nodes {
+                sim.queue.push(f.down_at, Event::NodeDown(node));
+                if let Some(up) = f.up_at {
+                    sim.queue.push(up, Event::NodeUp(node));
+                }
             }
         }
         if let Some(mtbf) = cluster.faults().mtbf {
             for node in cluster.node_ids() {
                 let ttf = sim.rng.time_to_failure(node, 0, mtbf);
                 sim.queue.push(SimTime::ZERO + ttf, Event::NodeDown(node));
+            }
+        }
+    }
+    // Master-fault schedule: a genesis checkpoint (recovery always has a
+    // snapshot to restore), the periodic checkpoint chain, and the crash
+    // schedule — scripted crash times verbatim (stamped with their crash
+    // ordinal), or the first stochastic crash when nothing is scripted.
+    let wal_enabled = master_mode && cluster.faults().master.wal;
+    if master_mode {
+        let mcfg = &cluster.faults().master;
+        sim.take_checkpoint(scheduler);
+        sim.queue.push(
+            SimTime::ZERO.saturating_add(mcfg.checkpoint_interval),
+            Event::Checkpoint,
+        );
+        let mut crashes = mcfg.scripted.clone();
+        crashes.sort_unstable();
+        for (k, &at) in crashes.iter().enumerate() {
+            sim.queue
+                .push(at, Event::MasterCrash { incident: k as u64 });
+        }
+        if crashes.is_empty() {
+            if let Some(mtbf) = mcfg.mtbf {
+                let ttf = sim.rng.master_time_to_failure(0, mtbf);
+                sim.queue
+                    .push(SimTime::ZERO + ttf, Event::MasterCrash { incident: 0 });
             }
         }
     }
@@ -1058,38 +1804,16 @@ pub fn run_simulation(
         debug_assert!(t >= sim.now, "time went backwards");
         sim.now = t;
         sim.events_processed += 1;
-        match event {
-            Event::WorkflowArrival(i) => {
-                let spec = &workflows[i];
-                sim.handle_arrival(scheduler, spec);
-            }
-            Event::JobActivated(wf, job) => sim.handle_activation(scheduler, wf, job),
-            Event::Heartbeat(node) => {
-                if sim.fault_mode && !sim.alive[node.index()] {
-                    // A dead node stops heartbeating; NodeUp restarts the
-                    // chain when it re-registers.
-                    sim.heartbeat_live[node.index()] = false;
-                } else {
-                    sim.assign_node(scheduler, node);
-                    if sim.remaining > 0 {
-                        sim.queue.push(
-                            sim.now + cluster.heartbeat_interval(),
-                            Event::Heartbeat(node),
-                        );
-                    }
-                }
-            }
-            Event::TaskComplete {
-                node,
-                workflow,
-                job,
-                kind,
-                attempt,
-            } => sim.handle_completion(scheduler, node, workflow, job, kind, attempt),
-            Event::NodeDown(node) => sim.handle_node_down(node),
-            Event::NodeUp(node) => sim.handle_node_up(scheduler, node),
-            Event::NodeLost { node, incident } => sim.handle_node_lost(scheduler, node, incident),
+        if wal_enabled
+            && sim.master_alive
+            && !matches!(
+                event,
+                Event::Checkpoint | Event::MasterCrash { .. } | Event::MasterRecovered { .. }
+            )
+        {
+            sim.wal.push((t, event.clone()));
         }
+        sim.dispatch(scheduler, workflows, event);
     }
     sim.touch_busy();
 
@@ -1139,6 +1863,7 @@ pub fn run_simulation(
         map_outputs_lost: sim.map_outputs_lost,
         work_lost_slot_ms: sim.work_lost_slot_ms,
         timelines,
+        recovery: sim.master_mode.then_some(sim.recovery),
     }
 }
 
@@ -1602,11 +2327,11 @@ mod tests {
         #[test]
         fn scripted_crash_requeues_and_recovers() {
             // Crash node 1 while job a's maps run; it recovers at 20 s.
-            let faults = FaultConfig::scripted(vec![ScriptedFault {
-                node: NodeId::new(1),
-                down_at: SimTime::from_secs(5),
-                up_at: Some(SimTime::from_secs(20)),
-            }]);
+            let faults = FaultConfig::scripted(vec![ScriptedFault::one(
+                NodeId::new(1),
+                SimTime::from_secs(5),
+                Some(SimTime::from_secs(20)),
+            )]);
             let cfg = SimConfig {
                 track_timelines: true,
                 sample_interval: SimDuration::from_secs(1),
@@ -1638,11 +2363,11 @@ mod tests {
             // Crash node 1 after job a's maps finished (~11.5 s), while its
             // reduces still run: the two map outputs it hosted must
             // re-execute before the requeued reduce can restart.
-            let faults = FaultConfig::scripted(vec![ScriptedFault {
-                node: NodeId::new(1),
-                down_at: SimTime::from_secs(15),
-                up_at: Some(SimTime::from_secs(40)),
-            }]);
+            let faults = FaultConfig::scripted(vec![ScriptedFault::one(
+                NodeId::new(1),
+                SimTime::from_secs(15),
+                Some(SimTime::from_secs(40)),
+            )]);
             let report = run(
                 &[simple_workflow("w", 0, 3_000)],
                 &fault_cluster(faults),
@@ -1663,11 +2388,11 @@ mod tests {
         fn crashes_delay_completion() {
             let w = [simple_workflow("w", 0, 3_000)];
             let base = default_run(&w);
-            let faults = FaultConfig::scripted(vec![ScriptedFault {
-                node: NodeId::new(1),
-                down_at: SimTime::from_secs(5),
-                up_at: Some(SimTime::from_secs(60)),
-            }]);
+            let faults = FaultConfig::scripted(vec![ScriptedFault::one(
+                NodeId::new(1),
+                SimTime::from_secs(5),
+                Some(SimTime::from_secs(60)),
+            )]);
             let faulty = run(&w, &fault_cluster(faults), &SimConfig::default());
             assert!(
                 faulty.outcomes[0].finished.unwrap() > base.outcomes[0].finished.unwrap(),
@@ -1680,16 +2405,16 @@ mod tests {
             let faults = FaultConfig {
                 blacklist_after: 2,
                 scripted: vec![
-                    ScriptedFault {
-                        node: NodeId::new(1),
-                        down_at: SimTime::from_secs(5),
-                        up_at: Some(SimTime::from_secs(10)),
-                    },
-                    ScriptedFault {
-                        node: NodeId::new(1),
-                        down_at: SimTime::from_secs(15),
-                        up_at: Some(SimTime::from_secs(20)),
-                    },
+                    ScriptedFault::one(
+                        NodeId::new(1),
+                        SimTime::from_secs(5),
+                        Some(SimTime::from_secs(10)),
+                    ),
+                    ScriptedFault::one(
+                        NodeId::new(1),
+                        SimTime::from_secs(15),
+                        Some(SimTime::from_secs(20)),
+                    ),
                 ],
                 ..FaultConfig::default()
             };
@@ -1760,6 +2485,244 @@ mod tests {
             let report = run(&w, &cluster, &cfg);
             assert!(report.completed);
             assert_eq!(report, run(&w, &cluster, &cfg));
+        }
+    }
+
+    mod master {
+        use super::*;
+        use crate::fault::{FaultConfig, MasterFaultConfig, ScriptedFault};
+
+        fn master_faults(m: MasterFaultConfig) -> FaultConfig {
+            FaultConfig {
+                master: m,
+                ..FaultConfig::default()
+            }
+        }
+
+        fn cluster_with(m: MasterFaultConfig) -> ClusterConfig {
+            ClusterConfig::uniform(2, 2, 1).with_faults(master_faults(m))
+        }
+
+        fn run(workflows: &[WorkflowSpec], cluster: &ClusterConfig, cfg: &SimConfig) -> SimReport {
+            run_simulation(workflows, &mut SubmitOrderScheduler::new(), cluster, cfg)
+        }
+
+        #[test]
+        fn disabled_master_faults_are_bit_identical_and_unreported() {
+            let w = vec![simple_workflow("w", 0, 600)];
+            let plain = default_run(&w);
+            assert!(plain.recovery.is_none());
+            let with_default = run(
+                &w,
+                &ClusterConfig::uniform(2, 2, 1).with_faults(FaultConfig::default()),
+                &SimConfig::default(),
+            );
+            assert_eq!(plain, with_default);
+        }
+
+        #[test]
+        fn lossless_crash_shifts_completion_by_exactly_the_restart_time() {
+            // With the WAL, recovery replays to the crash instant and no
+            // work is lost: under an order-based scheduler the whole run
+            // is the uninterrupted run shifted by the outage.
+            let w = vec![simple_workflow("w", 0, 3_000)];
+            let base = default_run(&w);
+            let mttr = SimDuration::from_secs(30);
+            let cluster = cluster_with(MasterFaultConfig {
+                mttr,
+                scripted: vec![SimTime::from_secs(5)],
+                ..MasterFaultConfig::default()
+            });
+            let report = run(&w, &cluster, &SimConfig::default());
+            assert!(report.completed);
+            let rec = report.recovery.as_ref().expect("master mode reports");
+            assert_eq!(rec.master_crashes, 1);
+            assert_eq!(rec.master_downtime_ms, mttr.as_millis());
+            assert!(rec.wal_records_replayed > 0, "events since genesis replay");
+            assert!(rec.attempts_readopted > 0, "crash lands mid-task");
+            assert_eq!(rec.attempts_requeued, 0, "lossless recovery");
+            assert_eq!(rec.attempts_orphaned, 0, "lossless recovery");
+            assert_eq!(rec.workflows_resubmitted, 0);
+            assert_eq!(rec.jobs_resubmitted, 0);
+            // No work re-executes...
+            assert_eq!(report.tasks_executed, base.tasks_executed);
+            assert_eq!(report.tasks_requeued, 0);
+            // ...and every completion shifts by exactly the outage.
+            for (o, b) in report.outcomes.iter().zip(&base.outcomes) {
+                assert_eq!(
+                    o.finished.unwrap(),
+                    b.finished.unwrap().saturating_add(mttr),
+                    "{}",
+                    o.name
+                );
+            }
+            assert_eq!(report, run(&w, &cluster, &SimConfig::default()));
+        }
+
+        #[test]
+        fn stale_snapshot_recovery_requeues_and_stays_deterministic() {
+            // Without the WAL, recovery falls back to the last checkpoint:
+            // everything since (including the arrival, with a checkpoint
+            // interval longer than the crash time) is lost and must be
+            // resubmitted, requeued, or orphaned.
+            let w = vec![simple_workflow("w", 0, 3_000)];
+            let cluster = cluster_with(MasterFaultConfig {
+                mttr: SimDuration::from_secs(20),
+                checkpoint_interval: SimDuration::from_mins(10),
+                wal: false,
+                scripted: vec![SimTime::from_secs(12)],
+                ..MasterFaultConfig::default()
+            });
+            let cfg = SimConfig::default();
+            let report = run(&w, &cluster, &cfg);
+            assert!(report.completed);
+            let rec = report.recovery.as_ref().expect("master mode reports");
+            assert_eq!(rec.master_crashes, 1);
+            assert_eq!(rec.wal_records_replayed, 0, "no WAL to replay");
+            assert_eq!(
+                rec.workflows_resubmitted, 1,
+                "the arrival fell into the lost suffix"
+            );
+            assert!(
+                rec.attempts_orphaned > 0,
+                "in-flight completions reference attempts the stale master never saw"
+            );
+            // Work conservation still holds across the restart.
+            assert_eq!(
+                report.tasks_executed,
+                9 + report.tasks_requeued + report.map_outputs_lost
+            );
+            assert_eq!(report, run(&w, &cluster, &cfg), "recovery is seeded");
+        }
+
+        #[test]
+        fn recovery_counters_reconcile_with_attempt_bookkeeping() {
+            // Lossless crash mid-run: every attempt in flight at the crash
+            // is either re-adopted or requeued, and nothing is orphaned.
+            let w = vec![
+                simple_workflow("w", 0, 3_000),
+                simple_workflow("x", 2, 3_000),
+            ];
+            let cluster = cluster_with(MasterFaultConfig {
+                mttr: SimDuration::from_secs(10),
+                checkpoint_interval: SimDuration::from_secs(7),
+                scripted: vec![SimTime::from_secs(16)],
+                ..MasterFaultConfig::default()
+            });
+            let report = run(&w, &cluster, &SimConfig::default());
+            assert!(report.completed);
+            let rec = report.recovery.as_ref().expect("master mode reports");
+            assert_eq!(rec.master_crashes, 1);
+            // Genesis + at least one periodic + one at recovery.
+            assert!(rec.checkpoints_taken >= 3, "{}", rec.checkpoints_taken);
+            assert_eq!(rec.attempts_requeued + rec.attempts_orphaned, 0);
+            assert_eq!(report.tasks_executed, 18, "no work re-executes");
+            assert!(rec.wal_records_replayed > 0, "2 s of WAL since t=14 s");
+            assert_eq!(
+                rec.master_downtime_ms,
+                SimDuration::from_secs(10).as_millis()
+            );
+        }
+
+        #[test]
+        fn stochastic_master_crashes_are_seeded() {
+            let w = vec![simple_workflow("w", 0, 30_000)];
+            let cluster = cluster_with(MasterFaultConfig {
+                mtbf: Some(SimDuration::from_secs(20)),
+                mttr: SimDuration::from_secs(5),
+                checkpoint_interval: SimDuration::from_secs(15),
+                ..MasterFaultConfig::default()
+            });
+            let cfg = SimConfig {
+                seed: 3,
+                ..SimConfig::default()
+            };
+            let r1 = run(&w, &cluster, &cfg);
+            assert!(r1.completed);
+            let rec = r1.recovery.as_ref().expect("master mode reports");
+            assert!(rec.master_crashes >= 1, "20 s MTBF must crash the master");
+            assert_eq!(r1, run(&w, &cluster, &cfg));
+            let other = SimConfig {
+                seed: 4,
+                ..SimConfig::default()
+            };
+            assert_ne!(r1, run(&w, &cluster, &other));
+        }
+
+        #[test]
+        fn master_and_node_faults_compose() {
+            let faults = FaultConfig {
+                scripted: vec![ScriptedFault::one(
+                    NodeId::new(1),
+                    SimTime::from_secs(8),
+                    Some(SimTime::from_secs(40)),
+                )],
+                master: MasterFaultConfig {
+                    mttr: SimDuration::from_secs(15),
+                    checkpoint_interval: SimDuration::from_secs(10),
+                    scripted: vec![SimTime::from_secs(12)],
+                    ..MasterFaultConfig::default()
+                },
+                ..FaultConfig::default()
+            };
+            let cluster = ClusterConfig::uniform(3, 2, 1).with_faults(faults);
+            let w = vec![simple_workflow("w", 0, 3_000)];
+            let cfg = SimConfig::default();
+            let report = run(&w, &cluster, &cfg);
+            assert!(report.completed);
+            assert_eq!(report.node_failures, 1);
+            assert_eq!(report.recovery.as_ref().unwrap().master_crashes, 1);
+            assert_eq!(
+                report.tasks_executed,
+                9 + report.tasks_requeued + report.map_outputs_lost
+            );
+            assert_eq!(report, run(&w, &cluster, &cfg));
+        }
+
+        #[test]
+        fn invalid_configs_are_rejected() {
+            let w = vec![simple_workflow("w", 0, 600)];
+            let mut s = SubmitOrderScheduler::new();
+            let cfg = SimConfig::default();
+            let bad_node =
+                ClusterConfig::uniform(2, 2, 1).with_faults(FaultConfig::scripted(vec![
+                    ScriptedFault::one(NodeId::new(9), SimTime::ZERO, None),
+                ]));
+            assert_eq!(
+                try_run_simulation(&w, &mut s, &bad_node, &cfg),
+                Err(SimError::UnknownScriptedNode {
+                    node: NodeId::new(9),
+                    node_count: 2
+                })
+            );
+            let zero_interval = cluster_with(MasterFaultConfig {
+                checkpoint_interval: SimDuration::ZERO,
+                scripted: vec![SimTime::from_secs(1)],
+                ..MasterFaultConfig::default()
+            });
+            assert_eq!(
+                try_run_simulation(&w, &mut s, &zero_interval, &cfg),
+                Err(SimError::ZeroCheckpointInterval)
+            );
+            let zero_mttr = cluster_with(MasterFaultConfig {
+                mttr: SimDuration::ZERO,
+                scripted: vec![SimTime::from_secs(1)],
+                ..MasterFaultConfig::default()
+            });
+            assert_eq!(
+                try_run_simulation(&w, &mut s, &zero_mttr, &cfg),
+                Err(SimError::ZeroMasterMttr)
+            );
+            assert!(SimError::ZeroMasterMttr.to_string().contains("MTTR"));
+        }
+
+        #[test]
+        #[should_panic(expected = "scripted fault names node")]
+        fn run_simulation_panics_on_invalid_config() {
+            let bad = ClusterConfig::uniform(1, 1, 1).with_faults(FaultConfig::scripted(vec![
+                ScriptedFault::one(NodeId::new(3), SimTime::ZERO, None),
+            ]));
+            run(&[simple_workflow("w", 0, 600)], &bad, &SimConfig::default());
         }
     }
 

@@ -51,6 +51,22 @@ pub enum Event {
         /// The outage this detection was scheduled for.
         incident: u64,
     },
+    /// The JobTracker takes a periodic full-state checkpoint and truncates
+    /// its write-ahead log. Only scheduled when master faults are enabled.
+    Checkpoint,
+    /// The JobTracker process crashes. Assignment freezes and the cluster
+    /// idles until the replacement master finishes recovery.
+    /// `incident` counts master outages, stamping stale duplicates.
+    MasterCrash {
+        /// The master outage this crash begins.
+        incident: u64,
+    },
+    /// The replacement JobTracker finishes recovery (snapshot restore +
+    /// WAL replay + TaskTracker re-registration) and resumes scheduling.
+    MasterRecovered {
+        /// The master outage this restart ends.
+        incident: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +145,18 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Removes every pending event and returns them in queue order
+    /// (time, then insertion order). Used by master recovery to rebuild
+    /// the schedule: kept events are re-pushed with fresh sequence
+    /// numbers, preserving their relative order.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, Event)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some((t, e)) = self.pop() {
+            out.push((t, e));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +206,30 @@ mod tests {
         q.pop();
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_ordered_preserves_relative_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        q.push(t, Event::WorkflowArrival(1));
+        q.push(SimTime::from_secs(1), Event::Checkpoint);
+        q.push(t, Event::WorkflowArrival(2));
+        let drained = q.drain_ordered();
+        assert!(q.is_empty());
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_secs(1), Event::Checkpoint),
+                (t, Event::WorkflowArrival(1)),
+                (t, Event::WorkflowArrival(2)),
+            ]
+        );
+        // Re-pushing keeps working with fresh sequence numbers.
+        for (time, ev) in drained {
+            q.push(time, ev);
+        }
+        assert_eq!(q.pop().unwrap().1, Event::Checkpoint);
     }
 
     #[test]

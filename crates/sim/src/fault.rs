@@ -24,15 +24,38 @@ use serde::{Deserialize, Serialize};
 use woha_model::{NodeId, SimDuration, SimTime};
 
 /// One deterministic, pre-scripted node outage (for tests and targeted
-/// experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// experiments). A single fault may take down a whole *set* of nodes
+/// atomically — the building block for rack-level fault domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScriptedFault {
-    /// The node that crashes.
-    pub node: NodeId,
+    /// The nodes that crash together at `down_at`.
+    pub nodes: Vec<NodeId>,
     /// Absolute crash time.
     pub down_at: SimTime,
-    /// Absolute repair time; `None` leaves the node down forever.
+    /// Absolute repair time (for every node of the set); `None` leaves
+    /// them down forever.
     pub up_at: Option<SimTime>,
+}
+
+impl ScriptedFault {
+    /// A single-node outage.
+    pub fn one(node: NodeId, down_at: SimTime, up_at: Option<SimTime>) -> Self {
+        ScriptedFault {
+            nodes: vec![node],
+            down_at,
+            up_at,
+        }
+    }
+
+    /// An atomic multi-node outage (e.g. a rack losing power).
+    pub fn group(nodes: Vec<NodeId>, down_at: SimTime, up_at: Option<SimTime>) -> Self {
+        assert!(!nodes.is_empty(), "scripted fault needs at least one node");
+        ScriptedFault {
+            nodes,
+            down_at,
+            up_at,
+        }
+    }
 }
 
 /// Configuration of the fault-injection subsystem. The default
@@ -55,6 +78,8 @@ pub struct FaultConfig {
     /// Deterministic outage schedule, applied in addition to any
     /// stochastic crashes.
     pub scripted: Vec<ScriptedFault>,
+    /// JobTracker (master) failure model; disabled by default.
+    pub master: MasterFaultConfig,
 }
 
 impl Default for FaultConfig {
@@ -65,7 +90,51 @@ impl Default for FaultConfig {
             detect_missed_heartbeats: 2,
             blacklist_after: 0,
             scripted: Vec::new(),
+            master: MasterFaultConfig::default(),
         }
+    }
+}
+
+/// Failure model of the JobTracker itself: checkpoint cadence, write-ahead
+/// logging, and crash/restart times. The default injects nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterFaultConfig {
+    /// Mean time between master crashes. `None` disables stochastic
+    /// master crashes (scripted ones may still fire).
+    pub mtbf: Option<SimDuration>,
+    /// Master restart time: exact for scripted crashes, the exponential
+    /// mean for stochastic ones.
+    pub mttr: SimDuration,
+    /// Interval between full state checkpoints.
+    pub checkpoint_interval: SimDuration,
+    /// Whether the master appends every processed event to a write-ahead
+    /// log between checkpoints. With the WAL, recovery replays up to the
+    /// crash instant (lossless); without it, recovery falls back to the
+    /// last checkpoint and loses the suffix (stale-snapshot mode).
+    pub wal: bool,
+    /// Deterministic master crash times. A non-empty schedule *overrides*
+    /// stochastic master crashes (`mtbf` is ignored for crash timing, but
+    /// still switches restart durations from exact `mttr` to exponential
+    /// draws around it).
+    pub scripted: Vec<SimTime>,
+}
+
+impl Default for MasterFaultConfig {
+    fn default() -> Self {
+        MasterFaultConfig {
+            mtbf: None,
+            mttr: SimDuration::from_mins(1),
+            checkpoint_interval: SimDuration::from_mins(5),
+            wal: true,
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl MasterFaultConfig {
+    /// Whether any master-crash source is active.
+    pub fn enabled(&self) -> bool {
+        self.mtbf.is_some() || !self.scripted.is_empty()
     }
 }
 
@@ -112,6 +181,10 @@ pub(crate) const STRAGGLER_SALT: u64 = 0x57A6_57A6_57A6_57A6;
 const CRASH_SALT: u64 = 0xC4A5_4C4A_54C4_A54C;
 /// Salt of the node-repair duration stream.
 const REPAIR_SALT: u64 = 0x4E9A_144E_9A14_4E9A;
+/// Salt of the master-crash inter-arrival stream.
+const MASTER_CRASH_SALT: u64 = 0x3A57_E4C4_A53A_57E4;
+/// Salt of the master-restart duration stream.
+const MASTER_REPAIR_SALT: u64 = 0x3A57_E44E_9A14_3A57;
 
 /// The unified seeded random-stream plumbing for every fault-like draw:
 /// task failures, stragglers, node crashes, and node repairs. Each stream
@@ -156,6 +229,17 @@ impl FaultStream {
         self.exponential(REPAIR_SALT, node, incident, mttr)
     }
 
+    /// Exponential time to the master's next crash after its
+    /// `incident`-th restart.
+    pub fn master_time_to_failure(&self, incident: u64, mtbf: SimDuration) -> SimDuration {
+        self.exponential_seq(MASTER_CRASH_SALT, incident, mtbf)
+    }
+
+    /// Exponential duration of the master's `incident`-th restart.
+    pub fn master_time_to_repair(&self, incident: u64, mttr: SimDuration) -> SimDuration {
+        self.exponential_seq(MASTER_REPAIR_SALT, incident, mttr)
+    }
+
     fn exponential(
         &self,
         salt: u64,
@@ -164,6 +248,10 @@ impl FaultStream {
         mean: SimDuration,
     ) -> SimDuration {
         let seq = ((node.index() as u64) << 40) ^ incident;
+        self.exponential_seq(salt, seq, mean)
+    }
+
+    fn exponential_seq(&self, salt: u64, seq: u64, mean: SimDuration) -> SimDuration {
         let u = self.roll(salt, seq);
         // Inverse CDF; u < 1 so the log argument is positive.
         let ms = -(mean.as_millis() as f64) * (1.0 - u).ln();
@@ -186,12 +274,81 @@ mod tests {
     fn constructors_enable() {
         let c = FaultConfig::with_mtbf(SimDuration::from_mins(60), SimDuration::from_mins(2));
         assert!(c.enabled());
-        let c = FaultConfig::scripted(vec![ScriptedFault {
-            node: NodeId::new(0),
-            down_at: SimTime::from_secs(10),
-            up_at: None,
-        }]);
+        let c = FaultConfig::scripted(vec![ScriptedFault::one(
+            NodeId::new(0),
+            SimTime::from_secs(10),
+            None,
+        )]);
         assert!(c.enabled());
+    }
+
+    #[test]
+    fn scripted_group_takes_down_a_node_set_atomically() {
+        let rack: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let f = ScriptedFault::group(
+            rack.clone(),
+            SimTime::from_secs(30),
+            Some(SimTime::from_secs(90)),
+        );
+        assert_eq!(f.nodes, rack);
+        assert_eq!(f.down_at, SimTime::from_secs(30));
+        assert_eq!(f.up_at, Some(SimTime::from_secs(90)));
+        // A group fault is one scripted event, not four.
+        let c = FaultConfig::scripted(vec![f]);
+        assert!(c.enabled());
+        assert_eq!(c.scripted.len(), 1);
+        assert_eq!(c.scripted[0].nodes.len(), 4);
+        // Single-node constructor is the degenerate group.
+        let solo = ScriptedFault::one(NodeId::new(7), SimTime::from_secs(1), None);
+        assert_eq!(solo.nodes, vec![NodeId::new(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_group_rejected() {
+        ScriptedFault::group(vec![], SimTime::ZERO, None);
+    }
+
+    #[test]
+    fn master_config_defaults_disabled() {
+        let m = MasterFaultConfig::default();
+        assert!(!m.enabled());
+        assert!(m.wal);
+        let m = MasterFaultConfig {
+            scripted: vec![SimTime::from_mins(10)],
+            ..MasterFaultConfig::default()
+        };
+        assert!(m.enabled());
+        // Master faults do not switch node-fault injection on.
+        let c = FaultConfig {
+            master: m,
+            ..FaultConfig::default()
+        };
+        assert!(!c.enabled());
+        assert!(c.master.enabled());
+    }
+
+    #[test]
+    fn master_samples_are_deterministic_and_distinct() {
+        let s = FaultStream::new(11);
+        let m = SimDuration::from_mins(30);
+        assert_eq!(
+            s.master_time_to_failure(0, m),
+            s.master_time_to_failure(0, m)
+        );
+        assert_ne!(
+            s.master_time_to_failure(0, m),
+            s.master_time_to_failure(1, m)
+        );
+        assert_ne!(
+            s.master_time_to_failure(0, m),
+            s.master_time_to_repair(0, m)
+        );
+        // Master streams are independent of node streams.
+        assert_ne!(
+            s.master_time_to_failure(0, m),
+            s.time_to_failure(NodeId::new(0), 0, m)
+        );
     }
 
     #[test]
@@ -259,11 +416,18 @@ mod tests {
             mttr: SimDuration::from_mins(3),
             detect_missed_heartbeats: 3,
             blacklist_after: 4,
-            scripted: vec![ScriptedFault {
-                node: NodeId::new(2),
-                down_at: SimTime::from_secs(30),
-                up_at: Some(SimTime::from_secs(90)),
-            }],
+            scripted: vec![ScriptedFault::group(
+                vec![NodeId::new(2), NodeId::new(5)],
+                SimTime::from_secs(30),
+                Some(SimTime::from_secs(90)),
+            )],
+            master: MasterFaultConfig {
+                mtbf: Some(SimDuration::from_mins(240)),
+                mttr: SimDuration::from_secs(45),
+                checkpoint_interval: SimDuration::from_mins(2),
+                wal: false,
+                scripted: vec![SimTime::from_mins(7)],
+            },
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: FaultConfig = serde_json::from_str(&json).unwrap();

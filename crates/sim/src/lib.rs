@@ -44,11 +44,15 @@ pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod scheduler;
+pub mod snapshot;
 pub mod state;
 
 pub use cluster::{ClusterConfig, NodeConfig};
-pub use driver::{run_simulation, LocalityConfig, SimConfig, SpeculationConfig};
-pub use fault::{FaultConfig, FaultStream, ScriptedFault};
-pub use metrics::{SimReport, Timelines, WorkflowOutcome};
-pub use scheduler::{first_eligible_job, SubmitOrderScheduler, WorkflowScheduler};
+pub use driver::{
+    run_simulation, try_run_simulation, LocalityConfig, SimConfig, SimError, SpeculationConfig,
+};
+pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
+pub use metrics::{RecoveryReport, SimReport, Timelines, WorkflowOutcome};
+pub use scheduler::{first_eligible_job, SchedulerState, SubmitOrderScheduler, WorkflowScheduler};
+pub use snapshot::MasterSnapshot;
 pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};

@@ -1,7 +1,7 @@
 //! Simulation outputs: per-workflow outcomes, cluster utilization, and
 //! per-workflow slot-allocation timelines (the raw material of Figs 8–19).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use woha_model::{SimDuration, SimTime, SlotKind, WorkflowId};
 
 /// What happened to one workflow.
@@ -161,13 +161,47 @@ impl TimelineRecorder {
     }
 }
 
+/// What master failover cost a run: outage counts, recovery work, and the
+/// fate of every task attempt that was in flight when the master died.
+/// Attached to [`SimReport::recovery`] only when master faults are
+/// enabled, so fault-free reports stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Master (JobTracker) crashes injected.
+    pub master_crashes: u64,
+    /// Total simulated milliseconds the master was down (recovery
+    /// wall-time summed over outages).
+    pub master_downtime_ms: u64,
+    /// Full state checkpoints taken (periodic + post-recovery).
+    pub checkpoints_taken: u64,
+    /// Write-ahead-log records replayed across all recoveries.
+    pub wal_records_replayed: u64,
+    /// Running attempts on live nodes that the recovered master re-adopted
+    /// at TaskTracker re-registration.
+    pub attempts_readopted: u64,
+    /// Attempts the recovered master knew of but whose completion fell in
+    /// the lost WAL suffix (or whose node died meanwhile): killed and
+    /// requeued, Hadoop-1 style.
+    pub attempts_requeued: u64,
+    /// Attempts launched after the last durable record — invisible to the
+    /// recovered master and orphaned (their slots are reclaimed and the
+    /// tasks rerun from the pending queue).
+    pub attempts_orphaned: u64,
+    /// Workflow submissions lost with the master's volatile state and
+    /// re-submitted by their clients at recovery.
+    pub workflows_resubmitted: u64,
+    /// Job activations re-issued at recovery for jobs the restored state
+    /// shows mid-submission with no surviving activation event.
+    pub jobs_resubmitted: u64,
+}
+
 /// The full result of one simulation run.
 ///
 /// Equality compares the *simulation outcome* (everything except
 /// [`scheduler_nanos`](Self::scheduler_nanos), which is wall-clock
 /// measurement noise): two runs of the same scenario are `==` even if the
 /// host was faster the second time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 pub struct SimReport {
     /// Name of the scheduler that produced the run.
     pub scheduler: String,
@@ -226,6 +260,82 @@ pub struct SimReport {
     pub work_lost_slot_ms: u128,
     /// Per-workflow slot timelines, when tracking was enabled.
     pub timelines: Option<Timelines>,
+    /// Master failover accounting; `None` (and omitted from serialized
+    /// output) unless master faults were enabled.
+    pub recovery: Option<RecoveryReport>,
+}
+
+// Hand-written so that `recovery: None` produces output byte-identical to
+// reports from before master failover existed: the key is omitted rather
+// than serialized as `null`. Field order must match the declaration order
+// above (the derive's behaviour for every other field).
+impl Serialize for SimReport {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("scheduler".to_string(), self.scheduler.to_value()),
+            ("outcomes".to_string(), self.outcomes.to_value()),
+            ("end_time".to_string(), self.end_time.to_value()),
+            ("completed".to_string(), self.completed.to_value()),
+            ("busy_slot_ms".to_string(), self.busy_slot_ms.to_value()),
+            ("total_slots".to_string(), self.total_slots.to_value()),
+            ("tasks_executed".to_string(), self.tasks_executed.to_value()),
+            ("task_failures".to_string(), self.task_failures.to_value()),
+            (
+                "local_map_tasks".to_string(),
+                self.local_map_tasks.to_value(),
+            ),
+            (
+                "remote_map_tasks".to_string(),
+                self.remote_map_tasks.to_value(),
+            ),
+            ("delay_skips".to_string(), self.delay_skips.to_value()),
+            (
+                "scheduler_nanos".to_string(),
+                self.scheduler_nanos.to_value(),
+            ),
+            ("stragglers".to_string(), self.stragglers.to_value()),
+            (
+                "speculative_launched".to_string(),
+                self.speculative_launched.to_value(),
+            ),
+            (
+                "speculative_wins".to_string(),
+                self.speculative_wins.to_value(),
+            ),
+            ("assign_calls".to_string(), self.assign_calls.to_value()),
+            (
+                "invalid_assignments".to_string(),
+                self.invalid_assignments.to_value(),
+            ),
+            (
+                "events_processed".to_string(),
+                self.events_processed.to_value(),
+            ),
+            ("node_failures".to_string(), self.node_failures.to_value()),
+            (
+                "node_recoveries".to_string(),
+                self.node_recoveries.to_value(),
+            ),
+            (
+                "nodes_blacklisted".to_string(),
+                self.nodes_blacklisted.to_value(),
+            ),
+            ("tasks_requeued".to_string(), self.tasks_requeued.to_value()),
+            (
+                "map_outputs_lost".to_string(),
+                self.map_outputs_lost.to_value(),
+            ),
+            (
+                "work_lost_slot_ms".to_string(),
+                self.work_lost_slot_ms.to_value(),
+            ),
+            ("timelines".to_string(), self.timelines.to_value()),
+        ];
+        if let Some(recovery) = &self.recovery {
+            obj.push(("recovery".to_string(), recovery.to_value()));
+        }
+        Value::Object(obj)
+    }
 }
 
 impl PartialEq for SimReport {
@@ -254,6 +364,7 @@ impl PartialEq for SimReport {
             && self.map_outputs_lost == other.map_outputs_lost
             && self.work_lost_slot_ms == other.work_lost_slot_ms
             && self.timelines == other.timelines
+            && self.recovery == other.recovery
     }
 }
 
@@ -405,6 +516,7 @@ mod tests {
             map_outputs_lost: 0,
             work_lost_slot_ms: 0,
             timelines: None,
+            recovery: None,
         }
     }
 
@@ -458,6 +570,39 @@ mod tests {
         assert_eq!(r.miss_ratio(), 0.0);
         assert_eq!(r.max_tardiness(), SimDuration::ZERO);
         assert_eq!(r.total_tardiness(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn recovery_key_is_omitted_when_disabled() {
+        let r = report(vec![outcome("a", 0, 100, Some(90))]);
+        let v = r.to_value();
+        let obj = v.as_object().unwrap();
+        assert!(obj.iter().all(|(k, _)| k != "recovery"));
+        // The last key stays `timelines`, as before master failover.
+        assert_eq!(obj.last().unwrap().0, "timelines");
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.recovery, None);
+    }
+
+    #[test]
+    fn recovery_report_roundtrips() {
+        let mut r = report(vec![]);
+        r.recovery = Some(RecoveryReport {
+            master_crashes: 2,
+            master_downtime_ms: 120_000,
+            checkpoints_taken: 9,
+            wal_records_replayed: 314,
+            attempts_readopted: 40,
+            attempts_requeued: 3,
+            attempts_orphaned: 1,
+            workflows_resubmitted: 1,
+            jobs_resubmitted: 2,
+        });
+        let v = r.to_value();
+        assert_eq!(v.as_object().unwrap().last().unwrap().0, "recovery");
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -10,7 +10,30 @@
 //! use.
 
 use crate::state::WorkflowPool;
+use serde::Value;
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
+
+/// Checkpoint support for scheduler-internal state, used by master
+/// failover: the JobTracker's periodic snapshot embeds the scheduler's
+/// private bookkeeping (WOHA's plan records and priority index, the
+/// baselines' activation queues) so a recovered master can resume
+/// scheduling without re-deriving it.
+///
+/// Both methods default to a stateless scheduler (nothing to save,
+/// nothing to restore), so purely pool-driven schedulers need no code.
+pub trait SchedulerState {
+    /// Serializes the scheduler's internal state to a value tree.
+    fn snapshot_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Rebuilds internal state from a tree produced by
+    /// [`snapshot_state`](Self::snapshot_state) against the recovered
+    /// `pool`. Implementations should replace — not merge — their state.
+    fn restore_state(&mut self, pool: &WorkflowPool, state: &Value) {
+        let _ = (pool, state);
+    }
+}
 
 /// A workflow-aware task scheduler plugged into the simulated JobTracker.
 ///
@@ -19,7 +42,11 @@ use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
 /// active and have a pending task of the right kind, and reducers only run
 /// once the job's maps finished) — a scheduler returning an ineligible pair
 /// forfeits that slot offer and the violation is counted in the report.
-pub trait WorkflowScheduler {
+///
+/// The [`SchedulerState`] supertrait lets the fault layer checkpoint and
+/// restore scheduler-internal state on master failover; stateless
+/// schedulers inherit the no-op defaults via an empty `impl`.
+pub trait WorkflowScheduler: SchedulerState {
     /// Human-readable scheduler name used in reports and tables.
     fn name(&self) -> &str;
 
@@ -113,6 +140,8 @@ impl SubmitOrderScheduler {
         SubmitOrderScheduler
     }
 }
+
+impl SchedulerState for SubmitOrderScheduler {}
 
 impl WorkflowScheduler for SubmitOrderScheduler {
     fn name(&self) -> &str {

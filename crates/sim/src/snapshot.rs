@@ -1,0 +1,334 @@
+//! Master (JobTracker) state snapshots for crash recovery.
+//!
+//! A [`MasterSnapshot`] captures everything the simulated JobTracker needs
+//! to resume scheduling after a crash: the workflow pool, in-flight task
+//! attempts, speculative-execution bookkeeping, slot occupancy, fault
+//! bookkeeping, and the scheduler's private state (via
+//! [`SchedulerState`](crate::SchedulerState)). The driver serializes one on
+//! every checkpoint tick and appends processed events to an in-memory WAL
+//! between checkpoints; on recovery the latest snapshot is deserialized and
+//! the WAL replayed on top of it.
+//!
+//! The snapshot deliberately excludes wall-clock measurement state
+//! (`busy_integral_ms`, `scheduler_nanos`, `events_processed`), the event
+//! queue (rebuilt from the crash-time pending set), and the recovery
+//! counters themselves — those describe the *physical* world or the report,
+//! not the master's logical state.
+//!
+//! All maps are stored as key-sorted vectors so a snapshot of a given
+//! master state is byte-for-byte deterministic.
+
+use serde::{Deserialize, Serialize, Value};
+use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId};
+
+use crate::state::WorkflowPool;
+
+/// One in-flight task attempt, keyed by its attempt id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// Attempt id (the driver's `attempts` map key).
+    pub id: u64,
+    /// Owning workflow.
+    pub wf: WorkflowId,
+    /// Owning wjob.
+    pub job: JobId,
+    /// Map or reduce.
+    pub kind: SlotKind,
+    /// Node the attempt runs on.
+    pub node: NodeId,
+    /// Speculation group the attempt belongs to.
+    pub group: u64,
+    /// Launch time.
+    pub started: SimTime,
+    /// Jittered run-time estimate (completion is `started + estimate`).
+    pub estimate: SimDuration,
+    /// Whether this is the speculative twin.
+    pub speculative: bool,
+    /// Whether the attempt was cancelled (its completion event is stale).
+    pub cancelled: bool,
+}
+
+/// One speculation group (original attempt + optional speculative twin).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupRecord {
+    /// Group id (the driver's `groups` map key).
+    pub id: u64,
+    /// Whether a member already completed the logical task.
+    pub done: bool,
+    /// Whether the speculative twin was launched.
+    pub twin_launched: bool,
+    /// Member attempt ids (only the first `attempt_count` are valid).
+    pub attempts: [u64; 2],
+    /// Number of valid members.
+    pub attempt_count: u8,
+}
+
+/// Pending map-task ids of one wjob (for locality-aware map picking).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingMapsRecord {
+    /// Owning workflow.
+    pub wf: WorkflowId,
+    /// Owning wjob.
+    pub job: JobId,
+    /// Pending map-task indices, in queue order.
+    pub ids: Vec<u32>,
+}
+
+/// Delay-scheduling skip count of one wjob.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelaySkipRecord {
+    /// Owning workflow.
+    pub wf: WorkflowId,
+    /// Owning wjob.
+    pub job: JobId,
+    /// Consecutive non-local offers skipped so far.
+    pub skips: u32,
+}
+
+/// Nodes holding completed map output of one wjob.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapOutputRecord {
+    /// Owning workflow.
+    pub wf: WorkflowId,
+    /// Owning wjob.
+    pub job: JobId,
+    /// One entry per completed map, the node that ran it.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Free-slot counters of one node at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSlotsRecord {
+    /// Free map slots.
+    pub free_maps: u32,
+    /// Free reduce slots.
+    pub free_reduces: u32,
+}
+
+/// A task lost to a node failure, awaiting requeue at failure detection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LostTaskRecord {
+    /// Owning workflow.
+    pub wf: WorkflowId,
+    /// Owning wjob.
+    pub job: JobId,
+    /// Map or reduce.
+    pub kind: SlotKind,
+    /// Whether the attempt was the only member of its speculation group.
+    pub solo: bool,
+}
+
+/// Cumulative report counters that must survive a master restart (they
+/// feed `SimReport`, which describes the whole run, not one incarnation
+/// of the master).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct SnapshotCounters {
+    pub tasks_executed: u64,
+    pub task_failures: u64,
+    pub assign_calls: u64,
+    pub invalid_assignments: u64,
+    pub local_map_tasks: u64,
+    pub remote_map_tasks: u64,
+    pub delay_skip_count: u64,
+    pub stragglers: u64,
+    pub speculative_launched: u64,
+    pub speculative_wins: u64,
+    pub node_failures: u64,
+    pub node_recoveries: u64,
+    pub nodes_blacklisted: u64,
+    pub tasks_requeued: u64,
+    pub map_outputs_lost: u64,
+    pub work_lost_slot_ms: u128,
+}
+
+/// Fault-layer bookkeeping at snapshot time, indexed by node.
+///
+/// On recovery the *physical* node state (liveness, incident ordinals,
+/// blacklist) is taken from the crash-time world, not from here — a master
+/// restart does not resurrect dead nodes. The snapshot still carries it so
+/// WAL replay sees the same world the original master saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSnapshot {
+    /// Per-node liveness.
+    pub alive: Vec<bool>,
+    /// Per-node blacklist flag.
+    pub blacklisted: Vec<bool>,
+    /// Per-node failure-incident ordinal (salts the fault RNG).
+    pub incident: Vec<u64>,
+    /// Per-node crash count (drives blacklisting).
+    pub crash_count: Vec<u32>,
+    /// Per-node heartbeat-chain liveness.
+    pub heartbeat_live: Vec<bool>,
+    /// Per-node tasks lost to an undetected failure, awaiting requeue.
+    pub lost_pending: Vec<Vec<LostTaskRecord>>,
+}
+
+/// The complete serialized master state at one checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MasterSnapshot {
+    /// Simulation time the checkpoint was taken.
+    pub taken_at: SimTime,
+    /// The workflow pool: specs, job phases, task counts.
+    pub pool: WorkflowPool,
+    /// Which workload entries have had their arrival processed, by
+    /// workload index (the pool registers workflows in arrival order,
+    /// which can differ from workload order).
+    pub arrived: Vec<bool>,
+    /// In-flight attempts, sorted by attempt id.
+    pub attempts: Vec<AttemptRecord>,
+    /// Speculation groups, sorted by group id.
+    pub groups: Vec<GroupRecord>,
+    /// Next attempt id to allocate.
+    pub next_attempt: u64,
+    /// Next group id to allocate.
+    pub next_group: u64,
+    /// Pending map-task queues, sorted by (wf, job).
+    pub pending_map_ids: Vec<PendingMapsRecord>,
+    /// Delay-scheduling skip counts, sorted by (wf, job).
+    pub delay_skips: Vec<DelaySkipRecord>,
+    /// Completed-map output locations, sorted by (wf, job).
+    pub map_output_hosts: Vec<MapOutputRecord>,
+    /// Per-node free-slot counters.
+    pub node_slots: Vec<NodeSlotsRecord>,
+    /// Busy slots by kind (`[maps, reduces]`).
+    pub busy_count: [u32; 2],
+    /// Completion sequence number (salts the failure RNG).
+    pub completion_seq: u64,
+    /// Cumulative report counters.
+    pub counters: SnapshotCounters,
+    /// Fault-layer bookkeeping.
+    pub fault: FaultSnapshot,
+    /// Scheduler-private state from
+    /// [`SchedulerState::snapshot_state`](crate::SchedulerState::snapshot_state).
+    pub scheduler: Value,
+}
+
+impl MasterSnapshot {
+    /// Serializes the snapshot to a value tree (what the driver stores as
+    /// "the latest checkpoint").
+    pub fn encode(&self) -> Value {
+        self.to_value()
+    }
+
+    /// Deserializes a snapshot from a tree produced by
+    /// [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `value` is not a well-formed snapshot.
+    pub fn decode(value: &Value) -> Result<Self, serde::Error> {
+        Self::from_value(value)
+    }
+}
+
+/// Convenience: number of completed workflows in a pool (used to recompute
+/// the driver's `remaining` counter after a restore).
+pub fn completed_workflows(pool: &WorkflowPool) -> usize {
+    pool.workflows()
+        .iter()
+        .filter(|wf| wf.is_complete())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MasterSnapshot {
+        MasterSnapshot {
+            taken_at: SimTime::from_secs(120),
+            pool: WorkflowPool::new(),
+            arrived: vec![true, false],
+            attempts: vec![AttemptRecord {
+                id: 3,
+                wf: WorkflowId::new(0),
+                job: JobId::new(1),
+                kind: SlotKind::Map,
+                node: NodeId::new(2),
+                group: 1,
+                started: SimTime::from_secs(100),
+                estimate: SimDuration::from_secs(60),
+                speculative: false,
+                cancelled: false,
+            }],
+            groups: vec![GroupRecord {
+                id: 1,
+                done: false,
+                twin_launched: false,
+                attempts: [3, 0],
+                attempt_count: 1,
+            }],
+            next_attempt: 4,
+            next_group: 2,
+            pending_map_ids: vec![PendingMapsRecord {
+                wf: WorkflowId::new(0),
+                job: JobId::new(1),
+                ids: vec![2, 5],
+            }],
+            delay_skips: vec![DelaySkipRecord {
+                wf: WorkflowId::new(0),
+                job: JobId::new(1),
+                skips: 1,
+            }],
+            map_output_hosts: vec![MapOutputRecord {
+                wf: WorkflowId::new(0),
+                job: JobId::new(0),
+                hosts: vec![NodeId::new(0), NodeId::new(2)],
+            }],
+            node_slots: vec![
+                NodeSlotsRecord {
+                    free_maps: 1,
+                    free_reduces: 1,
+                },
+                NodeSlotsRecord {
+                    free_maps: 2,
+                    free_reduces: 0,
+                },
+            ],
+            busy_count: [1, 1],
+            completion_seq: 7,
+            counters: SnapshotCounters {
+                tasks_executed: 9,
+                work_lost_slot_ms: 1234,
+                ..SnapshotCounters::default()
+            },
+            fault: FaultSnapshot {
+                alive: vec![true, true],
+                blacklisted: vec![false, false],
+                incident: vec![0, 1],
+                crash_count: vec![0, 1],
+                heartbeat_live: vec![true, true],
+                lost_pending: vec![
+                    vec![],
+                    vec![LostTaskRecord {
+                        wf: WorkflowId::new(0),
+                        job: JobId::new(1),
+                        kind: SlotKind::Reduce,
+                        solo: true,
+                    }],
+                ],
+            },
+            scheduler: Value::Null,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        let restored = MasterSnapshot::decode(&snap.encode()).expect("round trip");
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MasterSnapshot::decode(&Value::Bool(true)).is_err());
+        assert!(MasterSnapshot::decode(&Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let snap = sample();
+        assert_eq!(snap.encode(), snap.encode());
+    }
+}

@@ -5,10 +5,11 @@
 //! implementations: schedulers inspect it to pick a `(workflow, job)` pair
 //! but only the driver mutates it.
 
+use serde::{Deserialize, Serialize};
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId, WorkflowSpec};
 
 /// Lifecycle of one wjob inside the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobPhase {
     /// Waiting for prerequisite jobs to finish.
     Blocked,
@@ -22,7 +23,7 @@ pub enum JobPhase {
 }
 
 /// Runtime counters of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobState {
     phase: JobPhase,
     remaining_prereqs: usize,
@@ -134,7 +135,7 @@ impl JobState {
 }
 
 /// Runtime state of one workflow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowState {
     id: WorkflowId,
     spec: WorkflowSpec,
@@ -424,7 +425,7 @@ impl WorkflowState {
 ///
 /// Ids are assigned densely in submission order, so `WorkflowId::as_u64()`
 /// indexes into the pool.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct WorkflowPool {
     workflows: Vec<WorkflowState>,
 }

@@ -1,0 +1,220 @@
+//! Property tests for the master-failover snapshot subsystem: a
+//! [`WorkflowPool`] driven through an arbitrary legal prefix of its
+//! lifecycle survives serialize→restore bit-for-bit, the enclosing
+//! [`MasterSnapshot`] round-trips through its encoding, and a scripted
+//! master crash preserves the simulator's global invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use woha_model::{JobId, JobSpec, SimDuration, SimTime, SlotKind, WorkflowBuilder, WorkflowSpec};
+use woha_sim::snapshot::{FaultSnapshot, SnapshotCounters};
+use woha_sim::{
+    run_simulation, ClusterConfig, FaultConfig, JobPhase, MasterFaultConfig, MasterSnapshot,
+    SimConfig, SubmitOrderScheduler, WorkflowPool,
+};
+
+/// An arbitrary small workflow: forward-edge layered DAG, 2–6 jobs.
+fn arb_workflow() -> impl Strategy<Value = WorkflowSpec> {
+    (
+        2usize..6,
+        vec((0usize..6, 0usize..6), 0..8),
+        vec((1u32..5, 0u32..3, 5u64..40, 5u64..80), 6),
+        30u64..120,
+    )
+        .prop_map(|(n, edges, jobs, deadline_mins)| {
+            let mut b = WorkflowBuilder::new("prop");
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let (m, r, md, rd) = jobs[i];
+                    b.add_job(JobSpec::new(
+                        format!("j{i}"),
+                        m,
+                        r,
+                        SimDuration::from_secs(md),
+                        SimDuration::from_secs(rd),
+                    ))
+                })
+                .collect();
+            for (a, z) in edges {
+                let (a, z) = (a % n, z % n);
+                if a < z {
+                    b.add_dependency(ids[a], ids[z]);
+                }
+            }
+            b.relative_deadline(SimDuration::from_mins(deadline_mins));
+            b.build().expect("forward edges are acyclic")
+        })
+}
+
+/// Completing a job unblocks its dependents, exactly as the driver does.
+fn complete_job(pool: &mut WorkflowPool, wf: usize, job: JobId) {
+    let id = pool.workflows()[wf].id();
+    let deps: Vec<JobId> = pool.workflow(id).spec().dependents(job).to_vec();
+    for dep in deps {
+        if pool.workflow_mut(id).satisfy_prereq(dep) {
+            pool.workflow_mut(id).begin_submitting(dep);
+        }
+    }
+}
+
+/// Applies one lifecycle step chosen by `(wf, job, action)` codes; a no-op
+/// when the step is illegal in the current phase. Mirrors the driver's
+/// phase machine so every reachable state is a state a checkpoint could
+/// capture.
+fn apply_op(pool: &mut WorkflowPool, wf_code: usize, job_code: usize, action: u8, now: SimTime) {
+    let wf = wf_code % pool.len();
+    let id = pool.workflows()[wf].id();
+    let jobs: Vec<JobId> = pool.workflow(id).spec().job_ids().collect();
+    let job = jobs[job_code % jobs.len()];
+    let phase = pool.workflow(id).job(job).phase();
+    let kind = if action.is_multiple_of(2) {
+        SlotKind::Map
+    } else {
+        SlotKind::Reduce
+    };
+    match action {
+        0 | 1 => {
+            // Submit the workflow's roots (prerequisite-free jobs).
+            for &j in &jobs {
+                let w = pool.workflow_mut(id);
+                if w.job(j).phase() == JobPhase::Blocked && w.spec().prerequisites(j).is_empty() {
+                    w.begin_submitting(j);
+                }
+            }
+        }
+        2 | 3 => {
+            if phase == JobPhase::Submitting {
+                pool.workflow_mut(id).activate(job, now);
+            }
+        }
+        4 | 5 => {
+            if phase == JobPhase::Active && pool.workflow(id).job(job).eligible_tasks(kind) > 0 {
+                pool.workflow_mut(id).start_task(job, kind);
+            }
+        }
+        6 | 7 => {
+            let j = pool.workflow(id).job(job);
+            let running = match kind {
+                SlotKind::Map => j.running_maps(),
+                SlotKind::Reduce => j.running_reduces(),
+            };
+            if running > 0 && pool.workflow_mut(id).finish_task(job, kind, now) {
+                complete_job(pool, wf, job);
+            }
+        }
+        _ => {
+            let j = pool.workflow(id).job(job);
+            let running = match kind {
+                SlotKind::Map => j.running_maps(),
+                SlotKind::Reduce => j.running_reduces(),
+            };
+            if running > 0 {
+                pool.workflow_mut(id).fail_task(job, kind);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any reachable pool state survives snapshot→serialize→restore: the
+    /// JSON round-trip reproduces the pool exactly, and the enclosing
+    /// master snapshot decodes back to an equal value.
+    #[test]
+    fn pool_roundtrips_through_snapshot(
+        workflows in vec(arb_workflow(), 1..3),
+        ops in vec((0usize..4, 0usize..8, 0u8..10), 0..40),
+    ) {
+        let mut pool = WorkflowPool::new();
+        for w in &workflows {
+            pool.register(w.clone());
+        }
+        let mut now = SimTime::ZERO;
+        for (wf, job, action) in ops {
+            now = now.saturating_add(SimDuration::from_secs(1));
+            apply_op(&mut pool, wf, job, action, now);
+        }
+
+        // The pool itself is serde-stable.
+        let json = serde_json::to_string(&pool).expect("pool serializes");
+        let back: WorkflowPool = serde_json::from_str(&json).expect("pool deserializes");
+        prop_assert_eq!(&pool, &back);
+
+        // So is the full master snapshot wrapping it.
+        let arrived = vec![true; pool.len()];
+        let snap = MasterSnapshot {
+            taken_at: now,
+            pool,
+            arrived,
+            attempts: Vec::new(),
+            groups: Vec::new(),
+            next_attempt: 17,
+            next_group: 3,
+            pending_map_ids: Vec::new(),
+            delay_skips: Vec::new(),
+            map_output_hosts: Vec::new(),
+            node_slots: Vec::new(),
+            busy_count: [2, 1],
+            completion_seq: 41,
+            counters: SnapshotCounters::default(),
+            fault: FaultSnapshot::default(),
+            scheduler: woha_sim::scheduler::SchedulerState::snapshot_state(
+                &SubmitOrderScheduler::new(),
+            ),
+        };
+        let decoded = MasterSnapshot::decode(&snap.encode()).expect("snapshot decodes");
+        prop_assert_eq!(snap, decoded);
+    }
+
+    /// A scripted master crash (with or without the WAL) never breaks the
+    /// global simulator invariants: the run completes, work is conserved,
+    /// lossless recovery loses no attempts, and the run is reproducible.
+    #[test]
+    fn master_crash_preserves_invariants(
+        workflows in vec(arb_workflow(), 1..3),
+        seed in 0u64..3,
+        crash_s in 5u64..90,
+        interval_s in 10u64..120,
+        wal_bit in 0u8..2,
+    ) {
+        let wal = wal_bit == 1;
+        let cluster = ClusterConfig::uniform(3, 2, 1).with_faults(FaultConfig {
+            master: MasterFaultConfig {
+                mtbf: None,
+                mttr: SimDuration::from_secs(30),
+                checkpoint_interval: SimDuration::from_secs(interval_s),
+                wal,
+                scripted: vec![SimTime::from_secs(crash_s)],
+            },
+            ..FaultConfig::default()
+        });
+        let config = SimConfig { seed, ..SimConfig::default() };
+        let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
+        let report = run_simulation(
+            &workflows,
+            &mut SubmitOrderScheduler::new(),
+            &cluster,
+            &config,
+        );
+        prop_assert!(report.completed);
+        prop_assert_eq!(report.invalid_assignments, 0);
+        prop_assert_eq!(
+            report.tasks_executed,
+            expected + report.tasks_requeued + report.map_outputs_lost
+        );
+        let rec = report.recovery.as_ref().expect("master mode reports");
+        // The crash may fall after the workload drains; at most one fires.
+        prop_assert!(rec.master_crashes <= 1);
+        if wal {
+            prop_assert_eq!(rec.attempts_requeued + rec.attempts_orphaned, 0);
+        }
+        let again = run_simulation(
+            &workflows,
+            &mut SubmitOrderScheduler::new(),
+            &cluster,
+            &config,
+        );
+        prop_assert_eq!(report, again);
+    }
+}

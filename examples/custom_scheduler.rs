@@ -46,6 +46,9 @@ impl LeastLaxityFirst {
     }
 }
 
+// Stateless policy: nothing to checkpoint on master failover.
+impl SchedulerState for LeastLaxityFirst {}
+
 impl WorkflowScheduler for LeastLaxityFirst {
     fn name(&self) -> &str {
         "LLF (custom)"

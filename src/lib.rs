@@ -56,7 +56,8 @@ pub mod prelude {
         WorkflowConfig, WorkflowId, WorkflowSpec,
     };
     pub use woha_sim::{
-        run_simulation, ClusterConfig, FaultConfig, LocalityConfig, ScriptedFault, SimConfig,
+        run_simulation, try_run_simulation, ClusterConfig, FaultConfig, LocalityConfig,
+        MasterFaultConfig, RecoveryReport, SchedulerState, ScriptedFault, SimConfig, SimError,
         SimReport, SpeculationConfig, WorkflowPool, WorkflowScheduler,
     };
     pub use woha_trace::{

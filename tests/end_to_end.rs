@@ -246,16 +246,16 @@ fn scripted_crashes_recover_under_every_scheduler() {
     // Node 3 dies at t=30 with job a's maps complete (two of its outputs
     // live there) and its reduces running; node 1 dies during recovery.
     let cluster = ClusterConfig::uniform(4, 2, 1).with_faults(FaultConfig::scripted(vec![
-        ScriptedFault {
-            node: NodeId::new(3),
-            down_at: SimTime::from_secs(30),
-            up_at: Some(SimTime::from_secs(120)),
-        },
-        ScriptedFault {
-            node: NodeId::new(1),
-            down_at: SimTime::from_secs(50),
-            up_at: Some(SimTime::from_secs(100)),
-        },
+        ScriptedFault::one(
+            NodeId::new(3),
+            SimTime::from_secs(30),
+            Some(SimTime::from_secs(120)),
+        ),
+        ScriptedFault::one(
+            NodeId::new(1),
+            SimTime::from_secs(50),
+            Some(SimTime::from_secs(100)),
+        ),
     ]));
     let config = SimConfig {
         track_timelines: true,
@@ -301,11 +301,12 @@ fn fault_runs_are_reproducible() {
         mttr: SimDuration::from_mins(3),
         detect_missed_heartbeats: 2,
         blacklist_after: 0,
-        scripted: vec![ScriptedFault {
-            node: NodeId::new(7),
-            down_at: SimTime::from_mins(2),
-            up_at: Some(SimTime::from_mins(8)),
-        }],
+        scripted: vec![ScriptedFault::one(
+            NodeId::new(7),
+            SimTime::from_mins(2),
+            Some(SimTime::from_mins(8)),
+        )],
+        ..FaultConfig::default()
     });
     let run = |seed: u64| {
         let config = SimConfig {
@@ -325,6 +326,94 @@ fn fault_runs_are_reproducible() {
     };
     assert_eq!(run(42), run(42), "same seed must be byte-identical");
     assert_ne!(run(42), run(43), "seed drives the fault schedule");
+}
+
+/// Satellite: a mid-run master crash with a lossless WAL is invisible to
+/// an order-based scheduler except for the outage itself — every workflow
+/// finishes exactly MTTR later than in the uninterrupted run. (WOHA and
+/// EDF react to absolute deadlines, so only order-based schedulers give
+/// the exact-shift identity.) And with master faults disabled, the report
+/// is byte-identical to a plain run: the subsystem costs nothing when off.
+#[test]
+fn master_crash_with_wal_is_the_uninterrupted_run_shifted() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster();
+    let config = SimConfig::default();
+    let baseline = run_simulation(&workflows, &mut FifoScheduler::new(), &cluster, &config);
+
+    // Byte-identical when the subsystem is off (acceptance criterion).
+    let disabled = demo_cluster().with_faults(FaultConfig::default());
+    let off = run_simulation(&workflows, &mut FifoScheduler::new(), &disabled, &config);
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(strip(baseline.clone()), strip(off));
+
+    let mttr = SimDuration::from_secs(45);
+    let faulty = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr,
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let report = run_simulation(&workflows, &mut FifoScheduler::new(), &faulty, &config);
+    assert!(report.completed);
+    let rec = report.recovery.as_ref().expect("master faults on");
+    assert_eq!(rec.master_crashes, 1);
+    assert_eq!(rec.attempts_requeued + rec.attempts_orphaned, 0, "lossless");
+    assert_eq!(report.tasks_requeued, 0, "no work re-executes");
+    for (o, b) in report.outcomes.iter().zip(&baseline.outcomes) {
+        assert_eq!(
+            o.finished.unwrap(),
+            b.finished.unwrap().saturating_add(mttr),
+            "{}: completion must shift by exactly the outage",
+            o.name
+        );
+    }
+}
+
+/// Satellite: recovering from a stale checkpoint (WAL disabled) while
+/// jitter, stragglers, speculation, and task failures are all active is
+/// still fully deterministic — the crash-recovery path draws from the same
+/// seeded streams as everything else.
+#[test]
+fn stale_snapshot_recovery_is_deterministic() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_mins(1),
+            checkpoint_interval: SimDuration::from_mins(6),
+            wal: false,
+            scripted: vec![SimTime::from_mins(10)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let run = |seed: u64| {
+        let config = SimConfig {
+            duration_jitter: 0.15,
+            task_failure_prob: 0.02,
+            speculation: Some(SpeculationConfig::default()),
+            seed,
+            ..SimConfig::default()
+        };
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let mut report = run_simulation(&workflows, &mut s, &cluster, &config);
+        assert!(report.completed);
+        let rec = report.recovery.as_ref().expect("master faults on");
+        assert_eq!(rec.master_crashes, 1);
+        assert!(
+            rec.attempts_requeued + rec.attempts_orphaned > 0,
+            "a stale snapshot must lose in-flight work"
+        );
+        report.scheduler_nanos = 0;
+        serde_json::to_string(&report).unwrap()
+    };
+    assert_eq!(run(42), run(42), "same seed must be byte-identical");
+    assert_ne!(run(42), run(43), "seed drives the recovery path too");
 }
 
 /// The Yahoo-like workload runs to completion on a trace-scale cluster

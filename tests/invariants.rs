@@ -153,7 +153,7 @@ proptest! {
             mttr: SimDuration::from_mins(1),
             detect_missed_heartbeats: 2,
             blacklist_after: 0,
-            scripted: vec![],
+            ..FaultConfig::default()
         });
         let config = SimConfig { seed, ..SimConfig::default() };
         let expected: u64 = workflows.iter().map(|w| w.total_tasks()).sum();
