@@ -1,0 +1,33 @@
+//! The `throughput_index` sweep: AssignTask throughput of the three
+//! `PriorityIndex` backends (DSL, BTree, pairing heap) over queue lengths
+//! 10³–10⁵, extending the paper's Fig 13(a) comparison.
+//!
+//! Writes the machine-readable `BENCH_throughput.json` perf baseline and
+//! the human-readable `results/throughput_index.txt` table, then prints
+//! the table. Pass `--quick` for the CI smoke sweep (10²–10³, short
+//! budgets); the output schema is identical.
+
+use std::time::Duration;
+use woha_bench::experiments::throughput::{run_throughput_index, throughput_index_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let lens: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let budget = Duration::from_millis(if quick { 20 } else { 300 });
+    eprintln!("throughput_index — PriorityIndex backend throughput (AssignTask calls/second)");
+    let report = run_throughput_index(lens, budget);
+    let table = throughput_index_table(&report).render();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/throughput_index.txt", &table)
+        .expect("write results/throughput_index.txt");
+
+    print!("{table}");
+    eprintln!("wrote BENCH_throughput.json and results/throughput_index.txt");
+}

@@ -9,8 +9,9 @@
 //! true progress, and re-inserts it.
 
 use crate::table::Table;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
-use woha_core::index::{BstIndex, DslIndex, WorkflowIndex};
+use woha_core::index::PriorityIndex;
 use woha_core::plan::{ProgressRequirement, SchedulingPlan};
 use woha_core::priority::PriorityPolicy;
 use woha_core::progress::WorkflowProgress;
@@ -22,7 +23,7 @@ use woha_model::{SimDuration, SimTime, WorkflowId};
 #[derive(Debug)]
 pub struct QueueHarness {
     records: Vec<WorkflowProgress>,
-    index: Option<Box<dyn WorkflowIndex + Send>>,
+    index: Option<Box<dyn PriorityIndex + Send>>,
     strategy: QueueStrategy,
     now: SimTime,
     /// Virtual time advanced per AssignTask call, driving ct-list churn.
@@ -55,11 +56,7 @@ impl QueueHarness {
     /// and plan spans are staggered so requirement changes keep firing as
     /// virtual time advances (the regime the ct list exists for).
     pub fn new(strategy: QueueStrategy, queue_len: usize) -> Self {
-        let mut index: Option<Box<dyn WorkflowIndex + Send>> = match strategy {
-            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
-            QueueStrategy::Bst => Some(Box::new(BstIndex::new())),
-            QueueStrategy::Naive => None,
-        };
+        let mut index = strategy.build_index();
         let mut records = Vec::with_capacity(queue_len);
         for i in 0..queue_len {
             let id = WorkflowId::new(i as u64);
@@ -122,7 +119,7 @@ impl QueueHarness {
                 self.records[best].on_task_assigned();
                 self.records[best].id()
             }
-            QueueStrategy::Dsl | QueueStrategy::Bst => {
+            _ => {
                 let index = self.index.as_mut().expect("indexed strategy");
                 // Algorithm 2 lines 4-19.
                 while let Some((t, wf)) = index.min_ct() {
@@ -214,6 +211,7 @@ pub fn fig13a_table(points: &[ThroughputPoint]) -> Table {
         "queue length",
         "DSL (calls/s)",
         "BST (calls/s)",
+        "PHeap (calls/s)",
         "Naive (calls/s)",
     ]);
     for len in lens {
@@ -228,8 +226,93 @@ pub fn fig13a_table(points: &[ThroughputPoint]) -> Table {
             len.to_string(),
             get(QueueStrategy::Dsl),
             get(QueueStrategy::Bst),
+            get(QueueStrategy::Pairing),
             get(QueueStrategy::Naive),
         ]);
+    }
+    t
+}
+
+/// One measurement of the `throughput_index` sweep, in the machine-readable
+/// `BENCH_throughput.json` format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRecord {
+    /// Backend label ("dsl", "btree", "pheap").
+    pub backend: String,
+    /// Queue length (number of workflows).
+    pub queue_len: u64,
+    /// AssignTask invocations per second of wall-clock time.
+    pub calls_per_sec: f64,
+}
+
+/// The full `throughput_index` report written to `BENCH_throughput.json`:
+/// the repo's machine-readable perf baseline for the priority-index
+/// backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Experiment name (always "throughput_index").
+    pub experiment: String,
+    /// Queue lengths swept.
+    pub queue_lens: Vec<u64>,
+    /// Backend labels swept, in sweep order.
+    pub backends: Vec<String>,
+    /// Per-(backend, queue length) measurements.
+    pub points: Vec<ThroughputRecord>,
+}
+
+/// The indexed backends the `throughput_index` sweep compares. The naive
+/// strawman is excluded: it is the Fig 13(a) baseline, not an index, and
+/// is unusable at the sweep's 10⁵ queue lengths.
+pub const INDEX_BACKENDS: [QueueStrategy; 3] = [
+    QueueStrategy::Dsl,
+    QueueStrategy::Bst,
+    QueueStrategy::Pairing,
+];
+
+/// Runs the `throughput_index` sweep: backend × queue length, at least
+/// `budget` wall-clock time per point.
+pub fn run_throughput_index(queue_lens: &[usize], budget: Duration) -> ThroughputReport {
+    let mut points = Vec::new();
+    for &len in queue_lens {
+        for strategy in INDEX_BACKENDS {
+            let p = measure_throughput(strategy, len, budget);
+            points.push(ThroughputRecord {
+                backend: strategy.label().to_string(),
+                queue_len: len as u64,
+                calls_per_sec: p.calls_per_sec,
+            });
+        }
+    }
+    ThroughputReport {
+        experiment: "throughput_index".to_string(),
+        queue_lens: queue_lens.iter().map(|&l| l as u64).collect(),
+        backends: INDEX_BACKENDS
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect(),
+        points,
+    }
+}
+
+/// Renders the `throughput_index` report as a text table: one row per
+/// queue length, one column per backend.
+pub fn throughput_index_table(report: &ThroughputReport) -> Table {
+    let mut headers = vec!["queue length".to_string()];
+    headers.extend(report.backends.iter().map(|b| format!("{b} (calls/s)")));
+    let mut t = Table::new(headers.iter().map(String::as_str).collect());
+    for &len in &report.queue_lens {
+        let mut row = vec![len.to_string()];
+        for backend in &report.backends {
+            row.push(
+                report
+                    .points
+                    .iter()
+                    .find(|p| p.queue_len == len && &p.backend == backend)
+                    .map(|p| format!("{:.0}", p.calls_per_sec))
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(row);
     }
     t
 }
@@ -255,14 +338,31 @@ mod tests {
     fn strategies_pick_the_same_workflows() {
         let mut dsl = QueueHarness::new(QueueStrategy::Dsl, 40);
         let mut bst = QueueHarness::new(QueueStrategy::Bst, 40);
+        let mut pheap = QueueHarness::new(QueueStrategy::Pairing, 40);
         let mut naive = QueueHarness::new(QueueStrategy::Naive, 40);
         for step in 0..500 {
             let a = dsl.assign_task();
             let b = bst.assign_task();
+            let p = pheap.assign_task();
             let c = naive.assign_task();
             assert_eq!(a, b, "step {step}");
+            assert_eq!(a, p, "step {step}");
             assert_eq!(a, c, "step {step}");
         }
+    }
+
+    #[test]
+    fn throughput_index_report_roundtrips() {
+        let report = run_throughput_index(&[50, 100], Duration::from_millis(5));
+        assert_eq!(report.experiment, "throughput_index");
+        assert_eq!(report.backends, vec!["dsl", "btree", "pheap"]);
+        assert_eq!(report.points.len(), 6);
+        assert!(report.points.iter().all(|p| p.calls_per_sec > 0.0));
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: ThroughputReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
+        let text = throughput_index_table(&report).render();
+        assert!(text.contains("pheap"), "{text}");
     }
 
     #[test]

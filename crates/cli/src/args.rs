@@ -1,7 +1,7 @@
 //! Minimal dependency-free argument parsing for `woha-cli`.
 
 use std::fmt;
-use woha_core::{CapMode, PriorityPolicy};
+use woha_core::{CapMode, PriorityPolicy, QueueStrategy};
 use woha_model::{config::parse_duration, SimTime};
 use woha_sim::{ClusterConfig, FaultConfig, MasterFaultConfig};
 
@@ -25,7 +25,8 @@ pub enum Command {
         cap: CapMode,
     },
     /// `woha-cli simulate <workflow.xml[@release]>... [--cluster NxMxR]
-    /// [--scheduler S] [--jitter F] [--seed N] [--failures P] [--mtbf D]
+    /// [--scheduler S] [--index dsl|btree|pheap|naive] [--no-batch]
+    /// [--jitter F] [--seed N] [--failures P] [--mtbf D]
     /// [--mttr D] [--detect-missed N] [--blacklist-after N]
     /// [--master-mtbf D] [--master-mttr D] [--checkpoint-interval D]
     /// [--scripted-master-crash T]... [--no-wal] [--json]`
@@ -40,6 +41,10 @@ pub enum Command {
         /// Scheduler name (`woha-lpf`, `woha-hlf`, `woha-mpf`, `fifo`,
         /// `fair`, `edf`), or `all` to compare every scheduler.
         scheduler: String,
+        /// Priority-index backend for the WOHA schedulers.
+        index: QueueStrategy,
+        /// Batched heartbeat processing (on unless `--no-batch`).
+        batch: bool,
         /// Task duration jitter.
         jitter: f64,
         /// Jitter/failure seed.
@@ -99,6 +104,10 @@ USAGE:
       --cluster NxMxR     N slaves with M map + R reduce slots (default 8x2x1)
       --scheduler NAME    woha-lpf | woha-hlf | woha-mpf | fifo | fair | edf
                           | all  (default woha-lpf)
+      --index BACKEND     priority-index backend for the WOHA schedulers:
+                          dsl | btree | pheap | naive  (default dsl)
+      --no-batch          disable batched heartbeat processing (per-slot
+                          scheduler probes, the pre-batching behaviour)
       --jitter F          task duration jitter fraction (default 0)
       --seed N            jitter/failure seed (default 0)
       --failures P        task failure probability (default 0)
@@ -242,6 +251,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut workflows = Vec::new();
             let mut cluster = ClusterConfig::uniform(8, 2, 1);
             let mut scheduler = "woha-lpf".to_string();
+            let mut index = QueueStrategy::Dsl;
+            let mut batch = true;
             let mut jitter = 0.0f64;
             let mut seed = 0u64;
             let mut failures = 0.0f64;
@@ -267,6 +278,13 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                             )));
                         }
                     }
+                    "--index" => {
+                        let raw = next_value(&mut it, "--index")?.to_ascii_lowercase();
+                        index = QueueStrategy::from_flag(&raw).ok_or_else(|| {
+                            err(format!("unknown --index {raw:?} (dsl|btree|pheap|naive)"))
+                        })?;
+                    }
+                    "--no-batch" => batch = false,
                     "--jitter" => {
                         jitter = next_value(&mut it, "--jitter")?
                             .parse()
@@ -375,6 +393,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 workflows,
                 cluster,
                 scheduler,
+                index,
+                batch,
                 jitter,
                 seed,
                 failures,
@@ -480,6 +500,9 @@ mod tests {
             "7",
             "--failures",
             "0.05",
+            "--index",
+            "pheap",
+            "--no-batch",
             "--json",
         ]))
         .unwrap();
@@ -488,6 +511,8 @@ mod tests {
                 workflows,
                 cluster,
                 scheduler,
+                index,
+                batch,
                 jitter,
                 seed,
                 failures,
@@ -497,6 +522,8 @@ mod tests {
                 assert_eq!(workflows[1].release, SimTime::from_mins(5));
                 assert_eq!(cluster.total_slots(SlotKind::Map), 64);
                 assert_eq!(scheduler, "edf");
+                assert_eq!(index, QueueStrategy::Pairing);
+                assert!(!batch);
                 assert_eq!(jitter, 0.1);
                 assert_eq!(seed, 7);
                 assert_eq!(failures, 0.05);
@@ -504,6 +531,29 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_index_flag_spellings() {
+        for (raw, want) in [
+            ("dsl", QueueStrategy::Dsl),
+            ("btree", QueueStrategy::Bst),
+            ("bst", QueueStrategy::Bst),
+            ("pheap", QueueStrategy::Pairing),
+            ("pairing", QueueStrategy::Pairing),
+            ("naive", QueueStrategy::Naive),
+        ] {
+            let cmd = parse(&args(&["simulate", "a.xml", "--index", raw])).unwrap();
+            match cmd {
+                Command::Simulate { index, batch, .. } => {
+                    assert_eq!(index, want, "{raw}");
+                    assert!(batch, "batching defaults on");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse(&args(&["simulate", "a.xml", "--index", "hash"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--index"])).is_err());
     }
 
     #[test]

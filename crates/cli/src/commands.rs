@@ -6,7 +6,7 @@ use std::error::Error;
 use std::fmt::Write as _;
 use woha_core::{
     generate_plan, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities, PriorityPolicy,
-    WohaConfig, WohaScheduler,
+    QueueStrategy, WohaConfig, WohaScheduler,
 };
 use woha_model::{SlotKind, WorkflowConfig, WorkflowSpec};
 use woha_sim::{try_run_simulation, ClusterConfig, SimConfig, SimReport, WorkflowScheduler};
@@ -30,12 +30,14 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             workflows,
             cluster,
             scheduler,
+            index,
+            batch,
             jitter,
             seed,
             failures,
             json,
         } => simulate(
-            &workflows, &cluster, &scheduler, jitter, seed, failures, json,
+            &workflows, &cluster, &scheduler, index, batch, jitter, seed, failures, json,
         ),
     }
 }
@@ -113,30 +115,34 @@ fn plan(
     Ok(out)
 }
 
-fn build_scheduler(name: &str, total_slots: u32) -> Box<dyn WorkflowScheduler> {
+fn build_scheduler(
+    name: &str,
+    total_slots: u32,
+    queue: QueueStrategy,
+) -> Box<dyn WorkflowScheduler> {
+    let woha = |policy| {
+        Box::new(WohaScheduler::new(WohaConfig {
+            queue,
+            ..WohaConfig::new(policy, total_slots)
+        }))
+    };
     match name {
         "fifo" => Box::new(FifoScheduler::new()),
         "fair" => Box::new(FairScheduler::new()),
         "edf" => Box::new(EdfScheduler::new()),
-        "woha-hlf" => Box::new(WohaScheduler::new(WohaConfig::new(
-            PriorityPolicy::Hlf,
-            total_slots,
-        ))),
-        "woha-mpf" => Box::new(WohaScheduler::new(WohaConfig::new(
-            PriorityPolicy::Mpf,
-            total_slots,
-        ))),
-        _ => Box::new(WohaScheduler::new(WohaConfig::new(
-            PriorityPolicy::Lpf,
-            total_slots,
-        ))),
+        "woha-hlf" => woha(PriorityPolicy::Hlf),
+        "woha-mpf" => woha(PriorityPolicy::Mpf),
+        _ => woha(PriorityPolicy::Lpf),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate(
     workflows: &[WorkflowArg],
     cluster: &ClusterConfig,
     scheduler: &str,
+    index: QueueStrategy,
+    batch: bool,
     jitter: f64,
     seed: u64,
     failures: f64,
@@ -147,6 +153,7 @@ fn simulate(
         duration_jitter: jitter,
         task_failure_prob: failures,
         seed,
+        batch_heartbeats: batch,
         ..SimConfig::default()
     };
     let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
@@ -158,7 +165,7 @@ fn simulate(
 
     let mut reports = Vec::new();
     for name in names {
-        let mut s = build_scheduler(name, total_slots);
+        let mut s = build_scheduler(name, total_slots, index);
         let report = try_run_simulation(&specs, s.as_mut(), cluster, &config)
             .map_err(|e| format!("bad simulation config: {e}"))?;
         reports.push(report);

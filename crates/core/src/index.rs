@@ -1,6 +1,6 @@
 //! The workflow ordering index of the WOHA master: the paper's Double Skip
-//! List (§IV-B, Fig 4), plus the Balanced-Search-Tree alternative it is
-//! compared against in Fig 13(a).
+//! List (§IV-B, Fig 4) and the alternatives it is compared against in
+//! Fig 13(a), behind the pluggable [`PriorityIndex`] trait.
 //!
 //! The index maintains two orderings over queued workflows:
 //!
@@ -11,13 +11,25 @@
 //!   `F_i(ttd) - ρ_i` descending — its head is the workflow to schedule.
 //!
 //! Both structures see the same skewed access pattern: most deletions hit
-//! the head. [`DslIndex`] serves those in O(1) via [`SkipList`];
-//! [`BstIndex`] uses two `BTreeSet`s at O(log n) per head access. (The
-//! paper's third contender, the naive rebuild-everything scheduler, lives
-//! in [`crate::woha`] because it bypasses any incremental index.)
+//! the head. Three interchangeable backends serve it:
+//!
+//! - [`DslIndex`] — the paper's Double Skip List, O(1) head operations via
+//!   [`SkipList`];
+//! - [`BTreeIndex`] — the balanced-search-tree baseline, two `BTreeMap`s
+//!   at O(log n) per head access;
+//! - [`crate::pheap::PairingIndex`] — a cache-dense pairing heap with lazy
+//!   decrease-key, O(1) insert/meld and amortized O(log n) pops.
+//!
+//! Every backend must produce the *identical* ordering: lag descending,
+//! then deadline ascending, then workflow id ascending (and next-change
+//! time ascending, then id, on the ct list). The differential test harness
+//! in `tests/index_differential.rs` pins this down over arbitrary
+//! operation sequences. (The paper's third Fig 13(a) contender, the naive
+//! rebuild-everything scheduler, lives in [`crate::woha`] because it
+//! bypasses any incremental index.)
 
 use crate::skiplist::SkipList;
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::fmt;
 use woha_model::{SimTime, WorkflowId};
 
@@ -27,9 +39,14 @@ use woha_model::{SimTime, WorkflowId};
 /// Callers must pass the *current* `(ct, lag)` of a workflow when removing
 /// or updating it — the index does not track per-workflow state itself,
 /// mirroring how the paper's scheduler stores `W_h.t` and `W_h.p` on the
-/// workflow object.
-pub trait WorkflowIndex: fmt::Debug {
-    /// Short name for reports ("dsl", "bst").
+/// workflow object. (Backends with lazy re-keying keep private stamps
+/// instead, but the contract is the same.)
+///
+/// Ordering queries take `&mut self` so lazy backends can settle deferred
+/// deletions while answering them; the eager backends simply don't.
+pub trait PriorityIndex: fmt::Debug {
+    /// Short backend name for reports and CLI flags ("dsl", "btree",
+    /// "pheap").
     fn name(&self) -> &'static str;
 
     /// Adds a workflow with its next change time, current lag, and
@@ -56,15 +73,25 @@ pub trait WorkflowIndex: fmt::Debug {
 
     /// Head of the ct list: the workflow whose progress requirement changes
     /// soonest.
-    fn min_ct(&self) -> Option<(SimTime, WorkflowId)>;
+    fn min_ct(&mut self) -> Option<(SimTime, WorkflowId)>;
 
-    /// Workflows in descending priority (lag) order; ties by id ascending.
-    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_>;
+    /// Walks the priority list in descending order, calling `visit` on each
+    /// workflow until it accepts one, which is returned. This is the single
+    /// pass behind `AssignTask`: in the common case the head is eligible
+    /// and exactly one entry is touched.
+    fn select(
+        &mut self,
+        visit: &mut dyn FnMut(i64, WorkflowId) -> bool,
+    ) -> Option<(i64, WorkflowId)>;
 
     /// Head of the priority list.
-    fn max_priority(&self) -> Option<(i64, WorkflowId)> {
-        self.by_priority().next()
+    fn max_priority(&mut self) -> Option<(i64, WorkflowId)> {
+        self.select(&mut |_, _| true)
     }
+
+    /// The full priority ordering, as `select` would visit it. Meant for
+    /// tests and verification; may allocate.
+    fn priority_order(&mut self) -> Vec<(i64, WorkflowId)>;
 
     /// Number of queued workflows.
     fn len(&self) -> usize;
@@ -75,11 +102,15 @@ pub trait WorkflowIndex: fmt::Debug {
     }
 }
 
+/// Legacy name of [`PriorityIndex`], kept for downstream code written
+/// against the pre-refactor trait.
+pub use PriorityIndex as WorkflowIndex;
+
 /// Priority-list key: orders by lag descending, then deadline ascending
 /// (an urgency tie-break: equal lags go to the workflow closer to its
 /// deadline), then workflow id, by storing the negated lag in a
 /// min-ordered structure.
-fn pri_key(lag: i64, deadline: SimTime, wf: WorkflowId) -> (i64, u64, u64) {
+pub(crate) fn pri_key(lag: i64, deadline: SimTime, wf: WorkflowId) -> (i64, u64, u64) {
     (-lag, deadline.as_millis(), wf.as_u64())
 }
 
@@ -88,7 +119,7 @@ fn pri_key(lag: i64, deadline: SimTime, wf: WorkflowId) -> (i64, u64, u64) {
 /// # Examples
 ///
 /// ```
-/// use woha_core::index::{DslIndex, WorkflowIndex};
+/// use woha_core::index::{DslIndex, PriorityIndex};
 /// use woha_model::{SimTime, WorkflowId};
 ///
 /// let mut idx = DslIndex::new();
@@ -110,7 +141,7 @@ impl DslIndex {
     }
 }
 
-impl WorkflowIndex for DslIndex {
+impl PriorityIndex for DslIndex {
     fn name(&self) -> &'static str {
         "dsl"
     }
@@ -126,18 +157,27 @@ impl WorkflowIndex for DslIndex {
         debug_assert!(removed_ct && removed_pri, "stale keys for {wf}");
     }
 
-    fn min_ct(&self) -> Option<(SimTime, WorkflowId)> {
+    fn min_ct(&mut self) -> Option<(SimTime, WorkflowId)> {
         self.ct
             .first()
             .map(|(&(t, wf), _)| (t, WorkflowId::new(wf)))
     }
 
-    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_> {
-        Box::new(
-            self.pri
-                .iter()
-                .map(|(&(neg, _, wf), _)| (-neg, WorkflowId::new(wf))),
-        )
+    fn select(
+        &mut self,
+        visit: &mut dyn FnMut(i64, WorkflowId) -> bool,
+    ) -> Option<(i64, WorkflowId)> {
+        self.pri
+            .iter()
+            .map(|(&(neg, _, wf), _)| (-neg, WorkflowId::new(wf)))
+            .find(|&(lag, wf)| visit(lag, wf))
+    }
+
+    fn priority_order(&mut self) -> Vec<(i64, WorkflowId)> {
+        self.pri
+            .iter()
+            .map(|(&(neg, _, wf), _)| (-neg, WorkflowId::new(wf)))
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -145,49 +185,62 @@ impl WorkflowIndex for DslIndex {
     }
 }
 
-/// The balanced-search-tree alternative: two `BTreeSet`s.
+/// The balanced-search-tree baseline: two `BTreeMap`s (the `()` values make
+/// them ordered sets with the map API's cache-friendly node layout).
 #[derive(Debug, Default)]
-pub struct BstIndex {
-    ct: BTreeSet<(SimTime, u64)>,
-    pri: BTreeSet<(i64, u64, u64)>,
+pub struct BTreeIndex {
+    ct: BTreeMap<(SimTime, u64), ()>,
+    pri: BTreeMap<(i64, u64, u64), ()>,
 }
 
-impl BstIndex {
+impl BTreeIndex {
     /// Creates an empty index.
     pub fn new() -> Self {
-        BstIndex::default()
+        BTreeIndex::default()
     }
 }
 
-impl WorkflowIndex for BstIndex {
+/// Legacy name of [`BTreeIndex`] from when it was backed by `BTreeSet`s.
+pub use BTreeIndex as BstIndex;
+
+impl PriorityIndex for BTreeIndex {
     fn name(&self) -> &'static str {
-        "bst"
+        "btree"
     }
 
     fn insert(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
-        self.ct.insert((ct, wf.as_u64()));
-        self.pri.insert(pri_key(lag, deadline, wf));
+        self.ct.insert((ct, wf.as_u64()), ());
+        self.pri.insert(pri_key(lag, deadline, wf), ());
     }
 
     fn remove(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
-        let removed_ct = self.ct.remove(&(ct, wf.as_u64()));
-        let removed_pri = self.pri.remove(&pri_key(lag, deadline, wf));
+        let removed_ct = self.ct.remove(&(ct, wf.as_u64())).is_some();
+        let removed_pri = self.pri.remove(&pri_key(lag, deadline, wf)).is_some();
         debug_assert!(removed_ct && removed_pri, "stale keys for {wf}");
     }
 
-    fn min_ct(&self) -> Option<(SimTime, WorkflowId)> {
+    fn min_ct(&mut self) -> Option<(SimTime, WorkflowId)> {
         self.ct
-            .iter()
+            .keys()
             .next()
             .map(|&(t, wf)| (t, WorkflowId::new(wf)))
     }
 
-    fn by_priority(&self) -> Box<dyn Iterator<Item = (i64, WorkflowId)> + '_> {
-        Box::new(
-            self.pri
-                .iter()
-                .map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf))),
-        )
+    fn select(
+        &mut self,
+        visit: &mut dyn FnMut(i64, WorkflowId) -> bool,
+    ) -> Option<(i64, WorkflowId)> {
+        self.pri
+            .keys()
+            .map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf)))
+            .find(|&(lag, wf)| visit(lag, wf))
+    }
+
+    fn priority_order(&mut self) -> Vec<(i64, WorkflowId)> {
+        self.pri
+            .keys()
+            .map(|&(neg, _, wf)| (-neg, WorkflowId::new(wf)))
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -198,6 +251,7 @@ impl WorkflowIndex for BstIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pheap::PairingIndex;
 
     fn wf(i: u64) -> WorkflowId {
         WorkflowId::new(i)
@@ -209,7 +263,7 @@ mod tests {
 
     /// The paper's Fig 4 example state: 8 workflows with given next event
     /// times and priorities.
-    fn fig4<I: WorkflowIndex + Default>() -> I {
+    fn fig4<I: PriorityIndex + Default>() -> I {
         let mut idx = I::default();
         let rows: [(u64, u64, i64); 8] = [
             (1, 6, 39),
@@ -227,12 +281,12 @@ mod tests {
         idx
     }
 
-    fn check_fig4(idx: &mut dyn WorkflowIndex) {
+    fn check_fig4(idx: &mut dyn PriorityIndex) {
         assert_eq!(idx.len(), 8);
         // ct list head = workflow 3 (time 1).
         assert_eq!(idx.min_ct(), Some((t(1), wf(3))));
         // priority list: 39, 31, 22, 13, 2, -3, -17, -19.
-        let priorities: Vec<i64> = idx.by_priority().map(|(p, _)| p).collect();
+        let priorities: Vec<i64> = idx.priority_order().into_iter().map(|(p, _)| p).collect();
         assert_eq!(priorities, vec![39, 31, 22, 13, 2, -3, -17, -19]);
         assert_eq!(idx.max_priority(), Some((39, wf(1))));
 
@@ -240,8 +294,27 @@ mod tests {
         // becomes 0 and its next ct 10.
         idx.update(wf(3), t(1), 22, t(10), 0, t(103));
         assert_eq!(idx.min_ct(), Some((t(5), wf(4))));
-        let order: Vec<u64> = idx.by_priority().map(|(_, w)| w.as_u64()).collect();
+        let order: Vec<u64> = idx
+            .priority_order()
+            .into_iter()
+            .map(|(_, w)| w.as_u64())
+            .collect();
         assert_eq!(order, vec![1, 5, 6, 7, 3, 2, 4, 8]);
+
+        // `select` walks the same order and restores what it rejects.
+        let mut visited = Vec::new();
+        let got = idx.select(&mut |_, w| {
+            visited.push(w.as_u64());
+            w == wf(6)
+        });
+        assert_eq!(got, Some((13, wf(6))));
+        assert_eq!(visited, vec![1, 5, 6]);
+        let order_after: Vec<u64> = idx
+            .priority_order()
+            .into_iter()
+            .map(|(_, w)| w.as_u64())
+            .collect();
+        assert_eq!(order_after, vec![1, 5, 6, 7, 3, 2, 4, 8]);
 
         // Remove the scheduled head workflow entirely.
         idx.remove(wf(1), t(6), 39, t(101));
@@ -257,35 +330,55 @@ mod tests {
     }
 
     #[test]
-    fn bst_fig4_walkthrough() {
-        let mut idx: BstIndex = fig4();
+    fn btree_fig4_walkthrough() {
+        let mut idx: BTreeIndex = fig4();
         check_fig4(&mut idx);
-        assert_eq!(idx.name(), "bst");
+        assert_eq!(idx.name(), "btree");
+    }
+
+    #[test]
+    fn pheap_fig4_walkthrough() {
+        let mut idx: PairingIndex = fig4();
+        check_fig4(&mut idx);
+        assert_eq!(idx.name(), "pheap");
     }
 
     #[test]
     fn ties_break_by_workflow_id() {
-        let mut idx = DslIndex::new();
-        idx.insert(wf(2), t(5), 10, t(100));
-        idx.insert(wf(1), t(5), 10, t(100));
-        assert_eq!(idx.min_ct(), Some((t(5), wf(1))));
-        let order: Vec<u64> = idx.by_priority().map(|(_, w)| w.as_u64()).collect();
-        assert_eq!(order, vec![1, 2]);
+        let backends: [Box<dyn PriorityIndex>; 3] = [
+            Box::new(DslIndex::new()),
+            Box::new(BTreeIndex::new()),
+            Box::new(PairingIndex::new()),
+        ];
+        for mut idx in backends {
+            idx.insert(wf(2), t(5), 10, t(100));
+            idx.insert(wf(1), t(5), 10, t(100));
+            assert_eq!(idx.min_ct(), Some((t(5), wf(1))), "{}", idx.name());
+            let order: Vec<u64> = idx
+                .priority_order()
+                .into_iter()
+                .map(|(_, w)| w.as_u64())
+                .collect();
+            assert_eq!(order, vec![1, 2], "{}", idx.name());
+        }
     }
 
     #[test]
     fn empty_index() {
-        let idx = DslIndex::new();
+        let mut idx = DslIndex::new();
         assert!(idx.is_empty());
         assert_eq!(idx.min_ct(), None);
         assert_eq!(idx.max_priority(), None);
-        assert_eq!(idx.by_priority().count(), 0);
+        assert_eq!(idx.priority_order().len(), 0);
     }
 
     #[test]
-    fn dsl_and_bst_agree_on_random_ops() {
-        let mut dsl = DslIndex::new();
-        let mut bst = BstIndex::new();
+    fn backends_agree_on_random_ops() {
+        let mut backends: [Box<dyn PriorityIndex>; 3] = [
+            Box::new(DslIndex::new()),
+            Box::new(BTreeIndex::new()),
+            Box::new(PairingIndex::new()),
+        ];
         // Track live entries so removals use correct keys.
         let mut live: Vec<(WorkflowId, SimTime, i64, SimTime)> = Vec::new();
         let mut state = 99u64;
@@ -301,21 +394,33 @@ mod tests {
                 let ct = t(rand() % 1_000);
                 let lag = (rand() % 2_000) as i64 - 1_000;
                 let deadline = t(rand() % 5_000);
-                dsl.insert(id, ct, lag, deadline);
-                bst.insert(id, ct, lag, deadline);
+                for idx in backends.iter_mut() {
+                    idx.insert(id, ct, lag, deadline);
+                }
                 live.push((id, ct, lag, deadline));
             } else {
                 let pick = (rand() as usize) % live.len();
                 let (id, ct, lag, deadline) = live.swap_remove(pick);
-                dsl.remove(id, ct, lag, deadline);
-                bst.remove(id, ct, lag, deadline);
+                for idx in backends.iter_mut() {
+                    idx.remove(id, ct, lag, deadline);
+                }
             }
-            assert_eq!(dsl.len(), bst.len());
-            assert_eq!(dsl.min_ct(), bst.min_ct());
-            assert_eq!(dsl.max_priority(), bst.max_priority());
+            let (first, rest) = backends.split_at_mut(1);
+            for idx in rest.iter_mut() {
+                assert_eq!(first[0].len(), idx.len(), "{}", idx.name());
+                assert_eq!(first[0].min_ct(), idx.min_ct(), "{}", idx.name());
+                assert_eq!(
+                    first[0].max_priority(),
+                    idx.max_priority(),
+                    "{}",
+                    idx.name()
+                );
+            }
         }
-        let a: Vec<(i64, WorkflowId)> = dsl.by_priority().collect();
-        let b: Vec<(i64, WorkflowId)> = bst.by_priority().collect();
-        assert_eq!(a, b);
+        let (first, rest) = backends.split_at_mut(1);
+        let reference = first[0].priority_order();
+        for idx in rest.iter_mut() {
+            assert_eq!(reference, idx.priority_order(), "{}", idx.name());
+        }
     }
 }

@@ -46,6 +46,7 @@
 pub mod admission;
 pub mod baseline;
 pub mod index;
+pub mod pheap;
 pub mod plan;
 pub mod plangen;
 pub mod priority;
@@ -56,7 +57,8 @@ pub mod woha;
 
 pub use admission::{AdmissionController, RejectReason};
 pub use baseline::{EdfScheduler, FairScheduler, FifoScheduler};
-pub use index::{BstIndex, DslIndex, WorkflowIndex};
+pub use index::{BTreeIndex, BstIndex, DslIndex, PriorityIndex, WorkflowIndex};
+pub use pheap::{PairingHeap, PairingIndex};
 pub use plan::{ProgressRequirement, SchedulingPlan};
 pub use plangen::{generate_plan, generate_reqs, CapMode};
 pub use priority::{JobPriorities, PriorityPolicy};

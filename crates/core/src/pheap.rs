@@ -1,0 +1,542 @@
+//! A cache-dense pairing heap with lazy decrease-key, and the
+//! [`PairingIndex`] workflow-ordering backend built from two of them.
+//!
+//! The heap stores its nodes in a flat arena (`Vec<Node>`) linked by `u32`
+//! indices, like [`crate::skiplist::SkipList`]: no per-node boxing, freed
+//! slots are recycled through a free list, and the hot comparisons walk a
+//! contiguous allocation. Melding two heaps is O(1); `pop` does the
+//! classic two-pass pairing merge (amortized O(log n)).
+//!
+//! Re-keying is *lazy*: instead of locating and splicing the old node (a
+//! pairing heap has no efficient search), [`PairingIndex`] pushes a fresh
+//! node under a new *stamp* and lets the stale one surface at the root,
+//! where it is recognized (its stamp no longer matches the workflow's
+//! current stamp) and discarded. When stale nodes outnumber live entries
+//! the index compacts the arena, so memory and per-op cost stay bounded by
+//! the live queue size — the standard amortization argument for lazy
+//! deletion.
+
+use crate::index::{pri_key, PriorityIndex};
+use std::collections::HashMap;
+use std::fmt;
+use woha_model::{SimTime, WorkflowId};
+
+const NIL: u32 = u32::MAX;
+/// Stamp marking an arena slot as free (never issued to a live entry).
+const FREE: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    wf: u64,
+    stamp: u64,
+    child: u32,
+    sibling: u32,
+}
+
+/// An arena-backed min-ordered pairing heap over `(key, workflow, stamp)`
+/// entries.
+///
+/// The heap itself does not know which entries are live; callers pass an
+/// `is_live(wf, stamp)` predicate to the pruning operations. Ties between
+/// equal keys are broken deterministically (the earlier argument of a meld
+/// wins), so heaps built by the same operation sequence are identical.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::pheap::PairingHeap;
+///
+/// let mut h: PairingHeap<u64> = PairingHeap::new();
+/// h.push(30, 1, 0);
+/// h.push(10, 2, 1);
+/// h.push(20, 3, 2);
+/// assert_eq!(h.peek(), Some((10, 2, 1)));
+/// assert_eq!(h.pop(), Some((10, 2, 1)));
+/// assert_eq!(h.peek(), Some((20, 3, 2)));
+/// ```
+#[derive(Clone)]
+pub struct PairingHeap<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    scratch: Vec<u32>,
+}
+
+impl<K: fmt::Debug> fmt::Debug for PairingHeap<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PairingHeap")
+            .field("len", &self.len)
+            .field("capacity", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl<K: Ord + Copy> Default for PairingHeap<K> {
+    fn default() -> Self {
+        PairingHeap::new()
+    }
+}
+
+impl<K: Ord + Copy> PairingHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        PairingHeap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the heap, stale entries included.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap holds no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, key: K, wf: u64, stamp: u64) -> u32 {
+        debug_assert_ne!(stamp, FREE, "FREE stamp is reserved");
+        let node = Node {
+            key,
+            wf,
+            stamp,
+            child: NIL,
+            sibling: NIL,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.nodes[slot as usize].stamp = FREE;
+        self.nodes[slot as usize].child = NIL;
+        self.nodes[slot as usize].sibling = NIL;
+        self.free.push(slot);
+    }
+
+    /// Melds two root nodes; the smaller key (first argument on ties)
+    /// becomes the parent.
+    fn meld(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        let (winner, loser) = if self.nodes[b as usize].key < self.nodes[a as usize].key {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        self.nodes[loser as usize].sibling = self.nodes[winner as usize].child;
+        self.nodes[winner as usize].child = loser;
+        winner
+    }
+
+    /// Two-pass pairing merge of a sibling chain.
+    fn merge_pairs(&mut self, mut head: u32) -> u32 {
+        let mut pairs = std::mem::take(&mut self.scratch);
+        pairs.clear();
+        while head != NIL {
+            let a = head;
+            let b = self.nodes[a as usize].sibling;
+            if b == NIL {
+                self.nodes[a as usize].sibling = NIL;
+                pairs.push(a);
+                break;
+            }
+            head = self.nodes[b as usize].sibling;
+            self.nodes[a as usize].sibling = NIL;
+            self.nodes[b as usize].sibling = NIL;
+            pairs.push(self.meld(a, b));
+        }
+        let mut root = NIL;
+        while let Some(p) = pairs.pop() {
+            root = self.meld(root, p);
+        }
+        self.scratch = pairs;
+        root
+    }
+
+    /// Inserts an entry. O(1).
+    pub fn push(&mut self, key: K, wf: u64, stamp: u64) {
+        let node = self.alloc(key, wf, stamp);
+        self.root = self.meld(self.root, node);
+        self.len += 1;
+    }
+
+    /// The minimum entry, stale or not.
+    pub fn peek(&self) -> Option<(K, u64, u64)> {
+        if self.root == NIL {
+            return None;
+        }
+        let n = &self.nodes[self.root as usize];
+        Some((n.key, n.wf, n.stamp))
+    }
+
+    /// Removes and returns the minimum entry, stale or not.
+    pub fn pop(&mut self) -> Option<(K, u64, u64)> {
+        if self.root == NIL {
+            return None;
+        }
+        let r = self.root;
+        let (key, wf, stamp) = {
+            let n = &self.nodes[r as usize];
+            (n.key, n.wf, n.stamp)
+        };
+        let children = self.nodes[r as usize].child;
+        self.root = self.merge_pairs(children);
+        self.release(r);
+        self.len -= 1;
+        Some((key, wf, stamp))
+    }
+
+    /// Discards stale roots until the minimum is live (or the heap is
+    /// empty), then returns it. This is where lazy deletions are paid for.
+    pub fn peek_live(&mut self, is_live: impl Fn(u64, u64) -> bool) -> Option<(K, u64)> {
+        while let Some((key, wf, stamp)) = self.peek() {
+            if is_live(wf, stamp) {
+                return Some((key, wf));
+            }
+            self.pop();
+        }
+        None
+    }
+
+    /// Visits live entries in ascending key order until `visit` accepts
+    /// one, which is returned. Rejected live entries are detached while the
+    /// scan advances and melded back afterwards (O(1) each), so the heap is
+    /// left intact; stale entries encountered on the way are discarded.
+    pub fn select_live(
+        &mut self,
+        is_live: impl Fn(u64, u64) -> bool,
+        mut visit: impl FnMut(K, u64) -> bool,
+    ) -> Option<(K, u64)> {
+        let mut parked: Vec<u32> = Vec::new();
+        let mut found = None;
+        loop {
+            if self.root == NIL {
+                break;
+            }
+            let r = self.root;
+            let (key, wf, stamp) = {
+                let n = &self.nodes[r as usize];
+                (n.key, n.wf, n.stamp)
+            };
+            if !is_live(wf, stamp) {
+                self.pop();
+                continue;
+            }
+            if visit(key, wf) {
+                found = Some((key, wf));
+                break;
+            }
+            // Detach the rejected root without freeing it.
+            let children = self.nodes[r as usize].child;
+            self.root = self.merge_pairs(children);
+            self.nodes[r as usize].child = NIL;
+            self.len -= 1;
+            parked.push(r);
+        }
+        for p in parked {
+            self.root = self.meld(self.root, p);
+            self.len += 1;
+        }
+        found
+    }
+
+    /// Drops every stale node and rebuilds the heap from the live ones in
+    /// arena order — the compaction step bounding lazy-deletion garbage.
+    pub fn compact(&mut self, is_live: impl Fn(u64, u64) -> bool) {
+        let mut live: Vec<u32> = Vec::new();
+        for slot in 0..self.nodes.len() as u32 {
+            let n = &self.nodes[slot as usize];
+            if n.stamp == FREE {
+                continue;
+            }
+            if is_live(n.wf, n.stamp) {
+                live.push(slot);
+            } else {
+                self.free.push(slot);
+                self.nodes[slot as usize].stamp = FREE;
+            }
+        }
+        self.root = NIL;
+        self.len = live.len();
+        for slot in live {
+            self.nodes[slot as usize].child = NIL;
+            self.nodes[slot as usize].sibling = NIL;
+            self.root = self.meld(self.root, slot);
+        }
+    }
+
+    /// All non-free entries `(key, wf, stamp)` in arena order (for
+    /// diagnostics; callers filter staleness themselves).
+    pub fn entries(&self) -> impl Iterator<Item = (K, u64, u64)> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.stamp != FREE)
+            .map(|n| (n.key, n.wf, n.stamp))
+    }
+}
+
+/// The pairing-heap [`PriorityIndex`] backend: a min-heap over next-change
+/// times and a min-heap over negated priority keys, re-keyed by lazy
+/// decrease-key under per-workflow stamps.
+///
+/// # Examples
+///
+/// ```
+/// use woha_core::index::PriorityIndex;
+/// use woha_core::pheap::PairingIndex;
+/// use woha_model::{SimTime, WorkflowId};
+///
+/// let mut idx = PairingIndex::new();
+/// idx.insert(WorkflowId::new(1), SimTime::from_secs(6), 39, SimTime::from_mins(10));
+/// idx.insert(WorkflowId::new(4), SimTime::from_secs(5), -17, SimTime::from_mins(12));
+/// assert_eq!(idx.min_ct(), Some((SimTime::from_secs(5), WorkflowId::new(4))));
+/// assert_eq!(idx.max_priority(), Some((39, WorkflowId::new(1))));
+/// ```
+#[derive(Debug, Default)]
+pub struct PairingIndex {
+    ct: PairingHeap<(SimTime, u64)>,
+    pri: PairingHeap<(i64, u64, u64)>,
+    /// Current stamp of each queued workflow's ct entry.
+    ct_live: HashMap<u64, u64>,
+    /// Current stamp of each queued workflow's priority entry.
+    pri_live: HashMap<u64, u64>,
+    next_stamp: u64,
+    len: usize,
+}
+
+impl PairingIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        PairingIndex::default()
+    }
+
+    fn fresh_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Compacts a heap once stale nodes dominate the live population.
+    fn maybe_compact(&mut self) {
+        let live = self.len;
+        if self.ct.len() > 2 * live + 64 {
+            let is_live = &self.ct_live;
+            self.ct.compact(|wf, s| is_live.get(&wf) == Some(&s));
+        }
+        if self.pri.len() > 2 * live + 64 {
+            let is_live = &self.pri_live;
+            self.pri.compact(|wf, s| is_live.get(&wf) == Some(&s));
+        }
+    }
+}
+
+impl PriorityIndex for PairingIndex {
+    fn name(&self) -> &'static str {
+        "pheap"
+    }
+
+    fn insert(&mut self, wf: WorkflowId, ct: SimTime, lag: i64, deadline: SimTime) {
+        let stamp = self.fresh_stamp();
+        let id = wf.as_u64();
+        self.ct_live.insert(id, stamp);
+        self.pri_live.insert(id, stamp);
+        self.ct.push((ct, id), id, stamp);
+        self.pri.push(pri_key(lag, deadline, wf), id, stamp);
+        self.len += 1;
+        self.maybe_compact();
+    }
+
+    fn remove(&mut self, wf: WorkflowId, _ct: SimTime, _lag: i64, _deadline: SimTime) {
+        let id = wf.as_u64();
+        let had_ct = self.ct_live.remove(&id).is_some();
+        let had_pri = self.pri_live.remove(&id).is_some();
+        debug_assert!(had_ct && had_pri, "removing unqueued workflow {wf}");
+        self.len = self.len.saturating_sub(usize::from(had_ct || had_pri));
+        self.maybe_compact();
+    }
+
+    fn update(
+        &mut self,
+        wf: WorkflowId,
+        old_ct: SimTime,
+        old_lag: i64,
+        new_ct: SimTime,
+        new_lag: i64,
+        deadline: SimTime,
+    ) {
+        // Lazy decrease-key: push replacements under a fresh stamp; the
+        // outdated nodes die when they surface at a root (or at the next
+        // compaction). Unchanged keys keep their node as-is.
+        let id = wf.as_u64();
+        debug_assert!(
+            self.ct_live.contains_key(&id) && self.pri_live.contains_key(&id),
+            "updating unqueued workflow {wf}"
+        );
+        let stamp = self.fresh_stamp();
+        if old_ct != new_ct {
+            self.ct_live.insert(id, stamp);
+            self.ct.push((new_ct, id), id, stamp);
+        }
+        if old_lag != new_lag {
+            self.pri_live.insert(id, stamp);
+            self.pri.push(pri_key(new_lag, deadline, wf), id, stamp);
+        }
+        self.maybe_compact();
+    }
+
+    fn min_ct(&mut self) -> Option<(SimTime, WorkflowId)> {
+        let live = &self.ct_live;
+        self.ct
+            .peek_live(|wf, s| live.get(&wf) == Some(&s))
+            .map(|((t, _), wf)| (t, WorkflowId::new(wf)))
+    }
+
+    fn select(
+        &mut self,
+        visit: &mut dyn FnMut(i64, WorkflowId) -> bool,
+    ) -> Option<(i64, WorkflowId)> {
+        let live = &self.pri_live;
+        self.pri
+            .select_live(
+                |wf, s| live.get(&wf) == Some(&s),
+                |(neg, _, _), wf| visit(-neg, WorkflowId::new(wf)),
+            )
+            .map(|((neg, _, _), wf)| (-neg, WorkflowId::new(wf)))
+    }
+
+    fn priority_order(&mut self) -> Vec<(i64, WorkflowId)> {
+        let mut live: Vec<(i64, u64, u64)> = self
+            .pri
+            .entries()
+            .filter(|&(_, wf, stamp)| self.pri_live.get(&wf) == Some(&stamp))
+            .map(|(key, _, _)| key)
+            .collect();
+        live.sort_unstable();
+        live.into_iter()
+            .map(|(neg, _, wf)| (-neg, WorkflowId::new(wf)))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_pops_in_key_order() {
+        let mut h: PairingHeap<u64> = PairingHeap::new();
+        for (i, k) in [5u64, 3, 9, 1, 7, 1].into_iter().enumerate() {
+            h.push(k, i as u64, i as u64);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, ..)) = h.pop() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![1, 1, 3, 5, 7, 9]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn heap_recycles_slots() {
+        let mut h: PairingHeap<u64> = PairingHeap::new();
+        for i in 0..8u64 {
+            h.push(i, i, i);
+        }
+        for _ in 0..8 {
+            h.pop();
+        }
+        for i in 0..8u64 {
+            h.push(i, i, 100 + i);
+        }
+        assert_eq!(h.nodes.len(), 8, "freed slots are reused");
+        assert_eq!(h.peek(), Some((0, 0, 100)));
+    }
+
+    #[test]
+    fn select_live_skips_and_restores() {
+        let mut h: PairingHeap<u64> = PairingHeap::new();
+        for i in 0..10u64 {
+            h.push(i, i, i);
+        }
+        // Reject the first three live entries, accept the fourth.
+        let mut seen = Vec::new();
+        let got = h.select_live(
+            |_, _| true,
+            |k, _| {
+                seen.push(k);
+                k == 3
+            },
+        );
+        assert_eq!(got, Some((3, 3)));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        // The rejected entries are still in the heap.
+        assert_eq!(h.pop().map(|(k, ..)| k), Some(0));
+        assert_eq!(h.pop().map(|(k, ..)| k), Some(1));
+        assert_eq!(h.len(), 8);
+    }
+
+    #[test]
+    fn lazy_rekey_discards_stale_nodes() {
+        let mut idx = PairingIndex::new();
+        let wf = WorkflowId::new(7);
+        idx.insert(wf, SimTime::from_secs(10), 5, SimTime::from_secs(100));
+        idx.update(
+            wf,
+            SimTime::from_secs(10),
+            5,
+            SimTime::from_secs(20),
+            -2,
+            SimTime::from_secs(100),
+        );
+        assert_eq!(idx.min_ct(), Some((SimTime::from_secs(20), wf)));
+        assert_eq!(idx.max_priority(), Some((-2, wf)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn compaction_bounds_garbage() {
+        let mut idx = PairingIndex::new();
+        let wf = WorkflowId::new(1);
+        idx.insert(wf, SimTime::from_secs(1), 0, SimTime::from_secs(100));
+        for i in 0..10_000i64 {
+            idx.update(
+                wf,
+                SimTime::from_secs(1),
+                i,
+                SimTime::from_secs(1),
+                i + 1,
+                SimTime::from_secs(100),
+            );
+        }
+        assert!(
+            idx.pri.len() <= 2 * idx.len() + 64 + 1,
+            "garbage must stay bounded, got {}",
+            idx.pri.len()
+        );
+        assert_eq!(idx.max_priority(), Some((10_000, wf)));
+    }
+}

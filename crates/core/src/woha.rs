@@ -7,20 +7,28 @@
 //! task of the offered kind. Inside the chosen workflow, the job order from
 //! the client's scheduling plan decides which job the task comes from.
 //!
-//! Three queue strategies are available, matching the paper's Fig 13(a):
+//! Four queue strategies are available, extending the paper's Fig 13(a):
 //!
 //! - [`QueueStrategy::Dsl`] — the Double Skip List (O(1) head operations);
-//! - [`QueueStrategy::Bst`] — two balanced search trees (`BTreeSet`);
+//! - [`QueueStrategy::Bst`] — two balanced search trees (`BTreeMap`);
+//! - [`QueueStrategy::Pairing`] — a cache-dense pairing heap with lazy
+//!   decrease-key (see [`crate::pheap`]);
 //! - [`QueueStrategy::Naive`] — no incremental index: every offer
 //!   recomputes every queued workflow's lag and re-sorts, the strawman the
 //!   paper shows collapsing beyond ~10⁴ workflows.
+//!
+//! All indexed strategies produce identical schedules — the backends are
+//! different data structures over the same total order (pinned by the
+//! differential test harness in `woha-core`'s `index_differential` test).
 
-use crate::index::{BstIndex, DslIndex, WorkflowIndex};
+use crate::index::{BTreeIndex, DslIndex, PriorityIndex};
+use crate::pheap::PairingIndex;
 use crate::plangen::{generate_plan_with_budget, CapMode};
 use crate::priority::{JobPriorities, PriorityPolicy};
 use crate::progress::WorkflowProgress;
 use crate::replan::{replan, ReplanConfig};
 use serde::{Deserialize, Serialize, Value};
+use std::collections::{HashMap, HashSet};
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
 use woha_sim::{SchedulerState, WorkflowPool, WorkflowScheduler};
 
@@ -31,14 +39,54 @@ pub enum QueueStrategy {
     Dsl,
     /// Two balanced search trees.
     Bst,
+    /// Pairing heap with lazy decrease-key.
+    Pairing,
     /// Recompute-and-sort on every offer.
     Naive,
 }
 
 impl QueueStrategy {
-    /// All strategies, in the paper's Fig 13(a) order.
-    pub const ALL: [QueueStrategy; 3] =
-        [QueueStrategy::Dsl, QueueStrategy::Bst, QueueStrategy::Naive];
+    /// All strategies, indexed backends first (the paper's Fig 13(a) order
+    /// with the pairing heap slotted before the naive strawman).
+    pub const ALL: [QueueStrategy; 4] = [
+        QueueStrategy::Dsl,
+        QueueStrategy::Bst,
+        QueueStrategy::Pairing,
+        QueueStrategy::Naive,
+    ];
+
+    /// The backend label used by the CLI (`--index`), benches, and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueStrategy::Dsl => "dsl",
+            QueueStrategy::Bst => "btree",
+            QueueStrategy::Pairing => "pheap",
+            QueueStrategy::Naive => "naive",
+        }
+    }
+
+    /// Parses a CLI/flag spelling of a strategy. Accepts the canonical
+    /// labels plus legacy synonyms (`bst`, `pairing`).
+    pub fn from_flag(s: &str) -> Option<QueueStrategy> {
+        match s {
+            "dsl" => Some(QueueStrategy::Dsl),
+            "btree" | "bst" => Some(QueueStrategy::Bst),
+            "pheap" | "pairing" => Some(QueueStrategy::Pairing),
+            "naive" => Some(QueueStrategy::Naive),
+            _ => None,
+        }
+    }
+
+    /// Builds the incremental index for this strategy (`None` for the
+    /// naive recompute-everything strawman).
+    pub fn build_index(self) -> Option<Box<dyn PriorityIndex + Send>> {
+        match self {
+            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
+            QueueStrategy::Bst => Some(Box::new(BTreeIndex::new())),
+            QueueStrategy::Pairing => Some(Box::new(PairingIndex::new())),
+            QueueStrategy::Naive => None,
+        }
+    }
 }
 
 /// Configuration of the WOHA scheduler.
@@ -107,8 +155,8 @@ pub struct WohaScheduler {
     name: String,
     /// Records indexed by dense workflow id; `None` once completed.
     records: Vec<Option<WorkflowProgress>>,
-    /// Incremental index (Dsl/Bst strategies only).
-    index: Option<Box<dyn WorkflowIndex + Send>>,
+    /// Incremental index (all strategies but Naive).
+    index: Option<Box<dyn PriorityIndex + Send>>,
     /// Queue membership for the naive strategy.
     naive_members: Vec<WorkflowId>,
     /// Last replan instant per workflow (dense by id).
@@ -123,11 +171,7 @@ pub struct WohaScheduler {
 impl WohaScheduler {
     /// Creates a WOHA scheduler with the given configuration.
     pub fn new(config: WohaConfig) -> Self {
-        let index: Option<Box<dyn WorkflowIndex + Send>> = match config.queue {
-            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
-            QueueStrategy::Bst => Some(Box::new(BstIndex::new())),
-            QueueStrategy::Naive => None,
-        };
+        let index = config.queue.build_index();
         WohaScheduler {
             name: format!("WOHA-{}", config.policy),
             config,
@@ -301,11 +345,7 @@ impl SchedulerState for WohaScheduler {
         self.rho_rollbacks = snap.rho_rollbacks;
         // Rebuild the index by re-inserting every queued record under its
         // current keys, replacing whatever the index held before.
-        self.index = match self.config.queue {
-            QueueStrategy::Dsl => Some(Box::new(DslIndex::new())),
-            QueueStrategy::Bst => Some(Box::new(BstIndex::new())),
-            QueueStrategy::Naive => None,
-        };
+        self.index = self.config.queue.build_index();
         if let Some(index) = self.index.as_mut() {
             for record in self.records.iter().flatten() {
                 index.insert(
@@ -467,14 +507,96 @@ impl WorkflowScheduler for WohaScheduler {
                 });
                 self.pick(pool, kind, order.into_iter().map(|(.., wf)| wf))
             }
-            QueueStrategy::Dsl | QueueStrategy::Bst => {
+            _ => {
                 self.refresh_due_workflows(now);
-                let index = self.index.as_ref().expect("indexed strategy");
+                let records = &self.records;
+                let index = self.index.as_mut().expect("indexed strategy");
                 // Lazy descent of the priority list: in the common case
                 // the head workflow is eligible and this touches one node.
-                self.pick(pool, kind, index.by_priority().map(|(_, wf)| wf))
+                let mut choice = None;
+                index.select(&mut |_, wf| {
+                    if !pool.workflow(wf).has_eligible_task(kind) {
+                        return false;
+                    }
+                    let record = records[wf.as_u64() as usize]
+                        .as_ref()
+                        .expect("queued workflow has a record");
+                    match record
+                        .plan()
+                        .job_order()
+                        .iter()
+                        .find(|&&j| pool.eligible(wf, j, kind))
+                    {
+                        Some(&job) => {
+                            choice = Some((wf, job));
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                choice
             }
         }
+    }
+
+    fn assign_batch(
+        &mut self,
+        pool: &WorkflowPool,
+        kind: SlotKind,
+        now: SimTime,
+        max_tasks: u32,
+    ) -> Option<Vec<(WorkflowId, JobId)>> {
+        // Naive strategy: fall back to per-slot probes.
+        self.index.as_ref()?;
+        // One ct-list refresh covers the whole batch: every heartbeat in it
+        // shares `now`, so requirements cannot change mid-batch.
+        self.refresh_due_workflows(now);
+        let mut picks: Vec<(WorkflowId, JobId)> = Vec::new();
+        // Tasks claimed by this batch, not yet reflected in `pool` (the
+        // driver starts them after we return).
+        let mut taken: HashMap<(u64, u32), u32> = HashMap::new();
+        // Workflows found task-less during this batch. Sound to cache: at
+        // fixed `now` a workflow only *loses* eligible tasks as the batch
+        // claims them, so a rejection cannot become acceptance later.
+        let mut blocked: HashSet<u64> = HashSet::new();
+        while (picks.len() as u32) < max_tasks {
+            let records = &self.records;
+            let index = self.index.as_mut().expect("checked above");
+            let mut choice = None;
+            index.select(&mut |_, wf| {
+                if blocked.contains(&wf.as_u64()) {
+                    return false;
+                }
+                let record = records[wf.as_u64() as usize]
+                    .as_ref()
+                    .expect("queued workflow has a record");
+                // `pool.eligible` minus the batch's claims: the same test
+                // the sequential path would make after starting the
+                // already-picked tasks.
+                let found = record.plan().job_order().iter().copied().find(|&j| {
+                    let claimed = taken.get(&(wf.as_u64(), j.as_u32())).copied().unwrap_or(0);
+                    pool.workflow(wf).job(j).eligible_tasks(kind) > claimed
+                });
+                match found {
+                    Some(job) => {
+                        choice = Some((wf, job));
+                        true
+                    }
+                    None => {
+                        blocked.insert(wf.as_u64());
+                        false
+                    }
+                }
+            });
+            let Some((wf, job)) = choice else { break };
+            *taken.entry((wf.as_u64(), job.as_u32())).or_insert(0) += 1;
+            // Commit Algorithm 2's post-assignment bookkeeping now so the
+            // next pick in the batch sees the updated lag; the driver must
+            // not call `on_task_assigned` again for these picks.
+            self.on_task_assigned(pool, wf, job, kind, now);
+            picks.push((wf, job));
+        }
+        Some(picks)
     }
 }
 

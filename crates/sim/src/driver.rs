@@ -185,6 +185,15 @@ pub struct SimConfig {
     /// Straggler injection + speculative execution; `None` (the default)
     /// runs every attempt at its jittered estimate with no duplicates.
     pub speculation: Option<SpeculationConfig>,
+    /// Batched heartbeat processing: coalesce same-tick heartbeats and fill
+    /// each node's free slots through one
+    /// [`WorkflowScheduler::assign_batch`] pass instead of per-slot
+    /// `assign_task` probes. Behaviour-identical to the unbatched path
+    /// (proven by the determinism tests) and on by default; disable to
+    /// cross-check or to profile the per-slot path. Ignored (treated as
+    /// `false`) when delay scheduling is on, because locality declines
+    /// would desynchronize pre-committed batch picks.
+    pub batch_heartbeats: bool,
 }
 
 impl Default for SimConfig {
@@ -199,6 +208,7 @@ impl Default for SimConfig {
             max_sim_time: SimTime::from_mins(60 * 24 * 30),
             locality: None,
             speculation: None,
+            batch_heartbeats: true,
         }
     }
 }
@@ -608,7 +618,45 @@ impl<'a> Sim<'a> {
     /// Offers all of `node`'s free slots to the scheduler, as a heartbeat
     /// response does.
     fn assign_node(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
+        // Delay scheduling can decline individual offers, which would
+        // desynchronize a scheduler's pre-committed batch picks, so the
+        // batch path stays off whenever locality is modelled.
+        let batchable = self.config.batch_heartbeats && self.config.locality.is_none();
         for kind in SlotKind::ALL {
+            let free = self.nodes[node.index()].free(kind);
+            if batchable && free > 0 {
+                let started = std::time::Instant::now();
+                let picks = scheduler.assign_batch(&self.pool, kind, self.now, free);
+                self.scheduler_nanos += started.elapsed().as_nanos() as u64;
+                if let Some(picks) = picks {
+                    // Count probes as the sequential path would have made:
+                    // one per pick, plus the trailing `None` probe when the
+                    // batch under-fills the node.
+                    self.assign_calls +=
+                        picks.len() as u64 + u64::from((picks.len() as u32) < free);
+                    let mut invalid = false;
+                    for (wf, job) in picks {
+                        if !self.pool.eligible(wf, job, kind) {
+                            self.invalid_assignments += 1;
+                            invalid = true;
+                            break;
+                        }
+                        // Batch picks are pre-committed inside the
+                        // scheduler: start without re-notifying it.
+                        let ok = self.start_task(scheduler, node, wf, job, kind, false);
+                        debug_assert!(ok, "batch picks cannot be declined");
+                    }
+                    if !invalid {
+                        // Leftover slots may duplicate overdue attempts
+                        // (speculative execution), as in the `None` arm of
+                        // the sequential path.
+                        while self.nodes[node.index()].free(kind) > 0
+                            && self.try_speculate(node, kind)
+                        {}
+                    }
+                    continue;
+                }
+            }
             while self.nodes[node.index()].free(kind) > 0 {
                 self.assign_calls += 1;
                 let started = std::time::Instant::now();
@@ -626,7 +674,7 @@ impl<'a> Sim<'a> {
                     self.invalid_assignments += 1;
                     break;
                 }
-                if !self.start_task(scheduler, node, wf, job, kind) {
+                if !self.start_task(scheduler, node, wf, job, kind, true) {
                     // Delay scheduling declined the offer; leave the
                     // node's remaining slots of this kind for a later,
                     // better-placed heartbeat.
@@ -638,6 +686,8 @@ impl<'a> Sim<'a> {
 
     /// Starts one task of `(wf, job, kind)` on `node`. Returns `false` if
     /// the offer was declined under delay scheduling (the slot stays free).
+    /// `notify` fires the scheduler's `on_task_assigned` hook; batch picks
+    /// pass `false` because `assign_batch` already applied it per pick.
     fn start_task(
         &mut self,
         scheduler: &mut dyn WorkflowScheduler,
@@ -645,6 +695,7 @@ impl<'a> Sim<'a> {
         wf: WorkflowId,
         job: JobId,
         kind: SlotKind,
+        notify: bool,
     ) -> bool {
         let (estimate, index) = {
             let state = self.pool.workflow(wf);
@@ -737,7 +788,9 @@ impl<'a> Sim<'a> {
                 attempt,
             },
         );
-        scheduler.on_task_assigned(&self.pool, wf, job, kind, self.now);
+        if notify {
+            scheduler.on_task_assigned(&self.pool, wf, job, kind, self.now);
+        }
         true
     }
 
@@ -1813,7 +1866,32 @@ fn run_inner(
         {
             sim.wal.push((t, event.clone()));
         }
-        sim.dispatch(scheduler, workflows, event);
+        if sim.config.batch_heartbeats && matches!(event, Event::Heartbeat(_)) {
+            // Coalesce the run of same-tick heartbeats behind this one:
+            // the nodes' slot offers all share `now`, so handling them
+            // back to back in pop order is identical to popping them one
+            // by one, and it turns N per-slot scheduler probes into one
+            // batched pass per (node, kind). Each coalesced event is still
+            // counted and WAL-logged individually so recovery replays the
+            // exact same stream.
+            let mut run = vec![event];
+            while let Some((tn, Event::Heartbeat(_))) = sim.queue.peek() {
+                if tn != t {
+                    break;
+                }
+                let (_, next) = sim.queue.pop().expect("peeked event");
+                sim.events_processed += 1;
+                if wal_enabled && sim.master_alive {
+                    sim.wal.push((t, next.clone()));
+                }
+                run.push(next);
+            }
+            for ev in run {
+                sim.dispatch(scheduler, workflows, ev);
+            }
+        } else {
+            sim.dispatch(scheduler, workflows, event);
+        }
     }
     sim.touch_busy();
 

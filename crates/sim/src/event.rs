@@ -136,6 +136,13 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The earliest pending event (the one [`pop`](Self::pop) would
+    /// return), without removing it. Used by the driver to coalesce runs of
+    /// same-tick heartbeats.
+    pub fn peek(&self) -> Option<(SimTime, &Event)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -118,6 +118,33 @@ pub trait WorkflowScheduler: SchedulerState {
         kind: SlotKind,
         now: SimTime,
     ) -> Option<(WorkflowId, JobId)>;
+
+    /// Fills up to `max_tasks` free slots of `kind` in one invocation,
+    /// making a single pass over the scheduler's internal ordering instead
+    /// of `max_tasks` independent [`assign_task`](Self::assign_task)
+    /// probes. The picks must be exactly what repeated `assign_task` calls
+    /// (each followed by the driver starting the task) would have chosen.
+    ///
+    /// Returning `Some(picks)` means the scheduler has **already applied**
+    /// its own post-assignment bookkeeping for every pick — the driver
+    /// starts the tasks but must not call
+    /// [`on_task_assigned`](Self::on_task_assigned) for them. Fewer than
+    /// `max_tasks` picks means nothing else is eligible.
+    ///
+    /// The default returns `None`: the driver falls back to per-slot
+    /// `assign_task` probes. A correct batch implementation needs internal
+    /// accounting of which tasks the batch already claimed (the pool is
+    /// only updated afterwards), so it is strictly opt-in.
+    fn assign_batch(
+        &mut self,
+        pool: &WorkflowPool,
+        kind: SlotKind,
+        now: SimTime,
+        max_tasks: u32,
+    ) -> Option<Vec<(WorkflowId, JobId)>> {
+        let _ = (pool, kind, now, max_tasks);
+        None
+    }
 }
 
 /// Picks the first eligible job of `wf` in job-id order — the common

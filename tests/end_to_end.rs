@@ -416,6 +416,141 @@ fn stale_snapshot_recovery_is_deterministic() {
     assert_ne!(run(42), run(43), "seed drives the recovery path too");
 }
 
+/// Satellite: the PR 2 shift-by-MTTR failover identity also holds with
+/// batched heartbeats — and a master crash landing between coalesced
+/// heartbeats must not drop or double-assign attempts, so a WOHA run with
+/// a lossless-WAL crash is byte-identical whether heartbeats are batched
+/// or probed per slot.
+#[test]
+fn failover_identity_holds_with_batched_heartbeats() {
+    let workflows = fig11_workflows();
+    let mttr = SimDuration::from_secs(45);
+    let faulty = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr,
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+
+    for batch in [true, false] {
+        let config = SimConfig {
+            batch_heartbeats: batch,
+            ..SimConfig::default()
+        };
+        let baseline = run_simulation(
+            &workflows,
+            &mut FifoScheduler::new(),
+            &demo_cluster(),
+            &config,
+        );
+        let report = run_simulation(&workflows, &mut FifoScheduler::new(), &faulty, &config);
+        assert!(report.completed, "batch={batch}");
+        let rec = report.recovery.as_ref().expect("master faults on");
+        assert_eq!(rec.master_crashes, 1, "batch={batch}");
+        assert_eq!(
+            rec.attempts_requeued + rec.attempts_orphaned,
+            0,
+            "batch={batch}: the WAL must stay lossless"
+        );
+        assert_eq!(report.tasks_requeued, 0, "batch={batch}");
+        for (o, b) in report.outcomes.iter().zip(&baseline.outcomes) {
+            assert_eq!(
+                o.finished.unwrap(),
+                b.finished.unwrap().saturating_add(mttr),
+                "batch={batch} {}: completion must shift by exactly the outage",
+                o.name
+            );
+        }
+    }
+
+    // The same crash under WOHA (whose batch path pre-commits its picks):
+    // batched and per-slot probing recover to byte-identical reports, so a
+    // crash between coalesced heartbeats neither drops nor double-assigns.
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+    let woha_run = |batch: bool| {
+        let config = SimConfig {
+            batch_heartbeats: batch,
+            ..SimConfig::default()
+        };
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let report = run_simulation(&workflows, &mut s, &faulty, &config);
+        assert!(report.completed, "batch={batch}");
+        let rec = report.recovery.as_ref().expect("master faults on");
+        assert_eq!(rec.master_crashes, 1, "batch={batch}");
+        assert_eq!(rec.attempts_requeued + rec.attempts_orphaned, 0);
+        strip(report)
+    };
+    assert_eq!(woha_run(true), woha_run(false));
+}
+
+/// Satellite: a full Yahoo-trace simulation with WOHA-LPF produces a
+/// byte-identical `SimReport` under the `dsl`, `btree`, and `pheap`
+/// priority-index backends, and under batched vs. per-slot heartbeats —
+/// the backends and the batch path are pure implementation choices.
+#[test]
+fn index_backends_and_batching_are_behavior_identical() {
+    let mut rng = Rng::new(7);
+    let flows = yahoo_workflows(
+        &YahooTraceConfig {
+            map_count_max: 80,
+            reduce_count_max: 16,
+            ..YahooTraceConfig::default()
+        },
+        &mut rng,
+    );
+    let workload = Workload::assign(
+        &flows,
+        ReleasePattern::UniformWindow(SimDuration::from_mins(10)),
+        DeadlineRule::UniformRelative {
+            min: SimDuration::from_mins(3),
+            max: SimDuration::from_mins(12),
+            floor_stretch: 1.2,
+            reference_slots: 100,
+        },
+        &mut rng,
+    )
+    .without_single_jobs();
+    let cluster = ClusterConfig::with_totals(120, 120);
+
+    let run = |queue: QueueStrategy, batch: bool| {
+        let config = SimConfig {
+            batch_heartbeats: batch,
+            ..SimConfig::default()
+        };
+        let mut s = WohaScheduler::new(WohaConfig {
+            queue,
+            ..WohaConfig::new(PriorityPolicy::Lpf, 240)
+        });
+        let mut report = run_simulation(workload.workflows(), &mut s, &cluster, &config);
+        assert!(report.completed, "{queue:?} batch={batch}");
+        report.scheduler_nanos = 0;
+        serde_json::to_string(&report).unwrap()
+    };
+
+    let reference = run(QueueStrategy::Dsl, true);
+    for queue in [
+        QueueStrategy::Dsl,
+        QueueStrategy::Bst,
+        QueueStrategy::Pairing,
+    ] {
+        for batch in [true, false] {
+            if queue == QueueStrategy::Dsl && batch {
+                continue; // the reference itself
+            }
+            assert_eq!(
+                run(queue, batch),
+                reference,
+                "{queue:?} batch={batch} must be byte-identical to dsl batched"
+            );
+        }
+    }
+}
+
 /// The Yahoo-like workload runs to completion on a trace-scale cluster
 /// under every scheduler, and WOHA's mean miss ratio beats FIFO's.
 #[test]
