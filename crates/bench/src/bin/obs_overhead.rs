@@ -1,0 +1,36 @@
+//! The `obs_overhead` sweep: wall-clock overhead of the observability
+//! layer (structured tracing + metrics) on end-to-end Yahoo-trace
+//! simulations, per priority-index backend.
+//!
+//! Writes the machine-readable `BENCH_obs.json` overhead baseline and the
+//! human-readable `results/obs_overhead.txt` table, then prints the table.
+//! Pass `--quick` for the CI smoke sweep (Fig 11 workload, one repetition);
+//! the output schema is identical.
+
+use woha_bench::experiments::obs::{obs_overhead_table, run_obs_overhead, OVERHEAD_BOUND_PCT};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 1 } else { 3 };
+    eprintln!("obs_overhead — observability off/on wall-time per index backend");
+    let report = run_obs_overhead(quick, runs);
+    let table = obs_overhead_table(&report).render();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/obs_overhead.txt", &table).expect("write results/obs_overhead.txt");
+
+    print!("{table}");
+    let worst = report
+        .points
+        .iter()
+        .map(|p| p.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst <= OVERHEAD_BOUND_PCT {
+        eprintln!("PASS: worst enabled-path overhead {worst:+.1}% <= bound {OVERHEAD_BOUND_PCT}%");
+    } else {
+        eprintln!("WARN: worst enabled-path overhead {worst:+.1}% > bound {OVERHEAD_BOUND_PCT}%");
+    }
+    eprintln!("wrote BENCH_obs.json and results/obs_overhead.txt");
+}

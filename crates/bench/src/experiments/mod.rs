@@ -6,6 +6,7 @@ pub mod deadline;
 pub mod demo;
 pub mod failures;
 pub mod master_failover;
+pub mod obs;
 pub mod plans;
 pub mod throughput;
 pub mod tracestats;

@@ -6,6 +6,10 @@ use woha_model::{config::parse_duration, SimTime};
 use woha_sim::{ClusterConfig, FaultConfig, MasterFaultConfig};
 
 /// A parsed command line.
+// One Command exists per process, so the size skew between `Simulate`
+// (which carries the whole cluster/fault/observability config) and the
+// small variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `woha-cli validate <workflow.xml>...`
@@ -29,10 +33,12 @@ pub enum Command {
     /// [--jitter F] [--seed N] [--failures P] [--mtbf D]
     /// [--mttr D] [--detect-missed N] [--blacklist-after N]
     /// [--master-mtbf D] [--master-mttr D] [--checkpoint-interval D]
-    /// [--scripted-master-crash T]... [--no-wal] [--json]`
+    /// [--scripted-master-crash T]... [--no-wal] [--trace-out FILE]
+    /// [--metrics-out FILE] [--obs-sample-interval D] [--json]`
     ///
     /// Node-fault and master-fault flags attach a [`FaultConfig`] to the
-    /// cluster.
+    /// cluster; the observability flags enable structured tracing and
+    /// metrics export (see `woha_sim::obs`).
     Simulate {
         /// Workflow files with optional release offsets.
         workflows: Vec<WorkflowArg>,
@@ -51,6 +57,14 @@ pub enum Command {
         seed: u64,
         /// Task failure probability.
         failures: f64,
+        /// Write a Chrome trace-event JSON file (Perfetto-loadable) of the
+        /// scheduling decision loop to this path.
+        trace_out: Option<String>,
+        /// Write the run's metrics in Prometheus text format to this path.
+        metrics_out: Option<String>,
+        /// Gauge/timeline sampling interval for the observability layer
+        /// (defaults to the simulator's legacy sampling interval).
+        obs_sample_interval: Option<woha_model::SimDuration>,
         /// Emit machine-readable JSON instead of a table.
         json: bool,
     },
@@ -131,6 +145,15 @@ USAGE:
       --no-wal            disable the master write-ahead log: recover from
                           the last checkpoint alone (needs a master-fault
                           flag)
+      --trace-out FILE    record the scheduling decision loop and write it
+                          as Chrome trace-event JSON (open the file at
+                          https://ui.perfetto.dev or chrome://tracing)
+      --metrics-out FILE  record scheduler metrics (counters, histograms,
+                          sampled gauges) and write them in the Prometheus
+                          text exposition format
+      --obs-sample-interval D
+                          gauge sampling interval for --metrics-out,
+                          e.g. 5s (default 10s)
       --json              machine-readable output
 
   woha-cli help
@@ -266,6 +289,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut checkpoint_interval = None;
             let mut scripted_crashes = Vec::new();
             let mut no_wal = false;
+            let mut trace_out = None;
+            let mut metrics_out = None;
+            let mut obs_sample_interval = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -342,6 +368,12 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                         scripted_crashes.push(SimTime::ZERO + d);
                     }
                     "--no-wal" => no_wal = true,
+                    "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
+                    "--metrics-out" => metrics_out = Some(next_value(&mut it, "--metrics-out")?),
+                    "--obs-sample-interval" => {
+                        obs_sample_interval =
+                            Some(parse_positive_duration(&mut it, "--obs-sample-interval")?);
+                    }
                     "--json" => json = true,
                     other if !other.starts_with('-') => {
                         workflows.push(parse_workflow_arg(other)?);
@@ -389,6 +421,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             if faults.enabled() || faults.master.enabled() {
                 cluster = cluster.with_faults(faults);
             }
+            if obs_sample_interval.is_some() && metrics_out.is_none() {
+                return Err(err("--obs-sample-interval needs --metrics-out"));
+            }
             Ok(Command::Simulate {
                 workflows,
                 cluster,
@@ -398,6 +433,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 jitter,
                 seed,
                 failures,
+                trace_out,
+                metrics_out,
+                obs_sample_interval,
                 json,
             })
         }
@@ -516,6 +554,9 @@ mod tests {
                 jitter,
                 seed,
                 failures,
+                trace_out,
+                metrics_out,
+                obs_sample_interval,
                 json,
             } => {
                 assert_eq!(workflows.len(), 2);
@@ -527,10 +568,46 @@ mod tests {
                 assert_eq!(jitter, 0.1);
                 assert_eq!(seed, 7);
                 assert_eq!(failures, 0.05);
+                assert_eq!(trace_out, None);
+                assert_eq!(metrics_out, None);
+                assert_eq!(obs_sample_interval, None);
                 assert!(json);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_observability_flags() {
+        use woha_model::SimDuration;
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.prom",
+            "--obs-sample-interval",
+            "5s",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                trace_out,
+                metrics_out,
+                obs_sample_interval,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("trace.json"));
+                assert_eq!(metrics_out.as_deref(), Some("metrics.prom"));
+                assert_eq!(obs_sample_interval, Some(SimDuration::from_secs(5)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The sampling interval only matters with metrics on.
+        assert!(parse(&args(&["simulate", "a.xml", "--obs-sample-interval", "5s"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--obs-sample-interval", "0s"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--trace-out"])).is_err());
     }
 
     #[test]

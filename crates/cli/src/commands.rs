@@ -8,8 +8,11 @@ use woha_core::{
     generate_plan, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities, PriorityPolicy,
     QueueStrategy, WohaConfig, WohaScheduler,
 };
-use woha_model::{SlotKind, WorkflowConfig, WorkflowSpec};
-use woha_sim::{try_run_simulation, ClusterConfig, SimConfig, SimReport, WorkflowScheduler};
+use woha_model::{SimDuration, SlotKind, WorkflowConfig, WorkflowSpec};
+use woha_sim::{
+    try_run_simulation, try_run_simulation_observed, ClusterConfig, ObservabilityConfig, SimConfig,
+    SimReport, WorkflowScheduler,
+};
 
 /// Runs a parsed command, returning its stdout content.
 ///
@@ -35,9 +38,23 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             jitter,
             seed,
             failures,
+            trace_out,
+            metrics_out,
+            obs_sample_interval,
             json,
         } => simulate(
-            &workflows, &cluster, &scheduler, index, batch, jitter, seed, failures, json,
+            &workflows,
+            &cluster,
+            &scheduler,
+            index,
+            batch,
+            jitter,
+            seed,
+            failures,
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+            obs_sample_interval,
+            json,
         ),
     }
 }
@@ -146,14 +163,29 @@ fn simulate(
     jitter: f64,
     seed: u64,
     failures: f64,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+    obs_sample_interval: Option<SimDuration>,
     json: bool,
 ) -> Result<String, Box<dyn Error>> {
     let specs: Vec<WorkflowSpec> = workflows.iter().map(load).collect::<Result<_, _>>()?;
+    let observe = trace_out.is_some() || metrics_out.is_some();
+    if observe && scheduler == "all" {
+        return Err(
+            "--trace-out/--metrics-out need a single scheduler, not --scheduler all".into(),
+        );
+    }
     let config = SimConfig {
         duration_jitter: jitter,
         task_failure_prob: failures,
         seed,
         batch_heartbeats: batch,
+        observability: ObservabilityConfig {
+            trace: trace_out.is_some(),
+            metrics: metrics_out.is_some(),
+            sample_interval: obs_sample_interval,
+            ..ObservabilityConfig::default()
+        },
         ..SimConfig::default()
     };
     let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
@@ -166,8 +198,22 @@ fn simulate(
     let mut reports = Vec::new();
     for name in names {
         let mut s = build_scheduler(name, total_slots, index);
-        let report = try_run_simulation(&specs, s.as_mut(), cluster, &config)
-            .map_err(|e| format!("bad simulation config: {e}"))?;
+        let report = if observe {
+            let (report, obs) = try_run_simulation_observed(&specs, s.as_mut(), cluster, &config)
+                .map_err(|e| format!("bad simulation config: {e}"))?;
+            if let Some(path) = trace_out {
+                std::fs::write(path, obs.chrome_trace_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            if let Some(path) = metrics_out {
+                std::fs::write(path, obs.prometheus_text().unwrap_or_default())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            report
+        } else {
+            try_run_simulation(&specs, s.as_mut(), cluster, &config)
+                .map_err(|e| format!("bad simulation config: {e}"))?
+        };
         reports.push(report);
     }
 
@@ -433,6 +479,74 @@ mod tests {
         .unwrap();
         let parsed: Vec<SimReport> = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed[0].recovery.as_ref().unwrap().master_crashes, 1);
+    }
+
+    #[test]
+    fn simulate_writes_trace_and_metrics_files() {
+        let path = sample_file();
+        let trace = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+        let metrics = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+        let out = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "woha-lpf",
+            "--trace-out",
+            trace.to_str(),
+            "--metrics-out",
+            metrics.to_str(),
+            "--obs-sample-interval",
+            "30s",
+        ])
+        .unwrap();
+        assert!(out.contains("=== WOHA-LPF ==="), "{out}");
+        let trace_json = std::fs::read_to_string(trace.to_str()).unwrap();
+        assert!(trace_json.contains("\"traceEvents\""), "{trace_json}");
+        assert!(trace_json.contains("\"scheduler\""), "{trace_json}");
+        let prom = std::fs::read_to_string(metrics.to_str()).unwrap();
+        assert!(
+            prom.contains("# TYPE woha_heartbeats_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("woha_pending_workflows"), "{prom}");
+    }
+
+    #[test]
+    fn simulate_observability_rejects_all_schedulers() {
+        let path = sample_file();
+        let err = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "all",
+            "--trace-out",
+            "/tmp/unused-trace.json",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("single scheduler"), "{err}");
+    }
+
+    #[test]
+    fn simulate_observability_leaves_report_unchanged() {
+        let path = sample_file();
+        let plain = run_line(&["simulate", path.to_str(), "--json"]).unwrap();
+        let metrics = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+        let observed = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--metrics-out",
+            metrics.to_str(),
+            "--json",
+        ])
+        .unwrap();
+        let strip = |s: &str| {
+            let mut v: Vec<SimReport> = serde_json::from_str(s).unwrap();
+            for r in &mut v {
+                r.scheduler_nanos = 0;
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        assert_eq!(strip(&plain), strip(&observed));
     }
 
     #[test]

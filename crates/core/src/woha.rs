@@ -30,7 +30,7 @@ use crate::replan::{replan, ReplanConfig};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
-use woha_sim::{SchedulerState, WorkflowPool, WorkflowScheduler};
+use woha_sim::{SchedTrace, SchedulerState, WorkflowPool, WorkflowScheduler};
 
 /// Which data structure orders the queued workflows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -166,6 +166,10 @@ pub struct WohaScheduler {
     /// Total `ρ` rollbacks after task failures / node losses (observable
     /// for tests and reports).
     rho_rollbacks: u64,
+    /// Structured decision-trace buffer; `None` (the default) disables
+    /// tracing entirely, so the untraced hot path only pays an
+    /// `Option` check.
+    trace: Option<Vec<SchedTrace>>,
 }
 
 impl WohaScheduler {
@@ -181,6 +185,7 @@ impl WohaScheduler {
             last_replan: Vec::new(),
             replans: 0,
             rho_rollbacks: 0,
+            trace: None,
         }
     }
 
@@ -281,6 +286,9 @@ impl WohaScheduler {
         self.records[slot] = Some(new_record);
         self.last_replan[slot] = now;
         self.replans += 1;
+        if let Some(buf) = &mut self.trace {
+            buf.push(SchedTrace::Replan { workflow: wf });
+        }
     }
 
     /// Picks the highest-priority workflow with an eligible task of `kind`,
@@ -387,6 +395,12 @@ impl WorkflowScheduler for WohaScheduler {
             budget,
         );
         let record = WorkflowProgress::new(wf, plan, effective_deadline, now);
+        if let Some(buf) = &mut self.trace {
+            buf.push(SchedTrace::PlanGenerated {
+                workflow: wf,
+                jobs: record.plan().job_order().len(),
+            });
+        }
 
         // Master side: enqueue the record.
         let slot = wf.as_u64() as usize;
@@ -460,6 +474,9 @@ impl WorkflowScheduler for WohaScheduler {
             index.update(wf, ct, old_lag, ct, new_lag, deadline);
         }
         self.rho_rollbacks += 1;
+        if let Some(buf) = &mut self.trace {
+            buf.push(SchedTrace::RhoRollback { workflow: wf });
+        }
     }
 
     fn on_node_lost(&mut self, pool: &WorkflowPool, _node: woha_model::NodeId, now: SimTime) {
@@ -505,7 +522,16 @@ impl WorkflowScheduler for WohaScheduler {
                         .then_with(|| a.1.cmp(&b.1))
                         .then_with(|| a.2.cmp(&b.2))
                 });
-                self.pick(pool, kind, order.into_iter().map(|(.., wf)| wf))
+                let choice = self.pick(pool, kind, order.iter().map(|&(.., wf)| wf));
+                if let (Some(buf), Some((wf, _))) = (&mut self.trace, choice) {
+                    let rank = order.iter().position(|&(.., w)| w == wf).unwrap_or(0) as u32;
+                    buf.push(SchedTrace::Pick {
+                        workflow: wf,
+                        rank: rank + 1,
+                        blocked: 0,
+                    });
+                }
+                choice
             }
             _ => {
                 self.refresh_due_workflows(now);
@@ -514,7 +540,9 @@ impl WorkflowScheduler for WohaScheduler {
                 // Lazy descent of the priority list: in the common case
                 // the head workflow is eligible and this touches one node.
                 let mut choice = None;
+                let mut probes = 0u32;
                 index.select(&mut |_, wf| {
+                    probes += 1;
                     if !pool.workflow(wf).has_eligible_task(kind) {
                         return false;
                     }
@@ -534,6 +562,13 @@ impl WorkflowScheduler for WohaScheduler {
                         None => false,
                     }
                 });
+                if let (Some(buf), Some((wf, _))) = (&mut self.trace, choice) {
+                    buf.push(SchedTrace::Pick {
+                        workflow: wf,
+                        rank: probes,
+                        blocked: 0,
+                    });
+                }
                 choice
             }
         }
@@ -563,7 +598,9 @@ impl WorkflowScheduler for WohaScheduler {
             let records = &self.records;
             let index = self.index.as_mut().expect("checked above");
             let mut choice = None;
+            let mut probes = 0u32;
             index.select(&mut |_, wf| {
+                probes += 1;
                 if blocked.contains(&wf.as_u64()) {
                     return false;
                 }
@@ -594,9 +631,30 @@ impl WorkflowScheduler for WohaScheduler {
             // next pick in the batch sees the updated lag; the driver must
             // not call `on_task_assigned` again for these picks.
             self.on_task_assigned(pool, wf, job, kind, now);
+            if let Some(buf) = &mut self.trace {
+                buf.push(SchedTrace::Pick {
+                    workflow: wf,
+                    rank: probes,
+                    blocked: blocked.len() as u32,
+                });
+            }
             picks.push((wf, job));
         }
         Some(picks)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on.then(Vec::new);
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<SchedTrace>) {
+        if let Some(buf) = &mut self.trace {
+            out.append(buf);
+        }
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.config.queue.label()
     }
 }
 

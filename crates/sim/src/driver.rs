@@ -45,8 +45,13 @@
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{splitmix, FaultStream};
-use crate::metrics::{RecoveryReport, SimReport, TimelineRecorder, WorkflowOutcome};
-use crate::scheduler::WorkflowScheduler;
+use crate::metrics::{
+    MetricsRegistry, RecoveryReport, SimReport, TimelineRecorder, WorkflowOutcome,
+};
+use crate::obs::{
+    MemorySink, ObservabilityConfig, Observations, TraceEvent, TraceRecord, TraceSink,
+};
+use crate::scheduler::{SchedTrace, WorkflowScheduler};
 use crate::snapshot::{
     completed_workflows, AttemptRecord, DelaySkipRecord, FaultSnapshot, GroupRecord,
     LostTaskRecord, MapOutputRecord, MasterSnapshot, NodeSlotsRecord, PendingMapsRecord,
@@ -194,6 +199,14 @@ pub struct SimConfig {
     /// `false`) when delay scheduling is on, because locality declines
     /// would desynchronize pre-committed batch picks.
     pub batch_heartbeats: bool,
+    /// Structured observability (tracing, metrics, timelines). Fully off
+    /// by default; see [`crate::obs`]. When everything here is off, the
+    /// simulation output is byte-identical to builds without the
+    /// observability layer. The trace and metrics switches only take
+    /// effect through [`run_simulation_observed`] /
+    /// [`try_run_simulation_observed`], which return the collected
+    /// [`Observations`] alongside the report.
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for SimConfig {
@@ -209,7 +222,26 @@ impl Default for SimConfig {
             locality: None,
             speculation: None,
             batch_heartbeats: true,
+            observability: ObservabilityConfig::default(),
         }
+    }
+}
+
+impl SimConfig {
+    /// The sampling interval that actually drives gauge and timeline
+    /// sampling: [`ObservabilityConfig::sample_interval`] when set,
+    /// otherwise the legacy [`SimConfig::sample_interval`].
+    pub fn effective_sample_interval(&self) -> SimDuration {
+        self.observability
+            .sample_interval
+            .unwrap_or(self.sample_interval)
+    }
+
+    /// Whether per-workflow slot timelines are recorded: the deprecated
+    /// [`SimConfig::track_timelines`] flag OR-ed with
+    /// [`ObservabilityConfig::timelines`].
+    pub fn effective_timelines(&self) -> bool {
+        self.track_timelines || self.observability.timelines
     }
 }
 
@@ -405,6 +437,24 @@ struct Sim<'a> {
     /// workload index.
     arrived: Vec<bool>,
     recovery: RecoveryReport,
+    // Observability state (see crate::obs). All `None`/off by default,
+    // leaving only `Option` checks on the hot path.
+    /// Structured trace sink; `None` when tracing is off (and while the
+    /// WAL replays during master recovery, mirroring `recorder`).
+    sink: Option<&'a mut dyn TraceSink>,
+    /// Metrics registry; `None` when metrics are off (and during replay).
+    metrics: Option<MetricsRegistry>,
+    /// Whether scheduler-internal tracing was requested (trace or metrics
+    /// on), so replay suspension knows to toggle it.
+    sched_tracing: bool,
+    /// Priority-index backend label, captured once from the scheduler.
+    backend: &'static str,
+    /// Reusable buffer for draining scheduler trace records.
+    sched_scratch: Vec<SchedTrace>,
+    /// Next gauge-sampling grid instant.
+    next_sample: SimTime,
+    /// Gauge-sampling interval (zero disables sampling).
+    obs_interval: SimDuration,
 }
 
 impl<'a> Sim<'a> {
@@ -430,6 +480,124 @@ impl<'a> Sim<'a> {
         match kind {
             SlotKind::Map => 0,
             SlotKind::Reduce => 1,
+        }
+    }
+
+    /// Emits one trace record at the current instant, if tracing is on.
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceRecord {
+                at: self.now,
+                event,
+            });
+        }
+    }
+
+    /// Drains the scheduler's buffered [`SchedTrace`] records into the
+    /// sink and the counters. Called after every dispatched event; a no-op
+    /// unless tracing or metrics are on (schedulers only buffer while
+    /// tracing was requested).
+    fn drain_sched(&mut self, scheduler: &mut dyn WorkflowScheduler) {
+        if self.sink.is_none() && self.metrics.is_none() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.sched_scratch);
+        scratch.clear();
+        scheduler.drain_trace(&mut scratch);
+        for t in scratch.drain(..) {
+            if let Some(m) = &mut self.metrics {
+                match t {
+                    SchedTrace::Pick { .. } => {}
+                    SchedTrace::PlanGenerated { .. } => m.plans_generated.inc(),
+                    SchedTrace::Replan { .. } => m.replans.inc(),
+                    SchedTrace::RhoRollback { .. } => m.rho_rollbacks.inc(),
+                }
+            }
+            if self.sink.is_some() {
+                let backend = self.backend;
+                let event = match t {
+                    SchedTrace::Pick {
+                        workflow,
+                        rank,
+                        blocked,
+                    } => TraceEvent::SchedulerPick {
+                        workflow,
+                        rank,
+                        blocked,
+                        backend,
+                    },
+                    SchedTrace::PlanGenerated { workflow, jobs } => {
+                        TraceEvent::PlanGenerated { workflow, jobs }
+                    }
+                    SchedTrace::Replan { workflow } => TraceEvent::Replan { workflow },
+                    SchedTrace::RhoRollback { workflow } => TraceEvent::RhoRollback { workflow },
+                };
+                self.emit(event);
+            }
+        }
+        self.sched_scratch = scratch;
+    }
+
+    /// Samples the gauges at every grid instant strictly before `t` (the
+    /// state between events is constant, so a grid instant inherits the
+    /// state left by the last event before it). Instants exactly at `t`
+    /// are sampled once the *next* event arrives — or by the final
+    /// inclusive flush — so a sample at an event's instant observes that
+    /// event, matching the timeline recorder's cutoff semantics.
+    fn sample_gauges_before(&mut self, t: SimTime) {
+        if self.metrics.is_none() || self.obs_interval.is_zero() {
+            return;
+        }
+        while self.next_sample < t {
+            let at = self.next_sample;
+            self.sample_gauges_at(at);
+            self.next_sample = self.next_sample.saturating_add(self.obs_interval);
+        }
+    }
+
+    /// Final flush: samples every remaining grid instant up to and
+    /// including `end`.
+    fn sample_gauges_through(&mut self, end: SimTime) {
+        if self.metrics.is_none() || self.obs_interval.is_zero() {
+            return;
+        }
+        while self.next_sample <= end {
+            let at = self.next_sample;
+            self.sample_gauges_at(at);
+            self.next_sample = self.next_sample.saturating_add(self.obs_interval);
+        }
+    }
+
+    /// One gauge sample: pending-workflow/task depth and the tightest
+    /// deadline margin across incomplete workflows (plus one
+    /// deadline-margin histogram observation per incomplete workflow).
+    fn sample_gauges_at(&mut self, at: SimTime) {
+        let Some(m) = &mut self.metrics else {
+            return;
+        };
+        let mut wfs = 0u64;
+        let mut tasks = 0u64;
+        let mut min_margin = f64::INFINITY;
+        for wf in self.pool.incomplete() {
+            wfs += 1;
+            let w = self.pool.workflow(wf);
+            for job in w.active_jobs() {
+                let j = w.job(job);
+                tasks += u64::from(j.pending_maps()) + u64::from(j.pending_reduces());
+            }
+            let margin = (w.spec().deadline().as_millis() as f64 - at.as_millis() as f64) / 1000.0;
+            m.deadline_margin_seconds.observe(margin);
+            if margin < min_margin {
+                min_margin = margin;
+            }
+        }
+        m.pending_workflows.set(wfs as f64);
+        m.pending_workflows.sample(at);
+        m.pending_tasks.set(tasks as f64);
+        m.pending_tasks.sample(at);
+        if min_margin.is_finite() {
+            m.min_deadline_margin_seconds.set(min_margin);
+            m.min_deadline_margin_seconds.sample(at);
         }
     }
 
@@ -541,6 +709,14 @@ impl<'a> Sim<'a> {
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.record(self.now, other.wf, other.kind, -1);
                     }
+                    if self.sink.is_some() {
+                        self.emit(TraceEvent::TaskKilled {
+                            node: other.node.index(),
+                            workflow: other.wf,
+                            job: other.job.as_u32() as usize,
+                            kind: other.kind,
+                        });
+                    }
                     self.pool
                         .workflow_mut(other.wf)
                         .finish_speculative(other.job, other.kind);
@@ -552,6 +728,17 @@ impl<'a> Sim<'a> {
         self.nodes[node.index()].release(kind);
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(self.now, wf, kind, -1);
+        }
+        if self.sink.is_some() {
+            self.emit(TraceEvent::TaskComplete {
+                node: node.index(),
+                workflow: wf,
+                job: job.as_u32() as usize,
+                kind,
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.tasks_completed.inc();
         }
         // Failure injection: the attempt may fail and re-queue its task.
         // A task fails at most once (the retry succeeds), so termination
@@ -627,7 +814,11 @@ impl<'a> Sim<'a> {
             if batchable && free > 0 {
                 let started = std::time::Instant::now();
                 let picks = scheduler.assign_batch(&self.pool, kind, self.now, free);
-                self.scheduler_nanos += started.elapsed().as_nanos() as u64;
+                let elapsed = started.elapsed();
+                self.scheduler_nanos += elapsed.as_nanos() as u64;
+                if let Some(m) = &mut self.metrics {
+                    m.decision_seconds.observe(elapsed.as_secs_f64());
+                }
                 if let Some(picks) = picks {
                     // Count probes as the sequential path would have made:
                     // one per pick, plus the trailing `None` probe when the
@@ -643,6 +834,14 @@ impl<'a> Sim<'a> {
                         }
                         // Batch picks are pre-committed inside the
                         // scheduler: start without re-notifying it.
+                        if self.sink.is_some() {
+                            self.emit(TraceEvent::Assign {
+                                node: node.index(),
+                                kind,
+                                workflow: wf,
+                                job: job.as_u32() as usize,
+                            });
+                        }
                         let ok = self.start_task(scheduler, node, wf, job, kind, false);
                         debug_assert!(ok, "batch picks cannot be declined");
                     }
@@ -661,7 +860,11 @@ impl<'a> Sim<'a> {
                 self.assign_calls += 1;
                 let started = std::time::Instant::now();
                 let choice = scheduler.assign_task(&self.pool, kind, self.now);
-                self.scheduler_nanos += started.elapsed().as_nanos() as u64;
+                let elapsed = started.elapsed();
+                self.scheduler_nanos += elapsed.as_nanos() as u64;
+                if let Some(m) = &mut self.metrics {
+                    m.decision_seconds.observe(elapsed.as_secs_f64());
+                }
                 let Some((wf, job)) = choice else {
                     // Nothing pending: an idle slot may duplicate an
                     // overdue attempt (speculative execution).
@@ -673,6 +876,14 @@ impl<'a> Sim<'a> {
                 if !self.pool.eligible(wf, job, kind) {
                     self.invalid_assignments += 1;
                     break;
+                }
+                if self.sink.is_some() {
+                    self.emit(TraceEvent::Assign {
+                        node: node.index(),
+                        kind,
+                        workflow: wf,
+                        job: job.as_u32() as usize,
+                    });
                 }
                 if !self.start_task(scheduler, node, wf, job, kind, true) {
                     // Delay scheduling declined the offer; leave the
@@ -777,6 +988,18 @@ impl<'a> Sim<'a> {
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(self.now, wf, kind, 1);
         }
+        if self.sink.is_some() {
+            self.emit(TraceEvent::TaskStart {
+                node: node.index(),
+                workflow: wf,
+                job: job.as_u32() as usize,
+                kind,
+                speculative: false,
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.tasks_started.inc();
+        }
         self.tasks_executed += 1;
         self.schedule(
             self.now + duration,
@@ -858,6 +1081,18 @@ impl<'a> Sim<'a> {
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(now, original.wf, kind, 1);
         }
+        if self.sink.is_some() {
+            self.emit(TraceEvent::TaskStart {
+                node: node.index(),
+                workflow: original.wf,
+                job: original.job.as_u32() as usize,
+                kind,
+                speculative: true,
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.tasks_started.inc();
+        }
         self.schedule(
             now + duration,
             Event::TaskComplete {
@@ -884,6 +1119,10 @@ impl<'a> Sim<'a> {
         self.incident[i] += 1;
         self.crash_count[i] += 1;
         self.node_failures += 1;
+        self.emit(TraceEvent::NodeDown { node: i });
+        if let Some(m) = &mut self.metrics {
+            m.node_failures.inc();
+        }
         self.touch_busy();
         // Kill every live attempt on the node, in attempt-id order (the
         // map iterates in arbitrary order; sorting keeps runs seeded).
@@ -901,6 +1140,14 @@ impl<'a> Sim<'a> {
             self.busy_count[Self::kind_index(a.kind)] -= 1;
             if let Some(rec) = self.recorder.as_mut() {
                 rec.record(self.now, a.wf, a.kind, -1);
+            }
+            if self.sink.is_some() {
+                self.emit(TraceEvent::TaskKilled {
+                    node: i,
+                    workflow: a.wf,
+                    job: a.job.as_u32() as usize,
+                    kind: a.kind,
+                });
             }
             self.work_lost_slot_ms += u128::from(self.now.saturating_since(a.started).as_millis());
             let group = self.groups.get(&a.group).expect("live group");
@@ -928,6 +1175,7 @@ impl<'a> Sim<'a> {
         if faults.blacklist_after > 0 && self.crash_count[i] >= faults.blacklist_after {
             self.node_blacklisted[i] = true;
             self.nodes_blacklisted += 1;
+            self.emit(TraceEvent::NodeBlacklisted { node: i });
         }
         // Failure detector: the JobTracker declares the node lost after it
         // misses the configured number of heartbeats.
@@ -961,6 +1209,7 @@ impl<'a> Sim<'a> {
         self.requeue_lost(scheduler, node);
         self.alive[i] = true;
         self.node_recoveries += 1;
+        self.emit(TraceEvent::NodeUp { node: i });
         let node_cfg = self.cluster.node(node);
         self.nodes[i].free_maps = node_cfg.map_slots;
         self.nodes[i].free_reduces = node_cfg.reduce_slots;
@@ -1064,6 +1313,18 @@ impl<'a> Sim<'a> {
             // when it re-registers.
             self.heartbeat_live[node.index()] = false;
         } else {
+            if self.sink.is_some() || self.metrics.is_some() {
+                let slots = &self.nodes[node.index()];
+                let (free_maps, free_reduces) = (slots.free_maps, slots.free_reduces);
+                self.emit(TraceEvent::Heartbeat {
+                    node: node.index(),
+                    free_maps,
+                    free_reduces,
+                });
+                if let Some(m) = &mut self.metrics {
+                    m.heartbeats.inc();
+                }
+            }
             self.assign_node(scheduler, node);
             if self.remaining > 0 {
                 self.schedule(
@@ -1107,6 +1368,7 @@ impl<'a> Sim<'a> {
                 self.handle_master_recovered(scheduler, incident)
             }
         }
+        self.drain_sched(scheduler);
     }
 
     /// Serializes the full master state (see [`crate::snapshot`]). Maps
@@ -1339,8 +1601,15 @@ impl<'a> Sim<'a> {
     fn take_checkpoint(&mut self, scheduler: &mut dyn WorkflowScheduler) {
         let snap = self.build_snapshot(scheduler);
         self.checkpoint = Some(snap.encode());
+        let superseded = self.wal.len() as u64;
         self.wal.clear();
         self.recovery.checkpoints_taken += 1;
+        self.emit(TraceEvent::CheckpointTaken {
+            wal_records: superseded,
+        });
+        if let Some(m) = &mut self.metrics {
+            m.checkpoints.inc();
+        }
     }
 
     fn handle_checkpoint(&mut self, scheduler: &mut dyn WorkflowScheduler) {
@@ -1366,6 +1635,7 @@ impl<'a> Sim<'a> {
         let cluster = self.cluster;
         let mcfg = &cluster.faults().master;
         self.recovery.master_crashes += 1;
+        self.emit(TraceEvent::MasterCrashed);
         self.touch_busy();
         // Pure-scripted schedules restart in exactly `mttr` (deterministic
         // for tests); stochastic ones sample an exponential restart time.
@@ -1397,15 +1667,44 @@ impl<'a> Sim<'a> {
         let wal = std::mem::take(&mut self.wal);
         self.install_snapshot(scheduler, snap);
         self.replaying = true;
+        // Replay re-derives decisions the original master already made and
+        // recorded: observability (like the timeline recorder) suspends so
+        // nothing is double-counted or double-traced.
         let recorder = self.recorder.take();
+        let sink = self.sink.take();
+        let metrics = self.metrics.take();
+        if self.sched_tracing {
+            scheduler.set_tracing(false);
+        }
+        let replayed = wal.len() as u64;
         for (t, event) in wal {
             self.now = t;
             self.recovery.wal_records_replayed += 1;
             self.dispatch(scheduler, workflows, event);
         }
         self.recorder = recorder;
+        self.sink = sink;
+        self.metrics = metrics;
+        if self.sched_tracing {
+            // Re-arming also discards anything buffered during replay.
+            scheduler.set_tracing(true);
+        }
         self.replaying = false;
         self.now = crash_time;
+        // The replay span is stamped at the recovery instant and stretches
+        // back over the outage; nothing else fires inside that window.
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(TraceRecord {
+                at: recover_at,
+                event: TraceEvent::WalReplayed {
+                    records: replayed,
+                    outage,
+                },
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.wal_replayed.add(replayed);
+        }
 
         // Node failures that happened but fell into a lost WAL suffix still
         // count toward the report; derive per-node recoveries from the
@@ -1485,6 +1784,14 @@ impl<'a> Sim<'a> {
             if let Some(rec) = self.recorder.as_mut() {
                 rec.record(crash_time, a.wf, a.kind, -1);
             }
+            if self.sink.is_some() {
+                self.emit(TraceEvent::TaskKilled {
+                    node: a.node.index(),
+                    workflow: a.wf,
+                    job: a.job.as_u32() as usize,
+                    kind: a.kind,
+                });
+            }
             if !pending_attempts.contains(&id) {
                 // No event will ever reference this attempt again.
                 self.attempts.remove(&id);
@@ -1552,8 +1859,9 @@ impl<'a> Sim<'a> {
                 Event::TaskComplete {
                     attempt,
                     workflow,
+                    job,
                     kind,
-                    ..
+                    node,
                 } => {
                     if self.attempts.contains_key(attempt) {
                         true
@@ -1561,6 +1869,17 @@ impl<'a> Sim<'a> {
                         self.recovery.attempts_orphaned += 1;
                         if let Some(rec) = self.recorder.as_mut() {
                             rec.record(crash_time, *workflow, *kind, -1);
+                        }
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.record(TraceRecord {
+                                at: crash_time,
+                                event: TraceEvent::TaskKilled {
+                                    node: node.index(),
+                                    workflow: *workflow,
+                                    job: job.as_u32() as usize,
+                                    kind: *kind,
+                                },
+                            });
                         }
                         false
                     }
@@ -1694,6 +2013,74 @@ pub fn try_run_simulation(
     cluster: &ClusterConfig,
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    validate(cluster)?;
+    Ok(run_inner(workflows, scheduler, cluster, config, None, None).0)
+}
+
+/// Observability-enabled variant of [`run_simulation`]: runs the same
+/// simulation and additionally returns the [`Observations`] collected
+/// according to [`SimConfig::observability`] (an empty trace and no
+/// metrics when the corresponding switches are off). The [`SimReport`] is
+/// byte-identical to what [`run_simulation`] produces for the same inputs.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`SimError`]); use
+/// [`try_run_simulation_observed`] for a fallible variant.
+pub fn run_simulation_observed(
+    workflows: &[WorkflowSpec],
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> (SimReport, Observations) {
+    try_run_simulation_observed(workflows, scheduler, cluster, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_simulation_observed`].
+///
+/// # Errors
+///
+/// Returns the same [`SimError`]s as [`try_run_simulation`].
+pub fn try_run_simulation_observed(
+    workflows: &[WorkflowSpec],
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+) -> Result<(SimReport, Observations), SimError> {
+    validate(cluster)?;
+    let obs = &config.observability;
+    let mut sink = obs.trace.then(MemorySink::new);
+    let metrics = obs
+        .metrics
+        .then(|| MetricsRegistry::new(scheduler.backend_label()));
+    // Scheduler-internal tracing feeds both the trace (pick records) and
+    // the counters (plans/replans/rollbacks), so either switch arms it.
+    let sched_tracing = obs.trace || obs.metrics;
+    if sched_tracing {
+        scheduler.set_tracing(true);
+    }
+    let (report, metrics) = run_inner(
+        workflows,
+        scheduler,
+        cluster,
+        config,
+        sink.as_mut().map(|s| s as &mut dyn TraceSink),
+        metrics,
+    );
+    if sched_tracing {
+        scheduler.set_tracing(false);
+    }
+    let observations = Observations {
+        trace: sink.map(MemorySink::into_records).unwrap_or_default(),
+        metrics,
+        node_count: cluster.node_count(),
+    };
+    Ok((report, observations))
+}
+
+/// Validates the cluster's fault configuration before a run starts.
+fn validate(cluster: &ClusterConfig) -> Result<(), SimError> {
     let node_count = cluster.node_count();
     for f in &cluster.faults().scripted {
         for &node in &f.nodes {
@@ -1711,18 +2098,21 @@ pub fn try_run_simulation(
             return Err(SimError::ZeroMasterMttr);
         }
     }
-    Ok(run_inner(workflows, scheduler, cluster, config))
+    Ok(())
 }
 
-fn run_inner(
+fn run_inner<'a>(
     workflows: &[WorkflowSpec],
     scheduler: &mut dyn WorkflowScheduler,
-    cluster: &ClusterConfig,
-    config: &SimConfig,
-) -> SimReport {
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    sink: Option<&'a mut dyn TraceSink>,
+    metrics: Option<MetricsRegistry>,
+) -> (SimReport, Option<MetricsRegistry>) {
     let fault_mode = cluster.faults().enabled();
     let master_mode = cluster.faults().master.enabled();
     let node_count = cluster.node_count();
+    let sched_tracing = sink.is_some() || metrics.is_some();
     let mut sim = Sim {
         config,
         cluster,
@@ -1748,7 +2138,7 @@ fn run_inner(
         assign_calls: 0,
         invalid_assignments: 0,
         events_processed: 0,
-        recorder: config.track_timelines.then(TimelineRecorder::default),
+        recorder: config.effective_timelines().then(TimelineRecorder::default),
         node_count: cluster.node_count(),
         pending_map_ids: HashMap::new(),
         delay_skips: HashMap::new(),
@@ -1785,6 +2175,13 @@ fn run_inner(
         wal: Vec::new(),
         arrived: vec![false; workflows.len()],
         recovery: RecoveryReport::default(),
+        sink,
+        metrics,
+        sched_tracing,
+        backend: scheduler.backend_label(),
+        sched_scratch: Vec::new(),
+        next_sample: SimTime::ZERO,
+        obs_interval: config.effective_sample_interval(),
     };
 
     // Workflow arrivals.
@@ -1855,6 +2252,7 @@ fn run_inner(
             break;
         }
         debug_assert!(t >= sim.now, "time went backwards");
+        sim.sample_gauges_before(t);
         sim.now = t;
         sim.events_processed += 1;
         if wal_enabled
@@ -1886,6 +2284,17 @@ fn run_inner(
                 }
                 run.push(next);
             }
+            if run.len() >= 2 {
+                sim.emit(TraceEvent::BatchCoalesced {
+                    heartbeats: run.len(),
+                });
+                if let Some(m) = &mut sim.metrics {
+                    m.heartbeat_batches.inc();
+                }
+            }
+            if let Some(m) = &mut sim.metrics {
+                m.heartbeat_batch_size.observe(run.len() as f64);
+            }
             for ev in run {
                 sim.dispatch(scheduler, workflows, ev);
             }
@@ -1896,6 +2305,8 @@ fn run_inner(
     sim.touch_busy();
 
     let end_time = sim.now;
+    sim.sample_gauges_through(end_time);
+    let metrics = sim.metrics.take();
     let outcomes: Vec<WorkflowOutcome> = sim
         .pool
         .workflows()
@@ -1911,8 +2322,9 @@ fn run_inner(
     let completed = !truncated && sim.remaining == 0 && outcomes.len() == workflows.len();
     let timelines = sim
         .recorder
-        .map(|rec| rec.finish(sim.pool.len(), end_time, config.sample_interval));
-    SimReport {
+        .take()
+        .map(|rec| rec.finish(sim.pool.len(), end_time, config.effective_sample_interval()));
+    let report = SimReport {
         scheduler: scheduler.name().to_string(),
         outcomes,
         end_time,
@@ -1942,7 +2354,8 @@ fn run_inner(
         work_lost_slot_ms: sim.work_lost_slot_ms,
         timelines,
         recovery: sim.master_mode.then_some(sim.recovery),
-    }
+    };
+    (report, metrics)
 }
 
 #[cfg(test)]

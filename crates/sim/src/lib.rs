@@ -43,16 +43,24 @@ pub mod driver;
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod scheduler;
 pub mod snapshot;
 pub mod state;
 
 pub use cluster::{ClusterConfig, NodeConfig};
 pub use driver::{
-    run_simulation, try_run_simulation, LocalityConfig, SimConfig, SimError, SpeculationConfig,
+    run_simulation, run_simulation_observed, try_run_simulation, try_run_simulation_observed,
+    LocalityConfig, SimConfig, SimError, SpeculationConfig,
 };
 pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
-pub use metrics::{RecoveryReport, SimReport, Timelines, WorkflowOutcome};
-pub use scheduler::{first_eligible_job, SchedulerState, SubmitOrderScheduler, WorkflowScheduler};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, RecoveryReport, SimReport, Timelines,
+    WorkflowOutcome,
+};
+pub use obs::{MemorySink, ObservabilityConfig, Observations, TraceEvent, TraceRecord, TraceSink};
+pub use scheduler::{
+    first_eligible_job, SchedTrace, SchedulerState, SubmitOrderScheduler, WorkflowScheduler,
+};
 pub use snapshot::MasterSnapshot;
 pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};

@@ -470,6 +470,391 @@ impl SimReport {
     }
 }
 
+/// A monotonically increasing counter, exported in Prometheus text format.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            value: 0,
+        }
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Metric name (including the `woha_` prefix and `_total` suffix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// An instantaneous value sampled over simulated time. The final value is
+/// exported to Prometheus; the sampled series feeds the Chrome trace's
+/// counter tracks.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    current: f64,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl Gauge {
+    fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            current: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sets the current value.
+    pub fn set(&mut self, value: f64) {
+        self.current = value;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.current
+    }
+
+    /// Records the current value as a sample at sim instant `at`. The
+    /// driver calls this on a fixed sim-time grid.
+    pub fn sample(&mut self, at: SimTime) {
+        self.samples.push((at, self.current));
+    }
+
+    /// The sampled `(instant, value)` series, in sampling order.
+    pub fn series(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Metric name (including the `woha_` prefix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A fixed-bucket histogram in the Prometheus style: per-bucket counts, a
+/// running sum, and a total count. `bounds` are inclusive upper bounds in
+/// ascending order; an implicit `+Inf` bucket catches everything above the
+/// last bound. Zero-duration (and even negative) observations are valid and
+/// land in the first bucket whose bound contains them.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, String)>,
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+        bounds: &'static [f64],
+    ) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Self {
+            name,
+            help,
+            label,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucket upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Metric name (including the `woha_` prefix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn label_prefix(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{k}=\"{v}\","),
+            None => String::new(),
+        }
+    }
+
+    fn label_only(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+            None => String::new(),
+        }
+    }
+}
+
+/// Upper bounds (seconds) for the scheduler decision wall-time histogram:
+/// 100 ns up to 10 ms, roughly logarithmic.
+const DECISION_BOUNDS: &[f64] = &[
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2,
+];
+
+/// Upper bounds for the heartbeat batch-size histogram.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Upper bounds (seconds) for deadline-margin samples. Negative bounds
+/// capture workflows already past their deadline.
+const MARGIN_BOUNDS: &[f64] = &[
+    -3600.0, -600.0, -300.0, -120.0, -60.0, -30.0, -10.0, 0.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+    600.0, 1800.0, 3600.0,
+];
+
+/// The simulator's metric registry: well-known counters, gauges, and
+/// histograms covering the full scheduling decision loop. Created by the
+/// driver when [`ObservabilityConfig::metrics`](crate::ObservabilityConfig)
+/// is on; gauges are sampled on the observability grid so their series line
+/// up with the Chrome trace's counter tracks.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    /// Heartbeats processed by the JobTracker.
+    pub heartbeats: Counter,
+    /// Coalesced same-tick heartbeat batches dispatched.
+    pub heartbeat_batches: Counter,
+    /// Task attempts started (including speculative duplicates).
+    pub tasks_started: Counter,
+    /// Task attempts that ran to completion.
+    pub tasks_completed: Counter,
+    /// Workflow plans generated (Algorithm 1 runs, including replans).
+    pub plans_generated: Counter,
+    /// Mid-flight replans triggered by lag.
+    pub replans: Counter,
+    /// ρ-rollbacks applied after task failures.
+    pub rho_rollbacks: Counter,
+    /// Master state checkpoints written.
+    pub checkpoints: Counter,
+    /// Write-ahead-log records replayed during master recovery.
+    pub wal_replayed: Counter,
+    /// Node crashes observed.
+    pub node_failures: Counter,
+    /// Incomplete workflows, sampled over sim time.
+    pub pending_workflows: Gauge,
+    /// Eligible-but-unassigned tasks across incomplete workflows
+    /// (the pending-queue depth), sampled over sim time.
+    pub pending_tasks: Gauge,
+    /// Tightest deadline margin (seconds) across incomplete workflows,
+    /// sampled over sim time; 0 when no workflow is pending.
+    pub min_deadline_margin_seconds: Gauge,
+    /// Wall-clock seconds per scheduler consultation, labelled with the
+    /// priority-index backend. Wall-clock: nondeterministic across runs.
+    pub decision_seconds: Histogram,
+    /// Heartbeats coalesced into each dispatched batch.
+    pub heartbeat_batch_size: Histogram,
+    /// Deadline margin (deadline − now, seconds) of every incomplete
+    /// workflow, observed at each sample instant.
+    pub deadline_margin_seconds: Histogram,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry; `backend` labels the decision-time
+    /// histogram (e.g. `"dsl"`, `"btree"`, `"pheap"`, or `"none"` for
+    /// schedulers without a priority index).
+    pub fn new(backend: &str) -> Self {
+        Self {
+            heartbeats: Counter::new("woha_heartbeats_total", "Heartbeats processed."),
+            heartbeat_batches: Counter::new(
+                "woha_heartbeat_batches_total",
+                "Coalesced heartbeat batches dispatched.",
+            ),
+            tasks_started: Counter::new("woha_tasks_started_total", "Task attempts started."),
+            tasks_completed: Counter::new("woha_tasks_completed_total", "Task attempts completed."),
+            plans_generated: Counter::new(
+                "woha_plans_generated_total",
+                "Workflow plans generated (Algorithm 1 runs).",
+            ),
+            replans: Counter::new("woha_replans_total", "Mid-flight replans triggered by lag."),
+            rho_rollbacks: Counter::new(
+                "woha_rho_rollbacks_total",
+                "Rho rollbacks applied after task failures.",
+            ),
+            checkpoints: Counter::new(
+                "woha_checkpoints_total",
+                "Master state checkpoints written.",
+            ),
+            wal_replayed: Counter::new(
+                "woha_wal_records_replayed_total",
+                "WAL records replayed during master recovery.",
+            ),
+            node_failures: Counter::new("woha_node_failures_total", "Node crashes observed."),
+            pending_workflows: Gauge::new("woha_pending_workflows", "Incomplete workflows."),
+            pending_tasks: Gauge::new(
+                "woha_pending_tasks",
+                "Eligible-but-unassigned tasks (pending-queue depth).",
+            ),
+            min_deadline_margin_seconds: Gauge::new(
+                "woha_min_deadline_margin_seconds",
+                "Tightest deadline margin across incomplete workflows.",
+            ),
+            decision_seconds: Histogram::new(
+                "woha_decision_seconds",
+                "Wall-clock seconds per scheduler consultation.",
+                Some(("backend", backend.to_string())),
+                DECISION_BOUNDS,
+            ),
+            heartbeat_batch_size: Histogram::new(
+                "woha_heartbeat_batch_size",
+                "Heartbeats coalesced into each dispatched batch.",
+                None,
+                BATCH_BOUNDS,
+            ),
+            deadline_margin_seconds: Histogram::new(
+                "woha_deadline_margin_seconds",
+                "Deadline margin of incomplete workflows at each sample instant.",
+                None,
+                MARGIN_BOUNDS,
+            ),
+        }
+    }
+
+    /// All counters, in export order.
+    pub fn counters(&self) -> [&Counter; 10] {
+        [
+            &self.heartbeats,
+            &self.heartbeat_batches,
+            &self.tasks_started,
+            &self.tasks_completed,
+            &self.plans_generated,
+            &self.replans,
+            &self.rho_rollbacks,
+            &self.checkpoints,
+            &self.wal_replayed,
+            &self.node_failures,
+        ]
+    }
+
+    /// All gauges, in export order.
+    pub fn gauges(&self) -> [&Gauge; 3] {
+        [
+            &self.pending_workflows,
+            &self.pending_tasks,
+            &self.min_deadline_margin_seconds,
+        ]
+    }
+
+    /// All histograms, in export order.
+    pub fn histograms(&self) -> [&Histogram; 3] {
+        [
+            &self.decision_seconds,
+            &self.heartbeat_batch_size,
+            &self.deadline_margin_seconds,
+        ]
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` preambles, cumulative `_bucket{le=...}` lines
+    /// with a `+Inf` bucket, `_sum`, and `_count`. Output order is fixed,
+    /// so two identical runs render byte-identical text (up to the
+    /// wall-clock `woha_decision_seconds` values).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for c in self.counters() {
+            out.push_str(&format!("# HELP {} {}\n", c.name, c.help));
+            out.push_str(&format!("# TYPE {} counter\n", c.name));
+            out.push_str(&format!("{} {}\n", c.name, c.value));
+        }
+        for g in self.gauges() {
+            out.push_str(&format!("# HELP {} {}\n", g.name, g.help));
+            out.push_str(&format!("# TYPE {} gauge\n", g.name));
+            out.push_str(&format!("{} {}\n", g.name, fmt_f64(g.current)));
+        }
+        for h in self.histograms() {
+            out.push_str(&format!("# HELP {} {}\n", h.name, h.help));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cumulative = 0u64;
+            for (i, &bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                out.push_str(&format!(
+                    "{}_bucket{{{}le=\"{}\"}} {}\n",
+                    h.name,
+                    h.label_prefix(),
+                    fmt_f64(bound),
+                    cumulative
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{{{}le=\"+Inf\"}} {}\n",
+                h.name,
+                h.label_prefix(),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                h.name,
+                h.label_only(),
+                fmt_f64(h.sum)
+            ));
+            out.push_str(&format!("{}_count{} {}\n", h.name, h.label_only(), h.count));
+        }
+        out
+    }
+}
+
+/// Deterministic float rendering for the exporters (Rust's shortest
+/// round-trip formatting; no locale or precision surprises).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,5 +1026,127 @@ mod tests {
         rec.record(SimTime::from_secs(10), wf, SlotKind::Reduce, 1);
         let tl = rec.finish(1, SimTime::from_secs(30), SimDuration::from_secs(10));
         assert_eq!(tl.series(wf, SlotKind::Reduce), &[0, 1, 0, 0]);
+    }
+
+    /// A delta landing exactly on the cutoff instant (the final sample,
+    /// `horizon` itself when it is a grid multiple) is included in that
+    /// sample — the grid applies deltas with `time <= sample instant`.
+    #[test]
+    fn timeline_sample_at_exact_cutoff_instant() {
+        let mut rec = TimelineRecorder::default();
+        let wf = WorkflowId::new(0);
+        rec.record(SimTime::from_secs(0), wf, SlotKind::Map, 1);
+        // Released exactly at the horizon: the last sample must see it.
+        rec.record(SimTime::from_secs(40), wf, SlotKind::Map, -1);
+        rec.record_down(SimTime::from_secs(40), 2);
+        let tl = rec.finish(1, SimTime::from_secs(40), SimDuration::from_secs(10));
+        assert_eq!(tl.sample_count(), 5);
+        assert_eq!(tl.series(wf, SlotKind::Map), &[1, 1, 1, 1, 0]);
+        assert_eq!(tl.down_slots(), &[0, 0, 0, 0, 2]);
+
+        // A horizon that is not a grid multiple truncates to the last grid
+        // instant at or before it; deltas beyond that never surface.
+        let mut rec = TimelineRecorder::default();
+        rec.record(SimTime::from_secs(0), wf, SlotKind::Map, 1);
+        rec.record(SimTime::from_secs(44), wf, SlotKind::Map, -1);
+        let tl = rec.finish(1, SimTime::from_secs(45), SimDuration::from_secs(10));
+        assert_eq!(tl.sample_count(), 5);
+        assert_eq!(tl.series(wf, SlotKind::Map), &[1, 1, 1, 1, 1]);
+    }
+
+    /// Zero-duration observations are valid histogram input: they count,
+    /// fall in the first bucket whose bound admits zero, and leave the sum
+    /// untouched.
+    #[test]
+    fn histogram_zero_duration_observations() {
+        let mut h = MetricsRegistry::new("dsl").decision_seconds;
+        h.observe(0.0);
+        h.observe(0.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        // All decision bounds are positive, so zero lands in the very
+        // first bucket, not the +Inf overflow.
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(*h.bucket_counts().last().unwrap(), 0);
+
+        // Margin buckets include negative bounds: zero lands exactly in
+        // the `le="0"` bucket, and a negative margin below the first one.
+        let mut m = MetricsRegistry::new("dsl").deadline_margin_seconds;
+        m.observe(0.0);
+        m.observe(-7200.0);
+        let zero_idx = m.bounds().iter().position(|&b| b == 0.0).unwrap();
+        assert_eq!(m.bucket_counts()[zero_idx], 1);
+        assert_eq!(m.bucket_counts()[0], 1);
+        assert_eq!(m.count(), 2);
+    }
+
+    /// Utilization with a zero slot kind: zero capacity must divide to
+    /// exactly 0.0, not NaN, and must not poison the other kind or the
+    /// overall figure.
+    #[test]
+    fn utilization_with_zero_slot_kind() {
+        let mut r = report(vec![outcome("a", 0, 100, Some(90))]);
+        r.total_slots = [2, 0];
+        r.busy_slot_ms = [500_000, 0];
+        assert!((r.utilization(SlotKind::Map) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SlotKind::Reduce), 0.0);
+        assert!(r.utilization(SlotKind::Reduce).is_finite());
+        // Overall capacity is the slot-kind sum: 2 slots over 1000 s.
+        assert!((r.overall_utilization() - 0.25).abs() < 1e-12);
+
+        // Both kinds zero: everything degrades to 0.0.
+        r.total_slots = [0, 0];
+        assert_eq!(r.utilization(SlotKind::Map), 0.0);
+        assert_eq!(r.overall_utilization(), 0.0);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut reg = MetricsRegistry::new("btree");
+        reg.heartbeats.inc();
+        reg.heartbeats.add(4);
+        assert_eq!(reg.heartbeats.value(), 5);
+        reg.pending_tasks.set(12.0);
+        reg.pending_tasks.sample(SimTime::from_secs(10));
+        reg.pending_tasks.set(3.0);
+        reg.pending_tasks.sample(SimTime::from_secs(20));
+        assert_eq!(
+            reg.pending_tasks.series(),
+            &[
+                (SimTime::from_secs(10), 12.0),
+                (SimTime::from_secs(20), 3.0)
+            ]
+        );
+        assert_eq!(reg.pending_tasks.value(), 3.0);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut reg = MetricsRegistry::new("pheap");
+        reg.heartbeats.add(7);
+        reg.decision_seconds.observe(3e-7);
+        reg.decision_seconds.observe(2.0); // beyond the last bound
+        reg.heartbeat_batch_size.observe(4.0);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# HELP woha_heartbeats_total Heartbeats processed.\n"));
+        assert!(text.contains("# TYPE woha_heartbeats_total counter\n"));
+        assert!(text.contains("woha_heartbeats_total 7\n"));
+        assert!(text.contains("# TYPE woha_pending_workflows gauge\n"));
+        assert!(text.contains("# TYPE woha_decision_seconds histogram\n"));
+        // Buckets are cumulative and labelled with the backend.
+        assert!(
+            text.contains("woha_decision_seconds_bucket{backend=\"pheap\",le=\"0.0000005\"} 1\n")
+        );
+        assert!(text.contains("woha_decision_seconds_bucket{backend=\"pheap\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("woha_decision_seconds_count{backend=\"pheap\"} 2\n"));
+        // Unlabelled histogram renders bare `{le=...}` selectors.
+        assert!(text.contains("woha_heartbeat_batch_size_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("woha_heartbeat_batch_size_sum 4\n"));
+        // Every non-comment line is `name{...} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("metric line");
+            assert!(!name.is_empty(), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 }

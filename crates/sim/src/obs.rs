@@ -1,0 +1,692 @@
+//! Structured observability: a zero-cost-when-off trace bus over the full
+//! scheduling decision loop, plus exporters for the collected data.
+//!
+//! The simulator's ad-hoc outputs (the `SimReport` aggregates and the
+//! Figs 14–19 slot timelines) answer *what* happened; this module records
+//! *why*. When [`ObservabilityConfig::trace`] is on, the driver emits one
+//! [`TraceRecord`] per decision-loop step — heartbeat arrival, batch
+//! coalescing, assignment outcome, plan generation, ρ-rollback/replan,
+//! fault and blacklist events, checkpoint writes, and WAL replay spans —
+//! into a caller-supplied [`TraceSink`]. When it is off (the default), the
+//! only cost on the hot path is a `None` check, and reports are
+//! byte-identical to pre-observability output (proven by the E2E tests).
+//!
+//! Two exporters turn the collected data into standard tooling formats:
+//!
+//! - [`Observations::chrome_trace_json`] renders Chrome trace-event JSON
+//!   loadable in Perfetto (<https://ui.perfetto.dev>), with one track per
+//!   cluster node, a scheduler-decisions track, and counter tracks from
+//!   the sampled gauges; every timestamp is simulated time, so the file is
+//!   deterministic across runs.
+//! - [`Observations::prometheus_text`] renders the
+//!   [`MetricsRegistry`](crate::metrics::MetricsRegistry) in the
+//!   Prometheus text exposition format.
+
+use crate::metrics::MetricsRegistry;
+use serde::Value;
+use woha_model::{SimDuration, SimTime, SlotKind, WorkflowId};
+
+/// Which observability subsystems a run records. Everything is off by
+/// default, which keeps the simulation output byte-identical to builds
+/// that predate this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObservabilityConfig {
+    /// Emit structured [`TraceRecord`]s for the decision loop.
+    pub trace: bool,
+    /// Maintain the [`MetricsRegistry`] (counters, histograms, and gauges
+    /// sampled on the observability grid).
+    pub metrics: bool,
+    /// Record per-workflow slot timelines (Figs 14–19). Supersedes the
+    /// deprecated `SimConfig::track_timelines`, which is OR-ed in for
+    /// backward compatibility.
+    pub timelines: bool,
+    /// Sampling interval for gauges and timelines. `None` falls back to
+    /// the legacy `SimConfig::sample_interval`.
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl ObservabilityConfig {
+    /// Whether any subsystem that hooks the driver's event loop is on.
+    pub fn enabled(&self) -> bool {
+        self.trace || self.metrics || self.timelines
+    }
+}
+
+/// One structured observation: what happened, and when in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated instant of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// A step of the scheduling decision loop.
+///
+/// Node-scoped variants carry the node's index in the cluster config;
+/// scheduler-scoped variants land on the scheduler-decisions track of the
+/// Chrome trace export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A TaskTracker heartbeat reached the JobTracker.
+    Heartbeat {
+        /// Reporting node.
+        node: usize,
+        /// Free map slots advertised.
+        free_maps: u32,
+        /// Free reduce slots advertised.
+        free_reduces: u32,
+    },
+    /// Same-tick heartbeats were coalesced into one scheduler batch.
+    BatchCoalesced {
+        /// Heartbeats in the batch (≥ 2; single heartbeats are not
+        /// recorded as batches).
+        heartbeats: usize,
+    },
+    /// The scheduler assigned a task to a slot offer.
+    Assign {
+        /// Offering node.
+        node: usize,
+        /// Slot kind offered.
+        kind: SlotKind,
+        /// Chosen workflow.
+        workflow: WorkflowId,
+        /// Chosen job (index within the workflow).
+        job: usize,
+    },
+    /// Detail of one scheduler pick, drained from the scheduler itself
+    /// (WOHA emits these; fifo-style schedulers do not).
+    SchedulerPick {
+        /// Chosen workflow.
+        workflow: WorkflowId,
+        /// 1-based rank of the chosen workflow in the priority-index
+        /// descent — 1 means the LPF head was schedulable directly.
+        rank: u32,
+        /// Workflows skipped as blocked (batch pre-commit) during this
+        /// pick.
+        blocked: u32,
+        /// Priority-index backend label (`"dsl"`, `"btree"`, `"pheap"`,
+        /// `"naive"`).
+        backend: &'static str,
+    },
+    /// A workflow plan was generated (Algorithm 1).
+    PlanGenerated {
+        /// Planned workflow.
+        workflow: WorkflowId,
+        /// Jobs in the plan.
+        jobs: usize,
+    },
+    /// A lagging workflow was replanned mid-flight.
+    Replan {
+        /// Replanned workflow.
+        workflow: WorkflowId,
+    },
+    /// A task failure rolled the workflow's progress counter ρ back.
+    RhoRollback {
+        /// Affected workflow.
+        workflow: WorkflowId,
+    },
+    /// A task attempt started executing.
+    TaskStart {
+        /// Executing node.
+        node: usize,
+        /// Owning workflow.
+        workflow: WorkflowId,
+        /// Owning job.
+        job: usize,
+        /// Task kind.
+        kind: SlotKind,
+        /// Whether this is a speculative duplicate attempt.
+        speculative: bool,
+    },
+    /// A task attempt ran to completion.
+    TaskComplete {
+        /// Executing node.
+        node: usize,
+        /// Owning workflow.
+        workflow: WorkflowId,
+        /// Owning job.
+        job: usize,
+        /// Task kind.
+        kind: SlotKind,
+    },
+    /// A running attempt was killed (lost speculation race or node loss).
+    TaskKilled {
+        /// Executing node.
+        node: usize,
+        /// Owning workflow.
+        workflow: WorkflowId,
+        /// Owning job.
+        job: usize,
+        /// Task kind.
+        kind: SlotKind,
+    },
+    /// A node crashed and its slots left the pool.
+    NodeDown {
+        /// Crashed node.
+        node: usize,
+    },
+    /// A repaired node re-registered with the JobTracker.
+    NodeUp {
+        /// Recovered node.
+        node: usize,
+    },
+    /// A node exceeded the crash threshold and was blacklisted for good.
+    NodeBlacklisted {
+        /// Blacklisted node.
+        node: usize,
+    },
+    /// The master wrote a full state checkpoint.
+    CheckpointTaken {
+        /// WAL records superseded by (folded into) this checkpoint.
+        wal_records: u64,
+    },
+    /// The master (JobTracker) crashed.
+    MasterCrashed,
+    /// The restarted master finished replaying its write-ahead log. The
+    /// record is emitted at the recovery instant; `outage` stretches the
+    /// replay span back to the crash.
+    WalReplayed {
+        /// WAL records replayed.
+        records: u64,
+        /// Master downtime covered by this recovery.
+        outage: SimDuration,
+    },
+}
+
+/// Receives trace records as the simulation emits them.
+///
+/// The driver calls [`record`](Self::record) synchronously from the event
+/// loop, so implementations should be cheap (push to a buffer); rendering
+/// belongs after the run. [`MemorySink`] is the standard implementation.
+pub trait TraceSink {
+    /// Consumes one record.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// A [`TraceSink`] that buffers every record in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning its records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Everything a run observed beyond its [`SimReport`](crate::SimReport):
+/// the trace, the metrics registry, and enough cluster shape to render
+/// per-node tracks.
+#[derive(Debug, Default)]
+pub struct Observations {
+    /// Structured decision-loop records in emission order; empty when
+    /// tracing was off.
+    pub trace: Vec<TraceRecord>,
+    /// The metrics registry; `None` when metrics were off.
+    pub metrics: Option<MetricsRegistry>,
+    /// Number of cluster nodes (per-node Chrome trace tracks).
+    pub node_count: usize,
+}
+
+impl Observations {
+    /// Renders the Prometheus text exposition of the metrics registry, or
+    /// `None` when metrics were off.
+    pub fn prometheus_text(&self) -> Option<String> {
+        self.metrics.as_ref().map(|m| m.prometheus_text())
+    }
+
+    /// Renders the trace (plus sampled gauge series) as Chrome trace-event
+    /// JSON: `{"traceEvents": [...]}` with complete (`ph:"X"`) spans for
+    /// task attempts on one track per node, instant (`ph:"i"`) events for
+    /// decisions on a dedicated scheduler track (`tid` 0), and counter
+    /// (`ph:"C"`) events from the gauge series. Load the file at
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    ///
+    /// All timestamps are simulated microseconds, so the output is
+    /// byte-identical across identical seeded runs.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+        thread_meta(&mut events, SCHED_TID, "scheduler decisions");
+        for node in 0..self.node_count {
+            thread_meta(&mut events, node_tid(node), &format!("node-{node}"));
+        }
+
+        // FIFO-pair task starts with their completion/kill so each attempt
+        // becomes one complete span. Keyed by (node, workflow, job, kind);
+        // concurrent same-task attempts on one node pair in start order.
+        let mut open: Vec<(TaskKey, u64, bool)> = Vec::new();
+        let horizon_us = self.trace.last().map_or(0, |r| us(r.at));
+        for rec in &self.trace {
+            let ts = us(rec.at);
+            match &rec.event {
+                TraceEvent::Heartbeat {
+                    node,
+                    free_maps,
+                    free_reduces,
+                } => events.push(instant(
+                    "heartbeat",
+                    "heartbeat",
+                    ts,
+                    node_tid(*node),
+                    vec![
+                        ("free_maps", Value::U64(u64::from(*free_maps))),
+                        ("free_reduces", Value::U64(u64::from(*free_reduces))),
+                    ],
+                )),
+                TraceEvent::BatchCoalesced { heartbeats } => events.push(instant(
+                    "batch_coalesced",
+                    "scheduler",
+                    ts,
+                    SCHED_TID,
+                    vec![("heartbeats", Value::U64(*heartbeats as u64))],
+                )),
+                TraceEvent::Assign {
+                    node,
+                    kind,
+                    workflow,
+                    job,
+                } => events.push(instant(
+                    "assign",
+                    "scheduler",
+                    ts,
+                    node_tid(*node),
+                    vec![
+                        ("workflow", Value::U64(workflow.as_u64())),
+                        ("job", Value::U64(*job as u64)),
+                        ("kind", Value::Str(kind.to_string())),
+                    ],
+                )),
+                TraceEvent::SchedulerPick {
+                    workflow,
+                    rank,
+                    blocked,
+                    backend,
+                } => events.push(instant(
+                    "pick",
+                    "scheduler",
+                    ts,
+                    SCHED_TID,
+                    vec![
+                        ("workflow", Value::U64(workflow.as_u64())),
+                        ("rank", Value::U64(u64::from(*rank))),
+                        ("blocked", Value::U64(u64::from(*blocked))),
+                        ("backend", Value::Str((*backend).to_string())),
+                    ],
+                )),
+                TraceEvent::PlanGenerated { workflow, jobs } => events.push(instant(
+                    "plan_generated",
+                    "scheduler",
+                    ts,
+                    SCHED_TID,
+                    vec![
+                        ("workflow", Value::U64(workflow.as_u64())),
+                        ("jobs", Value::U64(*jobs as u64)),
+                    ],
+                )),
+                TraceEvent::Replan { workflow } => events.push(instant(
+                    "replan",
+                    "scheduler",
+                    ts,
+                    SCHED_TID,
+                    vec![("workflow", Value::U64(workflow.as_u64()))],
+                )),
+                TraceEvent::RhoRollback { workflow } => events.push(instant(
+                    "rho_rollback",
+                    "scheduler",
+                    ts,
+                    SCHED_TID,
+                    vec![("workflow", Value::U64(workflow.as_u64()))],
+                )),
+                TraceEvent::TaskStart {
+                    node,
+                    workflow,
+                    job,
+                    kind,
+                    speculative,
+                } => open.push((
+                    TaskKey {
+                        node: *node,
+                        workflow: *workflow,
+                        job: *job,
+                        kind: *kind,
+                    },
+                    ts,
+                    *speculative,
+                )),
+                TraceEvent::TaskComplete {
+                    node,
+                    workflow,
+                    job,
+                    kind,
+                }
+                | TraceEvent::TaskKilled {
+                    node,
+                    workflow,
+                    job,
+                    kind,
+                } => {
+                    let key = TaskKey {
+                        node: *node,
+                        workflow: *workflow,
+                        job: *job,
+                        kind: *kind,
+                    };
+                    let killed = matches!(rec.event, TraceEvent::TaskKilled { .. });
+                    if let Some(pos) = open.iter().position(|(k, ..)| *k == key) {
+                        let (key, start, speculative) = open.remove(pos);
+                        events.push(task_span(&key, start, ts, speculative, killed));
+                    }
+                }
+                TraceEvent::NodeDown { node } => {
+                    events.push(instant("node_down", "fault", ts, node_tid(*node), vec![]))
+                }
+                TraceEvent::NodeUp { node } => {
+                    events.push(instant("node_up", "fault", ts, node_tid(*node), vec![]))
+                }
+                TraceEvent::NodeBlacklisted { node } => events.push(instant(
+                    "node_blacklisted",
+                    "fault",
+                    ts,
+                    node_tid(*node),
+                    vec![],
+                )),
+                TraceEvent::CheckpointTaken { wal_records } => events.push(instant(
+                    "checkpoint",
+                    "master",
+                    ts,
+                    SCHED_TID,
+                    vec![("wal_records", Value::U64(*wal_records))],
+                )),
+                TraceEvent::MasterCrashed => {
+                    events.push(instant("master_crashed", "master", ts, SCHED_TID, vec![]))
+                }
+                TraceEvent::WalReplayed { records, outage } => {
+                    let dur = outage.as_millis() * 1000;
+                    events.push(span(
+                        "wal_replay",
+                        "master",
+                        ts.saturating_sub(dur),
+                        dur,
+                        SCHED_TID,
+                        vec![("records", Value::U64(*records))],
+                    ));
+                }
+            }
+        }
+        // Attempts still running at the end of the trace render as spans
+        // truncated at the last recorded instant.
+        for (key, start, speculative) in open {
+            events.push(task_span(
+                &key,
+                start,
+                horizon_us.max(start),
+                speculative,
+                false,
+            ));
+        }
+
+        // Counter tracks from the sampled gauge series.
+        if let Some(metrics) = &self.metrics {
+            for gauge in metrics.gauges() {
+                for &(at, value) in gauge.series() {
+                    events.push(Value::Object(vec![
+                        ("name".into(), Value::Str(gauge.name().to_string())),
+                        ("ph".into(), Value::Str("C".to_string())),
+                        ("pid".into(), Value::U64(PID)),
+                        ("tid".into(), Value::U64(SCHED_TID)),
+                        ("ts".into(), Value::U64(us(at))),
+                        (
+                            "args".into(),
+                            Value::Object(vec![("value".into(), Value::F64(value))]),
+                        ),
+                    ]));
+                }
+            }
+        }
+
+        let root = Value::Object(vec![("traceEvents".into(), Value::Array(events))]);
+        serde_json::to_string(&root).expect("trace value renders")
+    }
+}
+
+/// Process id used for every trace event.
+const PID: u64 = 1;
+/// Thread id of the scheduler-decisions track.
+const SCHED_TID: u64 = 0;
+
+fn node_tid(node: usize) -> u64 {
+    node as u64 + 1
+}
+
+fn us(at: SimTime) -> u64 {
+    at.as_millis() * 1000
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TaskKey {
+    node: usize,
+    workflow: WorkflowId,
+    job: usize,
+    kind: SlotKind,
+}
+
+fn thread_meta(events: &mut Vec<Value>, tid: u64, name: &str) {
+    events.push(Value::Object(vec![
+        ("name".into(), Value::Str("thread_name".to_string())),
+        ("ph".into(), Value::Str("M".to_string())),
+        ("pid".into(), Value::U64(PID)),
+        ("tid".into(), Value::U64(tid)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::Str(name.to_string()))]),
+        ),
+    ]));
+}
+
+fn instant(name: &str, cat: &str, ts: u64, tid: u64, args: Vec<(&str, Value)>) -> Value {
+    let mut obj = vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("cat".into(), Value::Str(cat.to_string())),
+        ("ph".into(), Value::Str("i".to_string())),
+        ("s".into(), Value::Str("t".to_string())),
+        ("pid".into(), Value::U64(PID)),
+        ("tid".into(), Value::U64(tid)),
+        ("ts".into(), Value::U64(ts)),
+    ];
+    if !args.is_empty() {
+        obj.push(("args".into(), args_obj(args)));
+    }
+    Value::Object(obj)
+}
+
+fn span(name: &str, cat: &str, ts: u64, dur: u64, tid: u64, args: Vec<(&str, Value)>) -> Value {
+    let mut obj = vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("cat".into(), Value::Str(cat.to_string())),
+        ("ph".into(), Value::Str("X".to_string())),
+        ("pid".into(), Value::U64(PID)),
+        ("tid".into(), Value::U64(tid)),
+        ("ts".into(), Value::U64(ts)),
+        ("dur".into(), Value::U64(dur)),
+    ];
+    if !args.is_empty() {
+        obj.push(("args".into(), args_obj(args)));
+    }
+    Value::Object(obj)
+}
+
+fn task_span(key: &TaskKey, start: u64, end: u64, speculative: bool, killed: bool) -> Value {
+    let name = format!("w{}/j{} {}", key.workflow.as_u64(), key.job, key.kind);
+    span(
+        &name,
+        "task",
+        start,
+        end.saturating_sub(start),
+        node_tid(key.node),
+        vec![
+            ("workflow", Value::U64(key.workflow.as_u64())),
+            ("job", Value::U64(key.job as u64)),
+            ("kind", Value::Str(key.kind.to_string())),
+            ("speculative", Value::Bool(speculative)),
+            ("killed", Value::Bool(killed)),
+        ],
+    )
+}
+
+fn args_obj(args: Vec<(&str, Value)>) -> Value {
+    Value::Object(args.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let mut sink = MemorySink::new();
+        sink.record(TraceRecord {
+            at: SimTime::from_secs(1),
+            event: TraceEvent::MasterCrashed,
+        });
+        sink.record(TraceRecord {
+            at: SimTime::from_secs(2),
+            event: TraceEvent::Heartbeat {
+                node: 0,
+                free_maps: 2,
+                free_reduces: 1,
+            },
+        });
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.records()[0].at, SimTime::from_secs(1));
+        let records = sink.into_records();
+        assert!(matches!(records[1].event, TraceEvent::Heartbeat { .. }));
+    }
+
+    #[test]
+    fn observability_config_default_is_fully_off() {
+        let obs = ObservabilityConfig::default();
+        assert!(!obs.enabled());
+        assert!(obs.sample_interval.is_none());
+        assert!(ObservabilityConfig {
+            trace: true,
+            ..ObservabilityConfig::default()
+        }
+        .enabled());
+    }
+
+    #[test]
+    fn chrome_trace_pairs_task_spans() {
+        let wf = WorkflowId::new(3);
+        let obs = Observations {
+            trace: vec![
+                TraceRecord {
+                    at: SimTime::from_secs(10),
+                    event: TraceEvent::TaskStart {
+                        node: 1,
+                        workflow: wf,
+                        job: 0,
+                        kind: SlotKind::Map,
+                        speculative: false,
+                    },
+                },
+                TraceRecord {
+                    at: SimTime::from_secs(40),
+                    event: TraceEvent::TaskComplete {
+                        node: 1,
+                        workflow: wf,
+                        job: 0,
+                        kind: SlotKind::Map,
+                    },
+                },
+            ],
+            metrics: None,
+            node_count: 2,
+        };
+        let json = obs.chrome_trace_json();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let events = value.as_object().unwrap()[0].1.as_array().unwrap();
+        // 3 thread_name metadata records (scheduler + 2 nodes) + 1 span.
+        assert_eq!(events.len(), 4);
+        let span = events
+            .iter()
+            .find(|e| field(e, "ph").as_str() == Some("X"))
+            .expect("one complete span");
+        assert_eq!(field(span, "ts").as_u128(), Some(10_000_000));
+        assert_eq!(field(span, "dur").as_u128(), Some(30_000_000));
+        assert_eq!(field(span, "tid").as_u128(), Some(2)); // node 1
+        assert_eq!(field(span, "name").as_str(), Some("w3/j0 map"));
+    }
+
+    #[test]
+    fn chrome_trace_truncates_unfinished_spans_and_emits_counters() {
+        let mut metrics = MetricsRegistry::new("dsl");
+        metrics.pending_tasks.set(5.0);
+        metrics.pending_tasks.sample(SimTime::from_secs(30));
+        let obs = Observations {
+            trace: vec![
+                TraceRecord {
+                    at: SimTime::from_secs(10),
+                    event: TraceEvent::TaskStart {
+                        node: 0,
+                        workflow: WorkflowId::new(0),
+                        job: 1,
+                        kind: SlotKind::Reduce,
+                        speculative: true,
+                    },
+                },
+                TraceRecord {
+                    at: SimTime::from_secs(50),
+                    event: TraceEvent::MasterCrashed,
+                },
+            ],
+            metrics: Some(metrics),
+            node_count: 1,
+        };
+        let json = obs.chrome_trace_json();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let events = value.as_object().unwrap()[0].1.as_array().unwrap();
+        let span = events
+            .iter()
+            .find(|e| field(e, "ph").as_str() == Some("X"))
+            .expect("truncated span");
+        // Runs to the last traced instant (the crash at 50 s).
+        assert_eq!(field(span, "dur").as_u128(), Some(40_000_000));
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| field(e, "ph").as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 1); // one sampled gauge, one sample
+        assert!(counters
+            .iter()
+            .any(|c| field(c, "name").as_str() == Some("woha_pending_tasks")));
+    }
+
+    fn field<'v>(event: &'v Value, key: &str) -> &'v Value {
+        &event
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap()
+            .1
+    }
+}

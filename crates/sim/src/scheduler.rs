@@ -35,6 +35,43 @@ pub trait SchedulerState {
     }
 }
 
+/// A structured observation emitted by a scheduler implementation while
+/// tracing is on (see [`WorkflowScheduler::set_tracing`]). The driver
+/// drains these after every dispatched event and timestamps them into the
+/// run's [`TraceSink`](crate::obs::TraceSink); schedulers themselves stay
+/// clock-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedTrace {
+    /// One assignment decision: which workflow won the slot and how far
+    /// down the priority order the scheduler had to look.
+    Pick {
+        /// Chosen workflow.
+        workflow: WorkflowId,
+        /// 1-based position of the chosen workflow in the scheduler's
+        /// priority descent (1 = the head was directly schedulable).
+        rank: u32,
+        /// Workflows skipped because a batch pre-pass had blocked them.
+        blocked: u32,
+    },
+    /// A scheduling plan was generated for a workflow (Algorithm 1).
+    PlanGenerated {
+        /// Planned workflow.
+        workflow: WorkflowId,
+        /// Jobs in the generated plan.
+        jobs: usize,
+    },
+    /// A lagging workflow was replanned mid-flight.
+    Replan {
+        /// Replanned workflow.
+        workflow: WorkflowId,
+    },
+    /// A task failure rolled a workflow's progress counter ρ back.
+    RhoRollback {
+        /// Affected workflow.
+        workflow: WorkflowId,
+    },
+}
+
 /// A workflow-aware task scheduler plugged into the simulated JobTracker.
 ///
 /// Implementations decide, for each free slot, which `(workflow, job)` pair
@@ -144,6 +181,28 @@ pub trait WorkflowScheduler: SchedulerState {
     ) -> Option<Vec<(WorkflowId, JobId)>> {
         let _ = (pool, kind, now, max_tasks);
         None
+    }
+
+    /// Turns structured decision tracing on or off. While on, the
+    /// scheduler buffers [`SchedTrace`] records for the driver to drain
+    /// via [`drain_trace`](Self::drain_trace). The default ignores the
+    /// request: schedulers without instrumentation simply emit nothing.
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Moves buffered [`SchedTrace`] records into `out`, preserving
+    /// emission order. The default is a no-op (nothing buffered).
+    fn drain_trace(&mut self, out: &mut Vec<SchedTrace>) {
+        let _ = out;
+    }
+
+    /// Label of the priority-index backend this scheduler consults, used
+    /// to label the decision-time histogram (`"dsl"`, `"btree"`,
+    /// `"pheap"`, `"naive"`). The default, for schedulers without a
+    /// priority index, is `"none"`.
+    fn backend_label(&self) -> &'static str {
+        "none"
     }
 }
 

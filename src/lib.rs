@@ -56,9 +56,11 @@ pub mod prelude {
         WorkflowConfig, WorkflowId, WorkflowSpec,
     };
     pub use woha_sim::{
-        run_simulation, try_run_simulation, ClusterConfig, FaultConfig, LocalityConfig,
-        MasterFaultConfig, RecoveryReport, SchedulerState, ScriptedFault, SimConfig, SimError,
-        SimReport, SpeculationConfig, WorkflowPool, WorkflowScheduler,
+        run_simulation, run_simulation_observed, try_run_simulation, try_run_simulation_observed,
+        ClusterConfig, FaultConfig, LocalityConfig, MasterFaultConfig, ObservabilityConfig,
+        Observations, RecoveryReport, SchedulerState, ScriptedFault, SimConfig, SimError,
+        SimReport, SpeculationConfig, TraceEvent, TraceRecord, TraceSink, WorkflowPool,
+        WorkflowScheduler,
     };
     pub use woha_trace::{
         workload::{DeadlineRule, ReleasePattern, Workload},

@@ -592,3 +592,140 @@ fn yahoo_workload_end_to_end() {
         fifo_report.miss_ratio()
     );
 }
+
+/// Yahoo-trace fixture shared by the observability identity tests: the
+/// same workload as `index_backends_and_batching_are_behavior_identical`.
+fn obs_yahoo_workload() -> Workload {
+    let mut rng = Rng::new(7);
+    let flows = yahoo_workflows(
+        &YahooTraceConfig {
+            map_count_max: 80,
+            reduce_count_max: 16,
+            ..YahooTraceConfig::default()
+        },
+        &mut rng,
+    );
+    Workload::assign(
+        &flows,
+        ReleasePattern::UniformWindow(SimDuration::from_mins(10)),
+        DeadlineRule::UniformRelative {
+            min: SimDuration::from_mins(3),
+            max: SimDuration::from_mins(12),
+            floor_stretch: 1.2,
+            reference_slots: 100,
+        },
+        &mut rng,
+    )
+    .without_single_jobs()
+}
+
+/// Satellite: the observability layer is invisible to the simulation. On
+/// Yahoo-trace WOHA-LPF runs — including the batched-heartbeat and
+/// master-failover variants — the `SimReport` JSON is byte-identical
+/// across (a) the plain pre-observability entry point, (b) the observed
+/// entry point with observability fully off, and (c) the observed entry
+/// point with trace + metrics armed: recording must never perturb state.
+#[test]
+fn observability_off_and_on_leave_reports_byte_identical() {
+    let workload = obs_yahoo_workload();
+    let cluster = ClusterConfig::with_totals(120, 120);
+    let faulty = ClusterConfig::with_totals(120, 120).with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_secs(45),
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+    let scheduler = || WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 240));
+
+    for (cluster, label) in [(&cluster, "plain"), (&faulty, "failover")] {
+        for batch in [false, true] {
+            let base = SimConfig {
+                batch_heartbeats: batch,
+                ..SimConfig::default()
+            };
+            let armed = SimConfig {
+                observability: ObservabilityConfig {
+                    trace: true,
+                    metrics: true,
+                    sample_interval: Some(SimDuration::from_secs(30)),
+                    ..ObservabilityConfig::default()
+                },
+                ..base.clone()
+            };
+
+            let plain = run_simulation(workload.workflows(), &mut scheduler(), cluster, &base);
+            assert!(plain.completed, "{label} batch={batch}");
+
+            let (off, off_obs) =
+                run_simulation_observed(workload.workflows(), &mut scheduler(), cluster, &base);
+            assert!(off_obs.trace.is_empty() && off_obs.metrics.is_none());
+
+            let (on, on_obs) =
+                run_simulation_observed(workload.workflows(), &mut scheduler(), cluster, &armed);
+            assert!(!on_obs.trace.is_empty(), "{label} batch={batch}");
+            assert!(on_obs.metrics.is_some(), "{label} batch={batch}");
+
+            let reference = strip(plain);
+            assert_eq!(reference, strip(off), "{label} batch={batch}: off path");
+            assert_eq!(reference, strip(on), "{label} batch={batch}: on path");
+        }
+    }
+}
+
+/// Satellite: trace and metrics exports are deterministic — two identical
+/// seeded runs (jitter, task failures, speculation, and a master crash all
+/// active) produce byte-identical Chrome trace JSON and, once the
+/// wall-clock decision-time histogram is filtered out, byte-identical
+/// Prometheus text.
+#[test]
+fn observability_exports_are_deterministic() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_mins(1),
+            scripted: vec![SimTime::from_mins(10)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let config = SimConfig {
+        duration_jitter: 0.15,
+        task_failure_prob: 0.02,
+        speculation: Some(SpeculationConfig::default()),
+        seed: 42,
+        observability: ObservabilityConfig {
+            trace: true,
+            metrics: true,
+            sample_interval: Some(SimDuration::from_secs(30)),
+            ..ObservabilityConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let run = || {
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let (report, obs) = run_simulation_observed(&workflows, &mut s, &cluster, &config);
+        assert!(report.completed);
+        assert_eq!(report.recovery.as_ref().unwrap().master_crashes, 1);
+        (obs.chrome_trace_json(), obs.prometheus_text().unwrap())
+    };
+    // The decision-time histogram observes host wall-clock; every other
+    // line is pure simulation state and must reproduce exactly.
+    let sim_only = |prom: &str| -> String {
+        prom.lines()
+            .filter(|l| !l.contains("woha_decision_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (trace_a, prom_a) = run();
+    let (trace_b, prom_b) = run();
+    assert_eq!(trace_a, trace_b, "Chrome trace must be deterministic");
+    assert_eq!(sim_only(&prom_a), sim_only(&prom_b));
+    assert!(trace_a.contains("\"traceEvents\""));
+    assert!(prom_a.contains("# TYPE woha_heartbeats_total counter"));
+}
