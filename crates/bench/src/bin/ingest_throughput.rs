@@ -1,0 +1,39 @@
+//! The `ingest_throughput` sweep: wall time and peak residency of feeding
+//! 10³–10⁵ workflows into the pipeline through a pre-materialized
+//! `VecSource` versus the lazy `GeneratorSource`.
+//!
+//! Writes the machine-readable `BENCH_ingest.json` and the human-readable
+//! `results/ingest_throughput.txt` table, then prints the table. Pass
+//! `--quick` for the CI smoke sweep (one decade, one repetition); the
+//! output schema is identical.
+
+use woha_bench::experiments::ingest::{ingest_table, run_ingest_throughput};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 1 } else { 3 };
+    eprintln!("ingest_throughput — VecSource vs GeneratorSource drain cost");
+    let report = run_ingest_throughput(quick, runs);
+    let table = ingest_table(&report).render();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/ingest_throughput.txt", &table)
+        .expect("write results/ingest_throughput.txt");
+
+    print!("{table}");
+    let worst_resident = report
+        .points
+        .iter()
+        .filter(|p| p.source == "generator")
+        .map(|p| p.peak_resident_workflows)
+        .max()
+        .unwrap_or(0);
+    if worst_resident <= 1 {
+        eprintln!("PASS: generator residency stays O(1) ({worst_resident} spec at peak)");
+    } else {
+        eprintln!("WARN: generator residency grew to {worst_resident} specs");
+    }
+    eprintln!("wrote BENCH_ingest.json and results/ingest_throughput.txt");
+}

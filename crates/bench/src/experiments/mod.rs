@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod deadline;
 pub mod demo;
 pub mod failures;
+pub mod ingest;
 pub mod master_failover;
 pub mod obs;
 pub mod plans;

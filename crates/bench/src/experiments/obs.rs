@@ -75,7 +75,7 @@ fn sweep_scenario(quick: bool) -> (Vec<WorkflowSpec>, ClusterConfig) {
     } else {
         let workload = yahoo_workload(&YahooScenario::default());
         (
-            workload.into_workflows(),
+            woha_trace::drain(&mut workload.into_source()),
             ClusterConfig::with_totals(240, 240),
         )
     }

@@ -215,6 +215,13 @@ mod tests {
         assert_eq!(w.workflows(), w2.workflows());
         // Everything has a real deadline.
         assert!(w.workflows().iter().all(|x| x.deadline() != SimTime::MAX));
+        // The streaming source view yields the same workflows, ordered by
+        // submit time (the driver's pull order).
+        let drained = woha_trace::drain(&mut w2.into_source());
+        assert_eq!(drained.len(), w.len());
+        assert!(drained
+            .windows(2)
+            .all(|p| p[0].submit_time() <= p[1].submit_time()));
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub enum Command {
     /// [--jitter F] [--seed N] [--failures P] [--mtbf D]
     /// [--mttr D] [--detect-missed N] [--blacklist-after N]
     /// [--master-mtbf D] [--master-mttr D] [--checkpoint-interval D]
-    /// [--scripted-master-crash T]... [--no-wal] [--trace-out FILE]
-    /// [--metrics-out FILE] [--obs-sample-interval D] [--json]`
+    /// [--scripted-master-crash T]... [--no-wal] [--arrivals FILE]
+    /// [--admission off|necessary] [--trace-out FILE]
+    /// [--trace-format chrome|jsonl] [--metrics-out FILE]
+    /// [--obs-sample-interval D] [--json]`
     ///
     /// Node-fault and master-fault flags attach a [`FaultConfig`] to the
     /// cluster; the observability flags enable structured tracing and
@@ -42,6 +44,9 @@ pub enum Command {
     Simulate {
         /// Workflow files with optional release offsets.
         workflows: Vec<WorkflowArg>,
+        /// Stream the workload from a JSONL arrival file instead of
+        /// workflow XML files.
+        arrivals: Option<String>,
         /// Cluster shape.
         cluster: ClusterConfig,
         /// Scheduler name (`woha-lpf`, `woha-hlf`, `woha-mpf`, `fifo`,
@@ -57,9 +62,13 @@ pub enum Command {
         seed: u64,
         /// Task failure probability.
         failures: f64,
-        /// Write a Chrome trace-event JSON file (Perfetto-loadable) of the
-        /// scheduling decision loop to this path.
+        /// Screen each arriving workflow through the demand-bound
+        /// admission test before it enters the cluster.
+        admission: bool,
+        /// Write the scheduling decision loop trace to this path.
         trace_out: Option<String>,
+        /// Trace file format for `--trace-out`.
+        trace_format: TraceFormat,
         /// Write the run's metrics in Prometheus text format to this path.
         metrics_out: Option<String>,
         /// Gauge/timeline sampling interval for the observability layer
@@ -70,6 +79,17 @@ pub enum Command {
     },
     /// `woha-cli help`
     Help,
+}
+
+/// Trace export format selected by `--trace-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (buffered; open in Perfetto).
+    #[default]
+    Chrome,
+    /// JSON Lines, one record per line, streamed to the file as the run
+    /// progresses.
+    Jsonl,
 }
 
 /// A workflow file plus its release offset (`file.xml@5m`).
@@ -145,9 +165,21 @@ USAGE:
       --no-wal            disable the master write-ahead log: recover from
                           the last checkpoint alone (needs a master-fault
                           flag)
+      --arrivals FILE     stream the workload from a JSONL arrival file
+                          (one workflow per line, as written by
+                          woha_trace::to_jsonl) instead of workflow XML
+                          files; lines are pulled lazily as simulated
+                          time reaches their submission times
+      --admission MODE    off | necessary  (default off): screen each
+                          arriving workflow through the demand-bound
+                          admission test; rejected workflows never run
+                          and are counted per reason in the report
       --trace-out FILE    record the scheduling decision loop and write it
-                          as Chrome trace-event JSON (open the file at
-                          https://ui.perfetto.dev or chrome://tracing)
+                          to this file (format set by --trace-format)
+      --trace-format F    chrome | jsonl  (default chrome): chrome buffers
+                          the run and writes Chrome trace-event JSON (open
+                          at https://ui.perfetto.dev); jsonl streams one
+                          record per line as the run progresses
       --metrics-out FILE  record scheduler metrics (counters, histograms,
                           sampled gauges) and write them in the Prometheus
                           text exposition format
@@ -289,7 +321,10 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut checkpoint_interval = None;
             let mut scripted_crashes = Vec::new();
             let mut no_wal = false;
+            let mut arrivals = None;
+            let mut admission = false;
             let mut trace_out = None;
+            let mut trace_format = None;
             let mut metrics_out = None;
             let mut obs_sample_interval = None;
             let mut it = rest.iter();
@@ -368,7 +403,32 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                         scripted_crashes.push(SimTime::ZERO + d);
                     }
                     "--no-wal" => no_wal = true,
+                    "--arrivals" => arrivals = Some(next_value(&mut it, "--arrivals")?),
+                    "--admission" => {
+                        let raw = next_value(&mut it, "--admission")?.to_ascii_lowercase();
+                        admission = match raw.as_str() {
+                            "off" => false,
+                            "necessary" => true,
+                            _ => {
+                                return Err(err(format!(
+                                    "unknown --admission {raw:?} (off|necessary)"
+                                )))
+                            }
+                        };
+                    }
                     "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
+                    "--trace-format" => {
+                        let raw = next_value(&mut it, "--trace-format")?.to_ascii_lowercase();
+                        trace_format = Some(match raw.as_str() {
+                            "chrome" => TraceFormat::Chrome,
+                            "jsonl" => TraceFormat::Jsonl,
+                            _ => {
+                                return Err(err(format!(
+                                    "unknown --trace-format {raw:?} (chrome|jsonl)"
+                                )))
+                            }
+                        });
+                    }
                     "--metrics-out" => metrics_out = Some(next_value(&mut it, "--metrics-out")?),
                     "--obs-sample-interval" => {
                         obs_sample_interval =
@@ -381,8 +441,18 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     other => return Err(err(format!("unexpected argument {other:?}"))),
                 }
             }
-            if workflows.is_empty() {
-                return Err(err("simulate needs at least one workflow file"));
+            match &arrivals {
+                Some(_) if !workflows.is_empty() => {
+                    return Err(err(
+                        "--arrivals replaces positional workflow files; pass one or the other",
+                    ));
+                }
+                None if workflows.is_empty() => {
+                    return Err(err(
+                        "simulate needs at least one workflow file (or --arrivals)",
+                    ));
+                }
+                _ => {}
             }
             let mut faults = match mtbf {
                 Some(mtbf) => {
@@ -424,8 +494,12 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             if obs_sample_interval.is_some() && metrics_out.is_none() {
                 return Err(err("--obs-sample-interval needs --metrics-out"));
             }
+            if trace_format.is_some() && trace_out.is_none() {
+                return Err(err("--trace-format needs --trace-out"));
+            }
             Ok(Command::Simulate {
                 workflows,
+                arrivals,
                 cluster,
                 scheduler,
                 index,
@@ -433,7 +507,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 jitter,
                 seed,
                 failures,
+                admission,
                 trace_out,
+                trace_format: trace_format.unwrap_or_default(),
                 metrics_out,
                 obs_sample_interval,
                 json,
@@ -547,6 +623,7 @@ mod tests {
         match cmd {
             Command::Simulate {
                 workflows,
+                arrivals,
                 cluster,
                 scheduler,
                 index,
@@ -554,13 +631,16 @@ mod tests {
                 jitter,
                 seed,
                 failures,
+                admission,
                 trace_out,
+                trace_format,
                 metrics_out,
                 obs_sample_interval,
                 json,
             } => {
                 assert_eq!(workflows.len(), 2);
                 assert_eq!(workflows[1].release, SimTime::from_mins(5));
+                assert_eq!(arrivals, None);
                 assert_eq!(cluster.total_slots(SlotKind::Map), 64);
                 assert_eq!(scheduler, "edf");
                 assert_eq!(index, QueueStrategy::Pairing);
@@ -568,13 +648,66 @@ mod tests {
                 assert_eq!(jitter, 0.1);
                 assert_eq!(seed, 7);
                 assert_eq!(failures, 0.05);
+                assert!(!admission);
                 assert_eq!(trace_out, None);
+                assert_eq!(trace_format, TraceFormat::Chrome);
                 assert_eq!(metrics_out, None);
                 assert_eq!(obs_sample_interval, None);
                 assert!(json);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_streaming_flags() {
+        let cmd = parse(&args(&[
+            "simulate",
+            "--arrivals",
+            "arrivals.jsonl",
+            "--admission",
+            "necessary",
+            "--trace-out",
+            "trace.jsonl",
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                workflows,
+                arrivals,
+                admission,
+                trace_format,
+                ..
+            } => {
+                assert!(workflows.is_empty());
+                assert_eq!(arrivals.as_deref(), Some("arrivals.jsonl"));
+                assert!(admission);
+                assert_eq!(trace_format, TraceFormat::Jsonl);
+            }
+            other => panic!("{other:?}"),
+        }
+        // `--admission off` is the explicit spelling of the default.
+        let cmd = parse(&args(&["simulate", "a.xml", "--admission", "off"])).unwrap();
+        match cmd {
+            Command::Simulate { admission, .. } => assert!(!admission),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args(&["simulate", "a.xml", "--admission", "maybe"])).is_err());
+        // An arrival file replaces positional workflows entirely.
+        assert!(parse(&args(&["simulate", "a.xml", "--arrivals", "w.jsonl"])).is_err());
+        // The trace format only matters with a trace file.
+        assert!(parse(&args(&["simulate", "a.xml", "--trace-format", "jsonl"])).is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--trace-out",
+            "t",
+            "--trace-format",
+            "xml"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Command implementations for `woha-cli`. Each returns its full output
 //! as a `String`, so the commands are directly unit-testable.
 
-use crate::args::{Command, WorkflowArg, USAGE};
+use crate::args::{Command, TraceFormat, WorkflowArg, USAGE};
 use std::error::Error;
 use std::fmt::Write as _;
 use woha_core::{
-    generate_plan, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities, PriorityPolicy,
-    QueueStrategy, WohaConfig, WohaScheduler,
+    generate_plan, AdmissionController, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities,
+    PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler,
 };
 use woha_model::{SimDuration, SlotKind, WorkflowConfig, WorkflowSpec};
 use woha_sim::{
-    try_run_simulation, try_run_simulation_observed, ClusterConfig, ObservabilityConfig, SimConfig,
+    try_run_simulation_streamed, try_run_simulation_streamed_observed, AdmissionGate,
+    ClusterConfig, JsonlTraceSink, MemorySink, ObservabilityConfig, Observations, SimConfig,
     SimReport, WorkflowScheduler,
 };
+use woha_trace::{JsonlSource, VecSource, WorkloadSource};
 
 /// Runs a parsed command, returning its stdout content.
 ///
@@ -31,6 +33,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         } => plan(&workflow, slots, policy, cap),
         Command::Simulate {
             workflows,
+            arrivals,
             cluster,
             scheduler,
             index,
@@ -38,12 +41,15 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             jitter,
             seed,
             failures,
+            admission,
             trace_out,
+            trace_format,
             metrics_out,
             obs_sample_interval,
             json,
         } => simulate(
             &workflows,
+            arrivals.as_deref(),
             &cluster,
             &scheduler,
             index,
@@ -51,7 +57,9 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             jitter,
             seed,
             failures,
+            admission,
             trace_out.as_deref(),
+            trace_format,
             metrics_out.as_deref(),
             obs_sample_interval,
             json,
@@ -156,6 +164,7 @@ fn build_scheduler(
 #[allow(clippy::too_many_arguments)]
 fn simulate(
     workflows: &[WorkflowArg],
+    arrivals: Option<&str>,
     cluster: &ClusterConfig,
     scheduler: &str,
     index: QueueStrategy,
@@ -163,7 +172,9 @@ fn simulate(
     jitter: f64,
     seed: u64,
     failures: f64,
+    admission: bool,
     trace_out: Option<&str>,
+    trace_format: TraceFormat,
     metrics_out: Option<&str>,
     obs_sample_interval: Option<SimDuration>,
     json: bool,
@@ -198,21 +209,41 @@ fn simulate(
     let mut reports = Vec::new();
     for name in names {
         let mut s = build_scheduler(name, total_slots, index);
-        let report = if observe {
-            let (report, obs) = try_run_simulation_observed(&specs, s.as_mut(), cluster, &config)
-                .map_err(|e| format!("bad simulation config: {e}"))?;
-            if let Some(path) = trace_out {
-                std::fs::write(path, obs.chrome_trace_json())
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+        // Each run consumes a fresh source and (when enabled) a fresh
+        // admission controller, so compared schedulers see the same world.
+        let mut gate = admission.then(|| AdmissionController::new(cluster));
+        let report = match arrivals {
+            Some(path) => {
+                let mut source =
+                    JsonlSource::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let report = run_one(
+                    &mut source,
+                    s.as_mut(),
+                    cluster,
+                    &config,
+                    gate.as_mut(),
+                    trace_out,
+                    trace_format,
+                    metrics_out,
+                )?;
+                if let Some(e) = source.error() {
+                    return Err(format!("{path}: {e}").into());
+                }
+                report
             }
-            if let Some(path) = metrics_out {
-                std::fs::write(path, obs.prometheus_text().unwrap_or_default())
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            None => {
+                let mut source = VecSource::new(specs.clone());
+                run_one(
+                    &mut source,
+                    s.as_mut(),
+                    cluster,
+                    &config,
+                    gate.as_mut(),
+                    trace_out,
+                    trace_format,
+                    metrics_out,
+                )?
             }
-            report
-        } else {
-            try_run_simulation(&specs, s.as_mut(), cluster, &config)
-                .map_err(|e| format!("bad simulation config: {e}"))?
         };
         reports.push(report);
     }
@@ -242,6 +273,23 @@ fn simulate(
                 report.tasks_requeued,
                 report.map_outputs_lost,
                 report.work_lost_slot_ms as f64 / 1000.0,
+            )?;
+        }
+        if let Some(a) = &report.admission {
+            let detail: Vec<String> = a
+                .rejections
+                .iter()
+                .map(|r| format!("{} x{}", r.reason, r.count))
+                .collect();
+            writeln!(
+                out,
+                "  admission rejected {}{}",
+                a.workflows_rejected,
+                if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ({})", detail.join(", "))
+                },
             )?;
         }
         if let Some(r) = &report.recovery {
@@ -274,6 +322,102 @@ fn simulate(
         }
     }
     Ok(out)
+}
+
+/// Runs one scheduler over one workload source, routing the trace to the
+/// requested format and the metrics to their file.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+    mut gate: Option<&mut AdmissionController>,
+    trace_out: Option<&str>,
+    trace_format: TraceFormat,
+    metrics_out: Option<&str>,
+) -> Result<SimReport, Box<dyn Error>> {
+    // `&mut dyn AdmissionGate` is coerced fresh inside each branch: the
+    // streamed entry points tie the gate and sink to one lifetime, so the
+    // coercion must happen where the (shorter-lived) sink is in scope.
+    let bad_config = |e: woha_sim::SimError| format!("bad simulation config: {e}");
+    if !(config.observability.trace || config.observability.metrics) {
+        let gate = gate.as_deref_mut().map(|g| g as &mut dyn AdmissionGate);
+        return Ok(
+            try_run_simulation_streamed(source, scheduler, cluster, config, gate)
+                .map_err(bad_config)?,
+        );
+    }
+    match (trace_out, trace_format) {
+        // JSONL streams each record to disk the moment it is emitted.
+        (Some(path), TraceFormat::Jsonl) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let mut sink = JsonlTraceSink::new(std::io::BufWriter::new(file));
+            let (report, metrics) = try_run_simulation_streamed_observed(
+                source,
+                scheduler,
+                cluster,
+                config,
+                gate.as_deref_mut().map(|g| g as &mut dyn AdmissionGate),
+                Some(&mut sink),
+            )
+            .map_err(bad_config)?;
+            let mut writer = sink
+                .finish()
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::io::Write::flush(&mut writer).map_err(|e| format!("cannot write {path}: {e}"))?;
+            write_prometheus(metrics_out, metrics.as_ref())?;
+            Ok(report)
+        }
+        // The Chrome format pairs task spans in a second pass, so it
+        // buffers the records and writes the file at the end of the run.
+        (Some(path), TraceFormat::Chrome) => {
+            let mut sink = MemorySink::new();
+            let (report, metrics) = try_run_simulation_streamed_observed(
+                source,
+                scheduler,
+                cluster,
+                config,
+                gate.as_deref_mut().map(|g| g as &mut dyn AdmissionGate),
+                Some(&mut sink),
+            )
+            .map_err(bad_config)?;
+            let obs = Observations {
+                trace: sink.into_records(),
+                metrics,
+                node_count: cluster.node_count(),
+            };
+            std::fs::write(path, obs.chrome_trace_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            write_prometheus(metrics_out, obs.metrics.as_ref())?;
+            Ok(report)
+        }
+        (None, _) => {
+            let (report, metrics) = try_run_simulation_streamed_observed(
+                source,
+                scheduler,
+                cluster,
+                config,
+                gate.map(|g| g as &mut dyn AdmissionGate),
+                None,
+            )
+            .map_err(bad_config)?;
+            write_prometheus(metrics_out, metrics.as_ref())?;
+            Ok(report)
+        }
+    }
+}
+
+fn write_prometheus(
+    path: Option<&str>,
+    metrics: Option<&woha_sim::MetricsRegistry>,
+) -> Result<(), Box<dyn Error>> {
+    if let (Some(path), Some(m)) = (path, metrics) {
+        std::fs::write(path, m.prometheus_text())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn deadline_str(o: &woha_sim::WorkflowOutcome) -> String {
@@ -547,6 +691,117 @@ mod tests {
             serde_json::to_string(&v).unwrap()
         };
         assert_eq!(strip(&plain), strip(&observed));
+    }
+
+    /// Writes `text` to a fresh temp file and returns its path handle.
+    fn temp_file_with(text: &str) -> tempfile::TempPath {
+        let mut f = tempfile::NamedTempFile::new().expect("temp file");
+        f.write_all(text.as_bytes()).expect("write");
+        f.into_temp_path()
+    }
+
+    #[test]
+    fn simulate_from_arrivals_matches_files() {
+        let path = sample_file();
+        let from_files = run_line(&["simulate", path.to_str(), "--json"]).unwrap();
+
+        let text = std::fs::read_to_string(path.to_str()).unwrap();
+        let spec = woha_model::WorkflowConfig::parse(&text)
+            .unwrap()
+            .to_spec(woha_model::SimTime::ZERO)
+            .unwrap();
+        let jsonl = temp_file_with(&woha_trace::to_jsonl(&[spec]).unwrap());
+        let from_arrivals =
+            run_line(&["simulate", "--arrivals", jsonl.to_str(), "--json"]).unwrap();
+
+        let strip = |s: &str| {
+            let mut v: Vec<SimReport> = serde_json::from_str(s).unwrap();
+            for r in &mut v {
+                r.scheduler_nanos = 0;
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        assert_eq!(strip(&from_files), strip(&from_arrivals));
+    }
+
+    #[test]
+    fn simulate_arrivals_reports_malformed_lines() {
+        let jsonl = temp_file_with("this is not json\n");
+        let err = run_line(&["simulate", "--arrivals", jsonl.to_str(), "--json"]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn simulate_admission_counts_rejections() {
+        // A 10-minute single map against a 1-minute deadline: its critical
+        // path alone proves the deadline unreachable.
+        let hopeless = temp_file_with(
+            r#"
+            <workflow name="hopeless" deadline="1m">
+              <job name="j" mappers="1" reducers="0" map-duration="10m" reduce-duration="0s">
+                <output path="/t/j"/>
+              </job>
+            </workflow>"#,
+        );
+        let feasible = sample_file();
+        let out = run_line(&[
+            "simulate",
+            feasible.to_str(),
+            hopeless.to_str(),
+            "--admission",
+            "necessary",
+            "--json",
+        ])
+        .unwrap();
+        let parsed: Vec<SimReport> = serde_json::from_str(&out).unwrap();
+        let admission = parsed[0].admission.as_ref().expect("admission report");
+        assert_eq!(admission.workflows_rejected, 1);
+        assert_eq!(
+            admission.rejections[0].reason,
+            "critical_path_exceeds_deadline"
+        );
+        assert_eq!(parsed[0].outcomes.len(), 1, "rejected workflow never ran");
+
+        // The human-readable table surfaces the same counters.
+        let text = run_line(&[
+            "simulate",
+            feasible.to_str(),
+            hopeless.to_str(),
+            "--admission",
+            "necessary",
+        ])
+        .unwrap();
+        assert!(
+            text.contains("admission rejected 1  (critical_path_exceeds_deadline x1)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn simulate_writes_jsonl_trace() {
+        let path = sample_file();
+        let trace = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+        run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "woha-lpf",
+            "--trace-out",
+            trace.to_str(),
+            "--trace-format",
+            "jsonl",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(trace.to_str()).unwrap();
+        assert!(!text.contains("traceEvents"), "jsonl, not chrome: {text}");
+        let mut lines = 0;
+        for line in text.lines() {
+            assert!(line.starts_with("{\"at_ms\":"), "{line}");
+            assert!(line.contains("\"event\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            lines += 1;
+        }
+        assert!(lines > 0, "trace has records");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! unlucky interleaving — pair it with WOHA's best-effort scheduling.
 
 use woha_model::{SimDuration, SimTime, SlotKind, WorkflowSpec};
-use woha_sim::ClusterConfig;
+use woha_sim::{AdmissionGate, ClusterConfig};
 
 /// Why a workflow was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +235,37 @@ impl AdmissionController {
     }
 }
 
+impl RejectReason {
+    /// The stable, snake_case label for this reason — the key used in
+    /// [`AdmissionReport`](woha_sim::AdmissionReport) rejection counters.
+    /// Unlike [`Display`](std::fmt::Display), labels carry no
+    /// run-specific values, so equal causes aggregate under one key.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::CriticalPathExceedsDeadline { .. } => "critical_path_exceeds_deadline",
+            RejectReason::OwnWorkExceedsCapacity { .. } => "own_work_exceeds_capacity",
+            RejectReason::AggregateOverload { .. } => "aggregate_overload",
+        }
+    }
+}
+
+/// Plugs the controller into the simulator's front door: the driver calls
+/// [`admit`](AdmissionGate::admit) once per workflow pulled from the
+/// source and [`release`](AdmissionGate::release) once per admitted
+/// workflow that completes. Expired reservations are pruned on each
+/// admission probe, since submission times arrive in nondecreasing order.
+impl AdmissionGate for AdmissionController {
+    fn admit(&mut self, spec: &WorkflowSpec, now: SimTime) -> Result<(), String> {
+        self.expire(now);
+        self.try_admit(spec, now)
+            .map_err(|reason| reason.label().to_string())
+    }
+
+    fn release(&mut self, name: &str) {
+        self.complete(name);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,5 +452,146 @@ mod tests {
         for r in reasons {
             assert!(!r.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn labels_are_stable_and_value_free() {
+        let reasons = [
+            (
+                RejectReason::CriticalPathExceedsDeadline {
+                    critical_path: SimDuration::from_secs(100),
+                    budget: SimDuration::from_secs(50),
+                },
+                "critical_path_exceeds_deadline",
+            ),
+            (
+                RejectReason::OwnWorkExceedsCapacity {
+                    demand_ms: 10,
+                    supply_ms: 5,
+                },
+                "own_work_exceeds_capacity",
+            ),
+            (
+                RejectReason::AggregateOverload {
+                    at_deadline: SimTime::from_secs(60),
+                    demand_ms: 10,
+                    supply_ms: 5,
+                },
+                "aggregate_overload",
+            ),
+        ];
+        for (r, label) in reasons {
+            assert_eq!(r.label(), label);
+        }
+    }
+
+    #[test]
+    fn gate_maps_rejections_to_labels() {
+        let mut gate: Box<dyn AdmissionGate> = Box::new(controller());
+        assert_eq!(
+            gate.admit(&workflow("ok", 4, 30, 10), SimTime::ZERO),
+            Ok(())
+        );
+        // One 10-minute map, 5-minute deadline: structurally infeasible.
+        assert_eq!(
+            gate.admit(&workflow("cp", 1, 600, 5), SimTime::ZERO),
+            Err("critical_path_exceeds_deadline".to_string())
+        );
+        // 3000 slot-s of demand in a 360 slot-s window.
+        assert_eq!(
+            gate.admit(&workflow("own", 100, 30, 1), SimTime::ZERO),
+            Err("own_work_exceeds_capacity".to_string())
+        );
+        // Fill the 2400 slot-s map horizon to the brim ("ok" holds 120,
+        // "a" 1200, "b" 1080), then one more 1200 slot-s workflow tips
+        // the aggregate test.
+        assert!(gate
+            .admit(&workflow("a", 20, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert!(gate
+            .admit(&workflow("b", 18, 60, 10), SimTime::ZERO)
+            .is_ok());
+        assert_eq!(
+            gate.admit(&workflow("c", 20, 60, 10), SimTime::ZERO),
+            Err("aggregate_overload".to_string())
+        );
+    }
+
+    #[test]
+    fn gate_release_frees_reservation() {
+        let mut ctl = controller();
+        assert!(ctl.admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl.admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl
+            .admit(&workflow("c", 20, 60, 10), SimTime::ZERO)
+            .is_err());
+        ctl.release("a");
+        assert!(ctl.admit(&workflow("c", 20, 60, 10), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn gate_expires_stale_reservations_on_admit() {
+        let mut ctl = controller();
+        assert!(ctl.admit(&workflow("a", 20, 60, 10), SimTime::ZERO).is_ok());
+        assert!(ctl.admit(&workflow("b", 20, 60, 10), SimTime::ZERO).is_ok());
+        // At minute 11 both reservations' windows are gone; without the
+        // expiry sweep their stale deadlines would zero out the aggregate
+        // supply and reject "c" outright.
+        assert!(ctl
+            .admit(&workflow("c", 20, 60, 20), SimTime::from_mins(11))
+            .is_ok());
+        assert_eq!(ctl.admitted_count(), 1);
+    }
+
+    /// The gate drives a real simulation: infeasible workflows are turned
+    /// away at the front door (counted per label, no outcome), feasible
+    /// ones run to completion, and a gate-free run of the same workload is
+    /// unaffected.
+    #[test]
+    fn gate_filters_workflows_in_simulation() {
+        use woha_sim::{
+            try_run_simulation_streamed, ClusterConfig, SimConfig, SubmitOrderScheduler,
+        };
+        use woha_trace::VecSource;
+
+        let cluster = ClusterConfig::uniform(2, 2, 1);
+        let workload = vec![
+            workflow("feasible", 4, 30, 10),
+            workflow("hopeless", 1, 600, 5),
+        ];
+        let mut gate = AdmissionController::new(&cluster);
+        let mut source = VecSource::new(workload.clone());
+        let report = try_run_simulation_streamed(
+            &mut source,
+            &mut SubmitOrderScheduler::new(),
+            &cluster,
+            &SimConfig::default(),
+            Some(&mut gate),
+        )
+        .unwrap();
+        assert!(report.completed);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].name, "feasible");
+        let admission = report.admission.expect("gated run reports admission");
+        assert_eq!(admission.workflows_rejected, 1);
+        assert_eq!(admission.rejections.len(), 1);
+        assert_eq!(
+            admission.rejections[0].reason,
+            "critical_path_exceeds_deadline"
+        );
+        assert_eq!(admission.rejections[0].count, 1);
+
+        // Without a gate the hopeless workflow still runs (and misses).
+        let mut source = VecSource::new(workload);
+        let ungated = try_run_simulation_streamed(
+            &mut source,
+            &mut SubmitOrderScheduler::new(),
+            &cluster,
+            &SimConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(ungated.outcomes.len(), 2);
+        assert!(ungated.admission.is_none());
     }
 }

@@ -45,8 +45,10 @@
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{splitmix, FaultStream};
+use crate::gate::AdmissionGate;
 use crate::metrics::{
-    MetricsRegistry, RecoveryReport, SimReport, TimelineRecorder, WorkflowOutcome,
+    AdmissionReport, MetricsRegistry, RecoveryReport, RejectCount, SimReport, TimelineRecorder,
+    WorkflowOutcome,
 };
 use crate::obs::{
     MemorySink, ObservabilityConfig, Observations, TraceEvent, TraceRecord, TraceSink,
@@ -59,9 +61,10 @@ use crate::snapshot::{
 };
 use crate::state::{JobPhase, WorkflowPool};
 use serde::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId, WorkflowSpec};
+use woha_trace::{VecSource, WorkloadSource};
 
 /// A configuration error detected before the simulation starts.
 ///
@@ -433,9 +436,27 @@ struct Sim<'a> {
     checkpoint: Option<Value>,
     /// Events processed since the latest checkpoint (the write-ahead log).
     wal: Vec<(SimTime, Event)>,
-    /// Which workload entries have had their arrival processed, by
-    /// workload index.
+    /// Which pulled workflows have had their arrival event processed, by
+    /// pull (source cursor) order. Grows as the source is pulled;
+    /// `arrived.len()` is the source cursor.
     arrived: Vec<bool>,
+    /// Specs pulled from the workload source so far, in pull order — the
+    /// [`Event::WorkflowArrival`] payloads. Retained for WAL replay and
+    /// crash-time resubmission.
+    workflows: Vec<WorkflowSpec>,
+    /// Whether the workload source has been drained.
+    exhausted: bool,
+    /// Accumulated master outages: the effective arrival time of a not yet
+    /// pulled workflow is its submit time plus this shift. (A pending
+    /// arrival already in the queue is shifted by the crash handler
+    /// instead, exactly like every other pending event.)
+    arrival_shift: SimDuration,
+    /// Admission gate at the front door; `None` admits everything.
+    gate: Option<&'a mut dyn AdmissionGate>,
+    /// Workflows the gate turned away.
+    workflows_rejected: u64,
+    /// Per-reason rejection counts (sorted for deterministic reports).
+    rejections: BTreeMap<String, u64>,
     recovery: RecoveryReport,
     // Observability state (see crate::obs). All `None`/off by default,
     // leaving only `Option` checks on the hot path.
@@ -792,6 +813,13 @@ impl<'a> Sim<'a> {
             if self.pool.workflow(wf).is_complete() {
                 scheduler.on_workflow_completed(&self.pool, wf, self.now);
                 self.remaining -= 1;
+                // The original master already released this workflow before
+                // the crash; replay must not release it twice.
+                if !self.replaying {
+                    if let Some(gate) = self.gate.as_deref_mut() {
+                        gate.release(self.pool.workflow(wf).spec().name());
+                    }
+                }
             }
         }
         self.assign_node(scheduler, node);
@@ -1326,7 +1354,9 @@ impl<'a> Sim<'a> {
                 }
             }
             self.assign_node(scheduler, node);
-            if self.remaining > 0 {
+            // Keep the chain alive while work remains — including work the
+            // source has not delivered yet.
+            if self.remaining > 0 || !self.exhausted {
                 self.schedule(
                     self.now + self.cluster.heartbeat_interval(),
                     Event::Heartbeat(node),
@@ -1337,16 +1367,19 @@ impl<'a> Sim<'a> {
 
     /// Applies one event to the master state. Called from the main loop
     /// and, with [`Self::replaying`] set, from WAL replay during recovery.
-    fn dispatch(
-        &mut self,
-        scheduler: &mut dyn WorkflowScheduler,
-        workflows: &[WorkflowSpec],
-        event: Event,
-    ) {
+    fn dispatch(&mut self, scheduler: &mut dyn WorkflowScheduler, event: Event) {
         match event {
             Event::WorkflowArrival(i) => {
+                // WAL replay may carry arrivals pulled after the restored
+                // checkpoint was taken; grow the ledger exactly as the
+                // injection path did originally.
+                while self.arrived.len() <= i {
+                    self.arrived.push(false);
+                    self.remaining += 1;
+                }
                 self.arrived[i] = true;
-                self.handle_arrival(scheduler, &workflows[i]);
+                let spec = self.workflows[i].clone();
+                self.handle_arrival(scheduler, &spec);
             }
             Event::JobActivated(wf, job) => self.handle_activation(scheduler, wf, job),
             Event::Heartbeat(node) => self.handle_heartbeat(scheduler, node),
@@ -1361,9 +1394,7 @@ impl<'a> Sim<'a> {
             Event::NodeUp(node) => self.handle_node_up(scheduler, node),
             Event::NodeLost { node, incident } => self.handle_node_lost(scheduler, node, incident),
             Event::Checkpoint => self.handle_checkpoint(scheduler),
-            Event::MasterCrash { incident } => {
-                self.handle_master_crash(scheduler, workflows, incident)
-            }
+            Event::MasterCrash { incident } => self.handle_master_crash(scheduler, incident),
             Event::MasterRecovered { incident } => {
                 self.handle_master_recovered(scheduler, incident)
             }
@@ -1432,6 +1463,7 @@ impl<'a> Sim<'a> {
         MasterSnapshot {
             taken_at: self.now,
             pool: self.pool.clone(),
+            source_cursor: self.arrived.len() as u64,
             arrived: self.arrived.clone(),
             attempts,
             groups,
@@ -1497,6 +1529,11 @@ impl<'a> Sim<'a> {
     fn install_snapshot(&mut self, scheduler: &mut dyn WorkflowScheduler, snap: MasterSnapshot) {
         self.pool = snap.pool;
         self.arrived = snap.arrived;
+        debug_assert_eq!(
+            snap.source_cursor as usize,
+            self.arrived.len(),
+            "snapshot arrival cursor matches its arrival ledger"
+        );
         self.attempts = snap
             .attempts
             .into_iter()
@@ -1622,12 +1659,7 @@ impl<'a> Sim<'a> {
     /// (every pending event shifts by the outage); the replacement master
     /// restores the latest checkpoint, replays the WAL, and reconciles
     /// with the physical cluster as TaskTrackers re-register.
-    fn handle_master_crash(
-        &mut self,
-        scheduler: &mut dyn WorkflowScheduler,
-        workflows: &[WorkflowSpec],
-        incident: u64,
-    ) {
+    fn handle_master_crash(&mut self, scheduler: &mut dyn WorkflowScheduler, incident: u64) {
         if incident != self.recovery.master_crashes {
             // A stale crash from before an earlier recovery.
             return;
@@ -1680,7 +1712,7 @@ impl<'a> Sim<'a> {
         for (t, event) in wal {
             self.now = t;
             self.recovery.wal_records_replayed += 1;
-            self.dispatch(scheduler, workflows, event);
+            self.dispatch(scheduler, event);
         }
         self.recorder = recorder;
         self.sink = sink;
@@ -1705,6 +1737,19 @@ impl<'a> Sim<'a> {
         if let Some(m) = &mut self.metrics {
             m.wal_replayed.add(replayed);
         }
+
+        // The source cursor never rewinds: arrival slots the restored
+        // checkpoint (plus WAL) predates belong to workflows already pulled
+        // from the source, whose arrival events were pending at the crash
+        // (or lost with it and resubmitted below).
+        while self.arrived.len() < self.workflows.len() {
+            self.arrived.push(false);
+            self.remaining += 1;
+        }
+        // Workflows not yet pulled shift with the frozen world: their
+        // effective arrival time gains the outage, exactly like the
+        // pending events re-pushed below.
+        self.arrival_shift = self.arrival_shift.saturating_add(outage);
 
         // Node failures that happened but fell into a lost WAL suffix still
         // count toward the report; derive per-node recoveries from the
@@ -2013,8 +2058,86 @@ pub fn try_run_simulation(
     cluster: &ClusterConfig,
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    // A thin wrapper over the streaming path: a [`VecSource`] yields the
+    // slice in submission order, which reproduces the historical batch
+    // driver byte for byte (proven by the E2E identity tests).
+    let mut source = VecSource::new(workflows.to_vec());
+    try_run_simulation_streamed(&mut source, scheduler, cluster, config, None)
+}
+
+/// Streaming variant of [`run_simulation`]: pulls workflows lazily from a
+/// [`WorkloadSource`] as simulated time advances instead of materializing
+/// the whole workload up front, and optionally screens each arrival
+/// through an [`AdmissionGate`].
+///
+/// For a [`VecSource`] over the same workflows the report is byte-identical
+/// to [`run_simulation`]. A rejected workflow never enters the cluster: it
+/// produces no [`WorkflowOutcome`](crate::metrics::WorkflowOutcome) and is
+/// only counted in [`SimReport::admission`].
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`SimError`]); use
+/// [`try_run_simulation_streamed`] for a fallible variant.
+pub fn run_simulation_streamed<'a>(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
+) -> SimReport {
+    try_run_simulation_streamed(source, scheduler, cluster, config, gate)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_simulation_streamed`].
+///
+/// # Errors
+///
+/// Returns the same [`SimError`]s as [`try_run_simulation`].
+pub fn try_run_simulation_streamed<'a>(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
+) -> Result<SimReport, SimError> {
     validate(cluster)?;
-    Ok(run_inner(workflows, scheduler, cluster, config, None, None).0)
+    Ok(run_inner(source, scheduler, cluster, config, gate, None, None).0)
+}
+
+/// Streaming-and-observed variant: like [`try_run_simulation_streamed`],
+/// but records the decision-loop trace into a caller-supplied sink as the
+/// run progresses — pass a [`JsonlTraceSink`](crate::obs::JsonlTraceSink)
+/// to stream records to disk incrementally instead of buffering them — and
+/// returns the [`MetricsRegistry`] when
+/// [`ObservabilityConfig::metrics`] is on.
+///
+/// # Errors
+///
+/// Returns the same [`SimError`]s as [`try_run_simulation`].
+pub fn try_run_simulation_streamed_observed<'a>(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
+    sink: Option<&'a mut dyn TraceSink>,
+) -> Result<(SimReport, Option<MetricsRegistry>), SimError> {
+    validate(cluster)?;
+    let metrics = config
+        .observability
+        .metrics
+        .then(|| MetricsRegistry::new(scheduler.backend_label()));
+    let sched_tracing = sink.is_some() || metrics.is_some();
+    if sched_tracing {
+        scheduler.set_tracing(true);
+    }
+    let result = run_inner(source, scheduler, cluster, config, gate, sink, metrics);
+    if sched_tracing {
+        scheduler.set_tracing(false);
+    }
+    Ok(result)
 }
 
 /// Observability-enabled variant of [`run_simulation`]: runs the same
@@ -2060,11 +2183,13 @@ pub fn try_run_simulation_observed(
     if sched_tracing {
         scheduler.set_tracing(true);
     }
+    let mut source = VecSource::new(workflows.to_vec());
     let (report, metrics) = run_inner(
-        workflows,
+        &mut source,
         scheduler,
         cluster,
         config,
+        None,
         sink.as_mut().map(|s| s as &mut dyn TraceSink),
         metrics,
     );
@@ -2102,10 +2227,11 @@ fn validate(cluster: &ClusterConfig) -> Result<(), SimError> {
 }
 
 fn run_inner<'a>(
-    workflows: &[WorkflowSpec],
+    source: &mut dyn WorkloadSource,
     scheduler: &mut dyn WorkflowScheduler,
     cluster: &'a ClusterConfig,
     config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
     sink: Option<&'a mut dyn TraceSink>,
     metrics: Option<MetricsRegistry>,
 ) -> (SimReport, Option<MetricsRegistry>) {
@@ -2126,7 +2252,7 @@ fn run_inner<'a>(
                 free_reduces: n.reduce_slots,
             })
             .collect(),
-        remaining: workflows.len(),
+        remaining: 0,
         now: SimTime::ZERO,
         rng: FaultStream::new(config.seed),
         busy_count: [0, 0],
@@ -2173,7 +2299,13 @@ fn run_inner<'a>(
         replaying: false,
         checkpoint: None,
         wal: Vec::new(),
-        arrived: vec![false; workflows.len()],
+        arrived: vec![],
+        workflows: Vec::new(),
+        exhausted: false,
+        arrival_shift: SimDuration::ZERO,
+        gate,
+        workflows_rejected: 0,
+        rejections: BTreeMap::new(),
         recovery: RecoveryReport::default(),
         sink,
         metrics,
@@ -2184,10 +2316,8 @@ fn run_inner<'a>(
         obs_interval: config.effective_sample_interval(),
     };
 
-    // Workflow arrivals.
-    for (i, w) in workflows.iter().enumerate() {
-        sim.queue.push(w.submit_time(), Event::WorkflowArrival(i));
-    }
+    // Workflow arrivals are NOT pushed here: the main loop below pulls
+    // them from the source lazily, as simulated time reaches them.
     // Staggered initial heartbeats.
     let interval_ms = cluster.heartbeat_interval().as_millis();
     for (i, node) in cluster.node_ids().enumerate() {
@@ -2242,7 +2372,49 @@ fn run_inner<'a>(
     }
 
     let mut truncated = false;
-    while sim.remaining > 0 {
+    loop {
+        // Pull every source arrival due at or before the queue head (all
+        // of them when the queue is empty): each injected arrival lands in
+        // the queue's priority lane at its effective submission time, so
+        // by the time an event at time T is processed, every workflow
+        // submitted at or before T has been pulled, gated, and enqueued —
+        // exactly the set the batch driver had pre-registered. Arrivals
+        // the gate turns away are counted and dropped on the spot.
+        while !sim.exhausted {
+            let Some(submit) = source.peek_time() else {
+                sim.exhausted = true;
+                break;
+            };
+            let at = submit.saturating_add(sim.arrival_shift);
+            if sim.queue.peek_time().is_some_and(|head| at > head) {
+                break;
+            }
+            let spec = source.next_workflow().expect("peeked source yields");
+            if let Some(gate) = sim.gate.as_deref_mut() {
+                if let Err(reason) = gate.admit(&spec, at) {
+                    sim.workflows_rejected += 1;
+                    *sim.rejections.entry(reason.clone()).or_insert(0) += 1;
+                    if let Some(s) = sim.sink.as_deref_mut() {
+                        s.record(TraceRecord {
+                            at,
+                            event: TraceEvent::AdmissionReject {
+                                workflow: spec.name().to_string(),
+                                reason,
+                            },
+                        });
+                    }
+                    continue;
+                }
+            }
+            let index = sim.workflows.len();
+            sim.workflows.push(spec);
+            sim.arrived.push(false);
+            sim.remaining += 1;
+            sim.queue.push_arrival(at, Event::WorkflowArrival(index));
+        }
+        if sim.remaining == 0 && sim.exhausted {
+            break;
+        }
         let Some((t, event)) = sim.queue.pop() else {
             break;
         };
@@ -2296,10 +2468,10 @@ fn run_inner<'a>(
                 m.heartbeat_batch_size.observe(run.len() as f64);
             }
             for ev in run {
-                sim.dispatch(scheduler, workflows, ev);
+                sim.dispatch(scheduler, ev);
             }
         } else {
-            sim.dispatch(scheduler, workflows, event);
+            sim.dispatch(scheduler, event);
         }
     }
     sim.touch_busy();
@@ -2319,11 +2491,23 @@ fn run_inner<'a>(
             finished: w.finished_at(),
         })
         .collect();
-    let completed = !truncated && sim.remaining == 0 && outcomes.len() == workflows.len();
+    let completed =
+        !truncated && sim.remaining == 0 && sim.exhausted && outcomes.len() == sim.workflows.len();
     let timelines = sim
         .recorder
         .take()
         .map(|rec| rec.finish(sim.pool.len(), end_time, config.effective_sample_interval()));
+    let admission = sim.gate.is_some().then(|| AdmissionReport {
+        workflows_rejected: sim.workflows_rejected,
+        rejections: sim
+            .rejections
+            .iter()
+            .map(|(reason, &count)| RejectCount {
+                reason: reason.clone(),
+                count,
+            })
+            .collect(),
+    });
     let report = SimReport {
         scheduler: scheduler.name().to_string(),
         outcomes,
@@ -2354,6 +2538,7 @@ fn run_inner<'a>(
         work_lost_slot_ms: sim.work_lost_slot_ms,
         timelines,
         recovery: sim.master_mode.then_some(sim.recovery),
+        admission,
     };
     (report, metrics)
 }

@@ -11,8 +11,8 @@ use woha_model::{JobId, NodeId, SimTime, SlotKind, WorkflowId};
 /// A simulation event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
-    /// A workflow from the workload reaches its submission time
-    /// (`value` is its index in the workload).
+    /// A workflow pulled from the workload source reaches its submission
+    /// time (`value` is its pull-order index among admitted workflows).
     WorkflowArrival(usize),
     /// A wjob's submitter map task finishes: the job becomes schedulable.
     JobActivated(WorkflowId, JobId),
@@ -72,6 +72,11 @@ pub enum Event {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Entry {
     time: SimTime,
+    /// Ordering lane at equal times: arrivals injected from a streaming
+    /// [`WorkloadSource`](woha_trace::WorkloadSource) use lane 0 so they
+    /// sort before every same-instant event pushed earlier — replicating
+    /// the batch driver, which pushed all arrivals first (lowest seqs).
+    class: u8,
     seq: u64,
     event: Event,
 }
@@ -82,6 +87,7 @@ impl Ord for Entry {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -123,7 +129,32 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            class: 1,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules an arrival injected from a streaming workload source at
+    /// `time`, in the priority lane that sorts before every same-instant
+    /// [`push`](Self::push) event. The batch driver pushed all arrivals
+    /// before anything else, so at any tied timestamp an un-dispatched
+    /// arrival popped first; a source injects arrivals lazily (after
+    /// heartbeats etc. are already queued), and this lane preserves that
+    /// ordering. Only the driver's source-injection path uses it — crash
+    /// recovery re-pushes drained arrivals with [`push`](Self::push),
+    /// which already yields them in drained (lane-ordered) order.
+    pub fn push_arrival(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            class: 0,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, if any.
@@ -236,6 +267,31 @@ mod tests {
         for (time, ev) in drained {
             q.push(time, ev);
         }
+        assert_eq!(q.pop().unwrap().1, Event::Checkpoint);
+    }
+
+    #[test]
+    fn arrival_lane_sorts_before_same_instant_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        q.push(t, Event::Heartbeat(NodeId::new(0)));
+        q.push(t, Event::Checkpoint);
+        // Injected later, but its lane wins the tie.
+        q.push_arrival(t, Event::WorkflowArrival(0));
+        q.push_arrival(t, Event::WorkflowArrival(1));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::WorkflowArrival(0),
+                Event::WorkflowArrival(1),
+                Event::Heartbeat(NodeId::new(0)),
+                Event::Checkpoint,
+            ]
+        );
+        // Strictly earlier events still pop first regardless of lane.
+        q.push_arrival(t, Event::WorkflowArrival(2));
+        q.push(SimTime::from_secs(1), Event::Checkpoint);
         assert_eq!(q.pop().unwrap().1, Event::Checkpoint);
     }
 

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod driver;
 pub mod event;
 pub mod fault;
+pub mod gate;
 pub mod metrics;
 pub mod obs;
 pub mod scheduler;
@@ -50,15 +51,20 @@ pub mod state;
 
 pub use cluster::{ClusterConfig, NodeConfig};
 pub use driver::{
-    run_simulation, run_simulation_observed, try_run_simulation, try_run_simulation_observed,
+    run_simulation, run_simulation_observed, run_simulation_streamed, try_run_simulation,
+    try_run_simulation_observed, try_run_simulation_streamed, try_run_simulation_streamed_observed,
     LocalityConfig, SimConfig, SimError, SpeculationConfig,
 };
 pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
+pub use gate::{AdmissionGate, AdmitAll};
 pub use metrics::{
-    Counter, Gauge, Histogram, MetricsRegistry, RecoveryReport, SimReport, Timelines,
-    WorkflowOutcome,
+    AdmissionReport, Counter, Gauge, Histogram, MetricsRegistry, RecoveryReport, RejectCount,
+    SimReport, Timelines, WorkflowOutcome,
 };
-pub use obs::{MemorySink, ObservabilityConfig, Observations, TraceEvent, TraceRecord, TraceSink};
+pub use obs::{
+    jsonl_line, JsonlTraceSink, MemorySink, ObservabilityConfig, Observations, TraceEvent,
+    TraceRecord, TraceSink,
+};
 pub use scheduler::{
     first_eligible_job, SchedTrace, SchedulerState, SubmitOrderScheduler, WorkflowScheduler,
 };

@@ -195,6 +195,28 @@ pub struct RecoveryReport {
     pub jobs_resubmitted: u64,
 }
 
+/// Rejections attributed to one stable admission-gate reason label.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectCount {
+    /// Stable, snake_case reason label produced by the gate (e.g.
+    /// `"critical_path_exceeds_deadline"`).
+    pub reason: String,
+    /// Workflows rejected for this reason.
+    pub count: u64,
+}
+
+/// What the admission gate at the driver's front door did over a run.
+/// Attached to [`SimReport::admission`] only when a gate was supplied, so
+/// ungated reports stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    /// Workflows turned away at submission. Rejected workflows never enter
+    /// the cluster and produce no [`WorkflowOutcome`].
+    pub workflows_rejected: u64,
+    /// Per-reason rejection counts, sorted by reason label.
+    pub rejections: Vec<RejectCount>,
+}
+
 /// The full result of one simulation run.
 ///
 /// Equality compares the *simulation outcome* (everything except
@@ -263,12 +285,15 @@ pub struct SimReport {
     /// Master failover accounting; `None` (and omitted from serialized
     /// output) unless master faults were enabled.
     pub recovery: Option<RecoveryReport>,
+    /// Admission-gate accounting; `None` (and omitted from serialized
+    /// output) unless an admission gate was supplied.
+    pub admission: Option<AdmissionReport>,
 }
 
-// Hand-written so that `recovery: None` produces output byte-identical to
-// reports from before master failover existed: the key is omitted rather
-// than serialized as `null`. Field order must match the declaration order
-// above (the derive's behaviour for every other field).
+// Hand-written so that `recovery: None` / `admission: None` produce output
+// byte-identical to reports from before those subsystems existed: the keys
+// are omitted rather than serialized as `null`. Field order must match the
+// declaration order above (the derive's behaviour for every other field).
 impl Serialize for SimReport {
     fn to_value(&self) -> Value {
         let mut obj = vec![
@@ -334,6 +359,9 @@ impl Serialize for SimReport {
         if let Some(recovery) = &self.recovery {
             obj.push(("recovery".to_string(), recovery.to_value()));
         }
+        if let Some(admission) = &self.admission {
+            obj.push(("admission".to_string(), admission.to_value()));
+        }
         Value::Object(obj)
     }
 }
@@ -365,6 +393,7 @@ impl PartialEq for SimReport {
             && self.work_lost_slot_ms == other.work_lost_slot_ms
             && self.timelines == other.timelines
             && self.recovery == other.recovery
+            && self.admission == other.admission
     }
 }
 
@@ -902,6 +931,7 @@ mod tests {
             work_lost_slot_ms: 0,
             timelines: None,
             recovery: None,
+            admission: None,
         }
     }
 
@@ -986,6 +1016,30 @@ mod tests {
         });
         let v = r.to_value();
         assert_eq!(v.as_object().unwrap().last().unwrap().0, "recovery");
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn admission_report_roundtrips_and_is_omitted_when_absent() {
+        let mut r = report(vec![]);
+        let v = r.to_value();
+        assert!(v.as_object().unwrap().iter().all(|(k, _)| k != "admission"));
+        r.admission = Some(AdmissionReport {
+            workflows_rejected: 3,
+            rejections: vec![
+                RejectCount {
+                    reason: "aggregate_overload".to_string(),
+                    count: 2,
+                },
+                RejectCount {
+                    reason: "critical_path_exceeds_deadline".to_string(),
+                    count: 1,
+                },
+            ],
+        });
+        let v = r.to_value();
+        assert_eq!(v.as_object().unwrap().last().unwrap().0, "admission");
         let back = SimReport::from_value(&v).unwrap();
         assert_eq!(back, r);
     }

@@ -181,6 +181,14 @@ pub enum TraceEvent {
         /// WAL records superseded by (folded into) this checkpoint.
         wal_records: u64,
     },
+    /// The admission gate rejected a workflow at the driver's front door.
+    /// The workflow never enters the pool and produces no outcome.
+    AdmissionReject {
+        /// Name of the rejected workflow spec.
+        workflow: String,
+        /// Stable rejection-reason label produced by the gate in use.
+        reason: String,
+    },
     /// The master (JobTracker) crashed.
     MasterCrashed,
     /// The restarted master finished replaying its write-ahead log. The
@@ -233,6 +241,198 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// A [`TraceSink`] that renders each record as one line of JSON and writes
+/// it to the underlying writer immediately — the streaming counterpart of
+/// buffering into [`MemorySink`] and rendering afterwards. Peak memory is
+/// one line regardless of trace length; the output is byte-identical to
+/// [`Observations::trace_jsonl`] over the same records.
+///
+/// Write errors are sticky: the first one is retained (see
+/// [`error`](Self::error)) and later records are dropped.
+#[derive(Debug)]
+pub struct JsonlTraceSink<W: std::io::Write> {
+    writer: W,
+    error: Option<String>,
+}
+
+impl<W: std::io::Write> JsonlTraceSink<W> {
+    /// Wraps a writer. Callers that care about throughput should pass a
+    /// buffered writer; every record still reaches it eagerly.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Flushes and returns the underlying writer, plus the sticky error if
+    /// one occurred.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write/flush error encountered.
+    pub fn finish(mut self) -> Result<W, String> {
+        if let Err(e) = self.writer.flush() {
+            self.error.get_or_insert_with(|| e.to_string());
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.writer),
+        }
+    }
+}
+
+impl<W: std::io::Write> TraceSink for JsonlTraceSink<W> {
+    fn record(&mut self, record: TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = jsonl_line(&record);
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e.to_string());
+        }
+    }
+}
+
+/// Renders one trace record as a single compact JSON line:
+/// `{"at_ms": <time>, "event": "<kind>", ...fields}`. Field order is the
+/// variant's declaration order, so rendering is deterministic and a
+/// buffered trace renders byte-identically to a streamed one.
+pub fn jsonl_line(record: &TraceRecord) -> String {
+    let mut obj: Vec<(String, Value)> = vec![("at_ms".into(), Value::U64(record.at.as_millis()))];
+    let mut put = |key: &str, value: Value| obj.push((key.to_string(), value));
+    match &record.event {
+        TraceEvent::Heartbeat {
+            node,
+            free_maps,
+            free_reduces,
+        } => {
+            put("event", Value::Str("heartbeat".into()));
+            put("node", Value::U64(*node as u64));
+            put("free_maps", Value::U64(u64::from(*free_maps)));
+            put("free_reduces", Value::U64(u64::from(*free_reduces)));
+        }
+        TraceEvent::BatchCoalesced { heartbeats } => {
+            put("event", Value::Str("batch_coalesced".into()));
+            put("heartbeats", Value::U64(*heartbeats as u64));
+        }
+        TraceEvent::Assign {
+            node,
+            kind,
+            workflow,
+            job,
+        } => {
+            put("event", Value::Str("assign".into()));
+            put("node", Value::U64(*node as u64));
+            put("kind", Value::Str(kind.to_string()));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("job", Value::U64(*job as u64));
+        }
+        TraceEvent::SchedulerPick {
+            workflow,
+            rank,
+            blocked,
+            backend,
+        } => {
+            put("event", Value::Str("scheduler_pick".into()));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("rank", Value::U64(u64::from(*rank)));
+            put("blocked", Value::U64(u64::from(*blocked)));
+            put("backend", Value::Str((*backend).to_string()));
+        }
+        TraceEvent::PlanGenerated { workflow, jobs } => {
+            put("event", Value::Str("plan_generated".into()));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("jobs", Value::U64(*jobs as u64));
+        }
+        TraceEvent::Replan { workflow } => {
+            put("event", Value::Str("replan".into()));
+            put("workflow", Value::U64(workflow.as_u64()));
+        }
+        TraceEvent::RhoRollback { workflow } => {
+            put("event", Value::Str("rho_rollback".into()));
+            put("workflow", Value::U64(workflow.as_u64()));
+        }
+        TraceEvent::TaskStart {
+            node,
+            workflow,
+            job,
+            kind,
+            speculative,
+        } => {
+            put("event", Value::Str("task_start".into()));
+            put("node", Value::U64(*node as u64));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("job", Value::U64(*job as u64));
+            put("kind", Value::Str(kind.to_string()));
+            put("speculative", Value::Bool(*speculative));
+        }
+        TraceEvent::TaskComplete {
+            node,
+            workflow,
+            job,
+            kind,
+        } => {
+            put("event", Value::Str("task_complete".into()));
+            put("node", Value::U64(*node as u64));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("job", Value::U64(*job as u64));
+            put("kind", Value::Str(kind.to_string()));
+        }
+        TraceEvent::TaskKilled {
+            node,
+            workflow,
+            job,
+            kind,
+        } => {
+            put("event", Value::Str("task_killed".into()));
+            put("node", Value::U64(*node as u64));
+            put("workflow", Value::U64(workflow.as_u64()));
+            put("job", Value::U64(*job as u64));
+            put("kind", Value::Str(kind.to_string()));
+        }
+        TraceEvent::NodeDown { node } => {
+            put("event", Value::Str("node_down".into()));
+            put("node", Value::U64(*node as u64));
+        }
+        TraceEvent::NodeUp { node } => {
+            put("event", Value::Str("node_up".into()));
+            put("node", Value::U64(*node as u64));
+        }
+        TraceEvent::NodeBlacklisted { node } => {
+            put("event", Value::Str("node_blacklisted".into()));
+            put("node", Value::U64(*node as u64));
+        }
+        TraceEvent::CheckpointTaken { wal_records } => {
+            put("event", Value::Str("checkpoint_taken".into()));
+            put("wal_records", Value::U64(*wal_records));
+        }
+        TraceEvent::AdmissionReject { workflow, reason } => {
+            put("event", Value::Str("admission_reject".into()));
+            put("workflow", Value::Str(workflow.clone()));
+            put("reason", Value::Str(reason.clone()));
+        }
+        TraceEvent::MasterCrashed => {
+            put("event", Value::Str("master_crashed".into()));
+        }
+        TraceEvent::WalReplayed { records, outage } => {
+            put("event", Value::Str("wal_replayed".into()));
+            put("records", Value::U64(*records));
+            put("outage_ms", Value::U64(outage.as_millis()));
+        }
+    }
+    serde_json::to_string(&Value::Object(obj)).expect("trace line renders")
+}
+
 /// Everything a run observed beyond its [`SimReport`](crate::SimReport):
 /// the trace, the metrics registry, and enough cluster shape to render
 /// per-node tracks.
@@ -252,6 +452,18 @@ impl Observations {
     /// `None` when metrics were off.
     pub fn prometheus_text(&self) -> Option<String> {
         self.metrics.as_ref().map(|m| m.prometheus_text())
+    }
+
+    /// Renders the buffered trace as JSON Lines, one record per line —
+    /// byte-identical to what a [`JsonlTraceSink`] would have written
+    /// incrementally over the same records.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.trace {
+            out.push_str(&jsonl_line(rec));
+            out.push('\n');
+        }
+        out
     }
 
     /// Renders the trace (plus sampled gauge series) as Chrome trace-event
@@ -415,6 +627,16 @@ impl Observations {
                     ts,
                     SCHED_TID,
                     vec![("wal_records", Value::U64(*wal_records))],
+                )),
+                TraceEvent::AdmissionReject { workflow, reason } => events.push(instant(
+                    "admission_reject",
+                    "admission",
+                    ts,
+                    SCHED_TID,
+                    vec![
+                        ("workflow", Value::Str(workflow.clone())),
+                        ("reason", Value::Str(reason.clone())),
+                    ],
                 )),
                 TraceEvent::MasterCrashed => {
                     events.push(instant("master_crashed", "master", ts, SCHED_TID, vec![]))
@@ -678,6 +900,93 @@ mod tests {
         assert!(counters
             .iter()
             .any(|c| field(c, "name").as_str() == Some("woha_pending_tasks")));
+    }
+
+    #[test]
+    fn jsonl_sink_matches_buffered_rendering() {
+        let records = vec![
+            TraceRecord {
+                at: SimTime::from_secs(1),
+                event: TraceEvent::Heartbeat {
+                    node: 2,
+                    free_maps: 3,
+                    free_reduces: 1,
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_secs(2),
+                event: TraceEvent::AdmissionReject {
+                    workflow: "w-late".to_string(),
+                    reason: "critical_path_exceeds_deadline".to_string(),
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_secs(3),
+                event: TraceEvent::WalReplayed {
+                    records: 7,
+                    outage: SimDuration::from_secs(4),
+                },
+            },
+        ];
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        for rec in &records {
+            sink.record(rec.clone());
+        }
+        let streamed = String::from_utf8(sink.finish().expect("no write error")).unwrap();
+        let buffered = Observations {
+            trace: records,
+            metrics: None,
+            node_count: 3,
+        }
+        .trace_jsonl();
+        assert_eq!(streamed, buffered);
+        assert_eq!(streamed.lines().count(), 3);
+        let first: Value = serde_json::from_str(streamed.lines().next().unwrap()).unwrap();
+        assert_eq!(field(&first, "event").as_str(), Some("heartbeat"));
+        assert_eq!(field(&first, "at_ms").as_u128(), Some(1000));
+        let second: Value = serde_json::from_str(streamed.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(
+            field(&second, "reason").as_str(),
+            Some("critical_path_exceeds_deadline")
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_records_sticky_write_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTraceSink::new(Failing);
+        sink.record(TraceRecord {
+            at: SimTime::ZERO,
+            event: TraceEvent::MasterCrashed,
+        });
+        assert!(sink.error().is_some_and(|e| e.contains("disk full")));
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn chrome_trace_renders_admission_rejects() {
+        let obs = Observations {
+            trace: vec![TraceRecord {
+                at: SimTime::from_secs(5),
+                event: TraceEvent::AdmissionReject {
+                    workflow: "w0".to_string(),
+                    reason: "aggregate_overload".to_string(),
+                },
+            }],
+            metrics: None,
+            node_count: 1,
+        };
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("admission_reject"));
+        assert!(json.contains("aggregate_overload"));
     }
 
     fn field<'v>(event: &'v Value, key: &str) -> &'v Value {

@@ -171,9 +171,15 @@ pub struct MasterSnapshot {
     pub taken_at: SimTime,
     /// The workflow pool: specs, job phases, task counts.
     pub pool: WorkflowPool,
-    /// Which workload entries have had their arrival processed, by
-    /// workload index (the pool registers workflows in arrival order,
-    /// which can differ from workload order).
+    /// Arrival cursor into the workload source: the number of workflows
+    /// pulled from the source when the checkpoint was taken. Recovery
+    /// replays arrivals deterministically from this cursor — workflows
+    /// pulled before the checkpoint are restored from the snapshot (and
+    /// the WAL), while workflows past the cursor are still unread in the
+    /// source and arrive normally. Always equals `arrived.len()`.
+    pub source_cursor: u64,
+    /// Which pulled arrivals have had their arrival event processed, by
+    /// pull (source cursor) order.
     pub arrived: Vec<bool>,
     /// In-flight attempts, sorted by attempt id.
     pub attempts: Vec<AttemptRecord>,
@@ -239,6 +245,7 @@ mod tests {
         MasterSnapshot {
             taken_at: SimTime::from_secs(120),
             pool: WorkflowPool::new(),
+            source_cursor: 2,
             arrived: vec![true, false],
             attempts: vec![AttemptRecord {
                 id: 3,

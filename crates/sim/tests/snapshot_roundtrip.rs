@@ -146,6 +146,7 @@ proptest! {
         let snap = MasterSnapshot {
             taken_at: now,
             pool,
+            source_cursor: arrived.len() as u64,
             arrived,
             attempts: Vec::new(),
             groups: Vec::new(),

@@ -29,6 +29,7 @@
 
 pub mod dist;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod topology;
 pub mod workload;
@@ -38,5 +39,6 @@ pub use dist::{
     BoundedPareto, Clamped, Discrete, Distribution, Exponential, LogNormal, Mixture, Uniform,
 };
 pub use rng::Rng;
+pub use source::{drain, to_jsonl, GeneratorSource, JsonlSource, VecSource, WorkloadSource};
 pub use workload::{DeadlineRule, ReleasePattern, Workload};
 pub use yahoo::YahooTraceConfig;

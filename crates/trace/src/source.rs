@@ -1,0 +1,423 @@
+//! Streaming workload sources: pull-based arrival streams for the driver.
+//!
+//! The simulator originally took a fully materialized `Vec<WorkflowSpec>`
+//! up front. A serving deployment instead sees an *arrival stream*: an
+//! Oozie-style submitter trickling workflows into a long-lived JobTracker.
+//! [`WorkloadSource`] models that stream as a pull-based iterator of
+//! timestamped arrivals, so the driver can ingest workflows as sim-time
+//! advances and run in memory bounded by the in-flight set, not the trace
+//! length.
+//!
+//! # Source contract
+//!
+//! - [`peek_time`](WorkloadSource::peek_time) returns the submit time of
+//!   the next arrival without consuming it; [`next_workflow`]
+//!   (WorkloadSource::next_workflow) consumes and returns it. After
+//!   `peek_time` returns `Some(t)`, the next `next_workflow` call must
+//!   return a spec whose submit time is exactly `t`.
+//! - Arrival times must be **nondecreasing**: once a source has yielded an
+//!   arrival at time `t`, every later arrival is at `>= t`. The driver
+//!   relies on this to interleave source pulls with the event heap without
+//!   time travel. [`JsonlSource`] enforces it by clamping out-of-order
+//!   lines up to the running maximum; [`VecSource`] by sorting; and
+//!   [`GeneratorSource`] by construction.
+//! - A source is exhausted when `peek_time` returns `None`; it must keep
+//!   returning `None` afterwards.
+
+use crate::rng::Rng;
+use crate::topology::random_layered;
+use crate::yahoo::YahooTraceConfig;
+use std::io::BufRead;
+use woha_model::{SimDuration, SimTime, WorkflowSpec};
+
+/// A pull-based stream of timestamped workflow arrivals.
+///
+/// See the [module docs](self) for the timing contract.
+pub trait WorkloadSource {
+    /// Submit time of the next arrival, or `None` when the stream is
+    /// exhausted. Takes `&mut self` because file- and generator-backed
+    /// sources materialize the next record to learn its time.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Consumes and returns the next arrival, or `None` when exhausted.
+    fn next_workflow(&mut self) -> Option<WorkflowSpec>;
+}
+
+/// Drains `source` to exhaustion, materializing every remaining workflow
+/// in pull order — the batch view of a streaming source, for callers
+/// (benchmarks, tests, sweep runners) that genuinely need the whole
+/// workload at once.
+pub fn drain(source: &mut dyn WorkloadSource) -> Vec<WorkflowSpec> {
+    let mut out = Vec::new();
+    while let Some(w) = source.next_workflow() {
+        out.push(w);
+    }
+    out
+}
+
+/// A [`WorkloadSource`] over an in-memory `Vec<WorkflowSpec>`.
+///
+/// Yields workflows sorted by `(submit_time, original index)` — exactly
+/// the order the batch driver used to pop simultaneous arrivals from its
+/// event heap, so wrapping a vector in a `VecSource` is behaviorally
+/// identical to the old batch entry points.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    /// Workflows sorted by (submit time, original index), reversed so
+    /// `pop` yields them in order without a cursor.
+    sorted: Vec<WorkflowSpec>,
+    next: usize,
+}
+
+impl VecSource {
+    /// Wraps `workflows`, sorting them stably by submit time.
+    pub fn new(mut workflows: Vec<WorkflowSpec>) -> Self {
+        workflows.sort_by_key(WorkflowSpec::submit_time);
+        VecSource {
+            sorted: workflows,
+            next: 0,
+        }
+    }
+
+    /// Workflows not yet yielded, in yield order.
+    pub fn remaining(&self) -> &[WorkflowSpec] {
+        &self.sorted[self.next..]
+    }
+}
+
+impl WorkloadSource for VecSource {
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.sorted.get(self.next).map(WorkflowSpec::submit_time)
+    }
+
+    fn next_workflow(&mut self) -> Option<WorkflowSpec> {
+        let w = self.sorted.get(self.next).cloned()?;
+        self.next += 1;
+        Some(w)
+    }
+}
+
+/// A [`WorkloadSource`] reading one JSON-encoded [`WorkflowSpec`] per line
+/// from a reader — the arrival-file format a long-running process tails
+/// into the simulator.
+///
+/// Records are parsed lazily, one line per pull, so memory stays bounded
+/// by a single spec regardless of file length. Lines whose submit time
+/// runs backwards are clamped up to the running maximum (the stream
+/// contract requires nondecreasing arrivals); a sorted file passes through
+/// untouched, which is what the byte-identity tests against [`VecSource`]
+/// rely on. Blank lines are skipped. The first malformed line stops the
+/// stream and is reported via [`error`](JsonlSource::error).
+pub struct JsonlSource<R: BufRead> {
+    reader: R,
+    pending: Option<WorkflowSpec>,
+    /// Running maximum submit time; later arrivals are clamped up to it.
+    watermark: SimTime,
+    line_no: u64,
+    error: Option<String>,
+    done: bool,
+}
+
+impl JsonlSource<std::io::BufReader<std::fs::File>> {
+    /// Opens a JSONL arrival file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be opened.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlSource::from_reader(std::io::BufReader::new(
+            std::fs::File::open(path)?,
+        )))
+    }
+}
+
+impl<R: BufRead> JsonlSource<R> {
+    /// Wraps any buffered reader producing one spec JSON per line.
+    pub fn from_reader(reader: R) -> Self {
+        JsonlSource {
+            reader,
+            pending: None,
+            watermark: SimTime::ZERO,
+            line_no: 0,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// The parse or I/O error that terminated the stream early, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Reads ahead until a record is pending, the stream ends, or a line
+    /// fails to parse.
+    fn fill(&mut self) {
+        while self.pending.is_none() && !self.done {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => self.done = true,
+                Ok(_) => {
+                    self.line_no += 1;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<WorkflowSpec>(line.trim()) {
+                        Ok(w) => {
+                            let submit = w.submit_time().max(self.watermark);
+                            self.watermark = submit;
+                            self.pending = Some(if submit == w.submit_time() {
+                                w
+                            } else {
+                                w.reissued(w.name().to_string(), submit, w.deadline())
+                            });
+                        }
+                        Err(e) => {
+                            self.error = Some(format!("line {}: {e:?}", self.line_no));
+                            self.done = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(format!("line {}: {e}", self.line_no + 1));
+                    self.done = true;
+                }
+            }
+        }
+    }
+}
+
+impl<R: BufRead> WorkloadSource for JsonlSource<R> {
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.fill();
+        self.pending.as_ref().map(WorkflowSpec::submit_time)
+    }
+
+    fn next_workflow(&mut self) -> Option<WorkflowSpec> {
+        self.fill();
+        self.pending.take()
+    }
+}
+
+/// Writes `workflows` in the JSONL arrival format read by [`JsonlSource`]:
+/// one spec JSON per line, in the given order.
+///
+/// # Errors
+///
+/// Propagates serialization failures (which the vendored serde shim never
+/// produces for [`WorkflowSpec`]).
+pub fn to_jsonl(workflows: &[WorkflowSpec]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for w in workflows {
+        out.push_str(&serde_json::to_string(w)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// A [`WorkloadSource`] that materializes Yahoo-trace-style workflows
+/// lazily, one per pull, instead of building the whole workload up front.
+///
+/// Each workflow is drawn from the [`YahooTraceConfig`] distributions with
+/// a layered topology of 2–12 jobs (the paper's multi-job size range),
+/// released at `index * interarrival` (monotone by construction) with a
+/// deadline of `submit + stretch * critical_path`. Memory stays O(1) in
+/// the workflow count, which is the point: the `ingest_throughput` bench
+/// sweeps this source against a pre-materialized [`VecSource`] at 10³–10⁵
+/// workflows.
+#[derive(Debug, Clone)]
+pub struct GeneratorSource {
+    config: YahooTraceConfig,
+    topo_rng: Rng,
+    job_rng: Rng,
+    size_rng: Rng,
+    interarrival: SimDuration,
+    deadline_stretch: f64,
+    remaining: usize,
+    next_index: u64,
+    pending: Option<WorkflowSpec>,
+}
+
+impl GeneratorSource {
+    /// A lazy stream of `count` workflows from `config`'s distributions,
+    /// seeded deterministically: two sources with the same arguments yield
+    /// identical streams.
+    pub fn new(
+        config: YahooTraceConfig,
+        seed: u64,
+        count: usize,
+        interarrival: SimDuration,
+        deadline_stretch: f64,
+    ) -> Self {
+        let rng = Rng::new(seed);
+        GeneratorSource {
+            config,
+            topo_rng: rng.fork(1),
+            job_rng: rng.fork(2),
+            size_rng: rng.fork(3),
+            interarrival,
+            deadline_stretch,
+            remaining: count,
+            next_index: 0,
+            pending: None,
+        }
+    }
+
+    fn generate(&mut self) {
+        if self.pending.is_some() || self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let i = self.next_index;
+        self.next_index += 1;
+        let name = format!("gen-w{i:05}");
+        let size = self.size_rng.range_u64(2, 13) as usize;
+        let config = self.config.clone();
+        let job_rng = &mut self.job_rng;
+        let spec = random_layered(name.clone(), size, &mut self.topo_rng, |j| {
+            config.sample_job(format!("{name}-j{j}"), job_rng)
+        })
+        .build()
+        .expect("layered workflow is valid");
+        let submit = SimTime::ZERO + self.interarrival * i;
+        let deadline = submit.saturating_add(spec.critical_path().mul_f64(self.deadline_stretch));
+        self.pending = Some(spec.reissued(name, submit, deadline));
+    }
+}
+
+impl WorkloadSource for GeneratorSource {
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.generate();
+        self.pending.as_ref().map(WorkflowSpec::submit_time)
+    }
+
+    fn next_workflow(&mut self) -> Option<WorkflowSpec> {
+        self.generate();
+        self.pending.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::chain;
+    use woha_model::JobSpec;
+
+    fn spec(name: &str, submit_s: u64) -> WorkflowSpec {
+        let w = chain(name, 2, |j| {
+            JobSpec::new(
+                format!("j{j}"),
+                2,
+                1,
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(20),
+            )
+        })
+        .build()
+        .unwrap();
+        w.reissued(
+            name.to_string(),
+            SimTime::from_secs(submit_s),
+            SimTime::from_secs(submit_s + 600),
+        )
+    }
+
+    #[test]
+    fn vec_source_yields_in_time_order_with_stable_ties() {
+        let mut src = VecSource::new(vec![
+            spec("b", 20),
+            spec("tie-first", 10),
+            spec("tie-second", 10),
+            spec("a", 0),
+        ]);
+        assert_eq!(src.peek_time(), Some(SimTime::ZERO));
+        let order: Vec<String> = std::iter::from_fn(|| src.next_workflow())
+            .map(|w| w.name().to_string())
+            .collect();
+        // Ties keep original relative order (stable sort), matching the
+        // batch event heap's FIFO tie-break over input indices.
+        assert_eq!(order, vec!["a", "tie-first", "tie-second", "b"]);
+        assert_eq!(src.peek_time(), None);
+        assert_eq!(src.next_workflow(), None);
+    }
+
+    #[test]
+    fn jsonl_source_round_trips_vec_source() {
+        let workflows = vec![spec("a", 0), spec("b", 30), spec("c", 90)];
+        let text = to_jsonl(&workflows).unwrap();
+        let mut jsonl = JsonlSource::from_reader(std::io::Cursor::new(text));
+        let mut vec_src = VecSource::new(workflows);
+        loop {
+            assert_eq!(jsonl.peek_time(), vec_src.peek_time());
+            match (jsonl.next_workflow(), vec_src.next_workflow()) {
+                (Some(a), Some(b)) => assert_eq!(a, b),
+                (None, None) => break,
+                other => panic!("length mismatch: {other:?}"),
+            }
+        }
+        assert_eq!(jsonl.error(), None);
+    }
+
+    #[test]
+    fn jsonl_source_clamps_out_of_order_lines() {
+        let text = to_jsonl(&[spec("late", 60), spec("early", 10)]).unwrap();
+        let mut src = JsonlSource::from_reader(std::io::Cursor::new(text));
+        let a = src.next_workflow().unwrap();
+        let b = src.next_workflow().unwrap();
+        assert_eq!(a.submit_time(), SimTime::from_secs(60));
+        // Clamped up to the watermark; the absolute deadline is kept.
+        assert_eq!(b.submit_time(), SimTime::from_secs(60));
+        assert_eq!(b.deadline(), SimTime::from_secs(10 + 600));
+        assert_eq!(src.error(), None);
+    }
+
+    #[test]
+    fn jsonl_source_skips_blanks_and_stops_on_garbage() {
+        let good = serde_json::to_string(&spec("ok", 5)).unwrap();
+        let text = format!("\n{good}\n\nnot json\n{good}\n");
+        let mut src = JsonlSource::from_reader(std::io::Cursor::new(text));
+        assert_eq!(src.next_workflow().unwrap().name(), "ok");
+        assert_eq!(src.next_workflow(), None);
+        assert!(src.error().unwrap().contains("line 4"), "{:?}", src.error());
+        // Exhausted stays exhausted.
+        assert_eq!(src.peek_time(), None);
+    }
+
+    #[test]
+    fn generator_source_is_deterministic_lazy_and_monotone() {
+        let make = || {
+            GeneratorSource::new(
+                YahooTraceConfig::default(),
+                42,
+                20,
+                SimDuration::from_secs(30),
+                3.0,
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let mut last = SimTime::ZERO;
+        let mut count = 0usize;
+        while let Some(w) = a.next_workflow() {
+            assert_eq!(Some(w.clone()), b.next_workflow());
+            assert!(w.submit_time() >= last, "arrivals must be monotone");
+            assert_eq!(
+                w.submit_time(),
+                SimTime::ZERO + SimDuration::from_secs(30) * count as u64
+            );
+            assert!(w.deadline() > w.submit_time());
+            assert!((2..=12).contains(&w.job_count()));
+            last = w.submit_time();
+            count += 1;
+        }
+        assert_eq!(count, 20);
+        assert_eq!(b.next_workflow(), None);
+    }
+
+    #[test]
+    fn workflow_spec_survives_json_round_trip() {
+        let w = spec("roundtrip", 77);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

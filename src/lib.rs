@@ -48,23 +48,27 @@ pub use woha_trace as trace;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use woha_core::{
-        generate_plan, generate_reqs, CapMode, EdfScheduler, FairScheduler, FifoScheduler,
-        JobPriorities, PriorityPolicy, QueueStrategy, SchedulingPlan, WohaConfig, WohaScheduler,
+        generate_plan, generate_reqs, AdmissionController, CapMode, EdfScheduler, FairScheduler,
+        FifoScheduler, JobPriorities, PriorityPolicy, QueueStrategy, RejectReason, SchedulingPlan,
+        WohaConfig, WohaScheduler,
     };
     pub use woha_model::{
         JobId, JobSpec, ModelError, NodeId, SimDuration, SimTime, SlotKind, WorkflowBuilder,
         WorkflowConfig, WorkflowId, WorkflowSpec,
     };
     pub use woha_sim::{
-        run_simulation, run_simulation_observed, try_run_simulation, try_run_simulation_observed,
-        ClusterConfig, FaultConfig, LocalityConfig, MasterFaultConfig, ObservabilityConfig,
-        Observations, RecoveryReport, SchedulerState, ScriptedFault, SimConfig, SimError,
-        SimReport, SpeculationConfig, TraceEvent, TraceRecord, TraceSink, WorkflowPool,
-        WorkflowScheduler,
+        run_simulation, run_simulation_observed, run_simulation_streamed, try_run_simulation,
+        try_run_simulation_observed, try_run_simulation_streamed,
+        try_run_simulation_streamed_observed, AdmissionGate, AdmissionReport, AdmitAll,
+        ClusterConfig, FaultConfig, JsonlTraceSink, LocalityConfig, MasterFaultConfig, MemorySink,
+        ObservabilityConfig, Observations, RecoveryReport, RejectCount, SchedulerState,
+        ScriptedFault, SimConfig, SimError, SimReport, SpeculationConfig, TraceEvent, TraceRecord,
+        TraceSink, WorkflowPool, WorkflowScheduler,
     };
     pub use woha_trace::{
+        drain, to_jsonl,
         workload::{DeadlineRule, ReleasePattern, Workload},
         yahoo::{yahoo_workflows, YahooTraceConfig},
-        Rng,
+        GeneratorSource, JsonlSource, Rng, VecSource, WorkloadSource,
     };
 }

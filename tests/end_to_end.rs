@@ -729,3 +729,189 @@ fn observability_exports_are_deterministic() {
     assert!(trace_a.contains("\"traceEvents\""));
     assert!(prom_a.contains("# TYPE woha_heartbeats_total counter"));
 }
+
+/// Tentpole: the streaming front door is the batch front door. The same
+/// workload fed through a pre-materialized `VecSource` and through a
+/// `JsonlSource` parsing its own `to_jsonl` serialization line-by-line
+/// produces a `SimReport` byte-identical to the batch entry point, for
+/// every scheduler — on a plain run and across a mid-run master crash
+/// recovered from checkpoint + WAL replay.
+#[test]
+fn streamed_sources_match_batch_byte_for_byte() {
+    let workflows = fig11_workflows();
+    let jsonl = to_jsonl(&workflows).unwrap();
+    let plain = demo_cluster();
+    let faulty = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_secs(45),
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let config = SimConfig::default();
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+
+    for (cluster, label) in [(&plain, "plain"), (&faulty, "failover")] {
+        for ((mut batch_s, mut vec_s), mut jsonl_s) in all_schedulers(96)
+            .into_iter()
+            .zip(all_schedulers(96))
+            .zip(all_schedulers(96))
+        {
+            let batch = run_simulation(&workflows, batch_s.as_mut(), cluster, &config);
+            let name = batch.scheduler.clone();
+            if label == "failover" {
+                assert_eq!(batch.recovery.as_ref().unwrap().master_crashes, 1, "{name}");
+            }
+            let reference = strip(batch);
+
+            let mut source = VecSource::new(workflows.clone());
+            let streamed =
+                try_run_simulation_streamed(&mut source, vec_s.as_mut(), cluster, &config, None)
+                    .unwrap();
+            assert_eq!(strip(streamed), reference, "{label} {name}: VecSource");
+
+            let mut source = JsonlSource::from_reader(jsonl.as_bytes());
+            let streamed =
+                try_run_simulation_streamed(&mut source, jsonl_s.as_mut(), cluster, &config, None)
+                    .unwrap();
+            assert!(source.error().is_none(), "{label} {name}: clean parse");
+            assert_eq!(strip(streamed), reference, "{label} {name}: JsonlSource");
+        }
+    }
+}
+
+/// Tentpole: streaming trace export. A `JsonlTraceSink` fed record-by-
+/// record as the simulation runs writes byte-for-byte what the buffered
+/// `Observations::trace_jsonl()` renders after the fact — on a reference
+/// run with jitter, task failures, speculation, and a master crash all
+/// active — and the two entry points' reports agree.
+#[test]
+fn streaming_trace_sink_matches_buffered_export() {
+    let workflows = fig11_workflows();
+    let cluster = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_mins(1),
+            scripted: vec![SimTime::from_mins(10)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let config = SimConfig {
+        duration_jitter: 0.15,
+        task_failure_prob: 0.02,
+        speculation: Some(SpeculationConfig::default()),
+        seed: 42,
+        observability: ObservabilityConfig {
+            trace: true,
+            metrics: true,
+            sample_interval: Some(SimDuration::from_secs(30)),
+            ..ObservabilityConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let scheduler = || WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+
+    let (buffered_report, obs) =
+        run_simulation_observed(&workflows, &mut scheduler(), &cluster, &config);
+    assert!(buffered_report.completed);
+    let buffered = obs.trace_jsonl();
+    assert!(!buffered.is_empty());
+
+    let mut source = VecSource::new(workflows.clone());
+    let mut sink = JsonlTraceSink::new(Vec::new());
+    let (streamed_report, metrics) = try_run_simulation_streamed_observed(
+        &mut source,
+        &mut scheduler(),
+        &cluster,
+        &config,
+        None,
+        Some(&mut sink),
+    )
+    .unwrap();
+    assert!(streamed_report.completed);
+    assert!(metrics.is_some(), "metrics armed in config");
+    let streamed = String::from_utf8(sink.finish().unwrap()).unwrap();
+    assert_eq!(streamed, buffered, "incremental export must equal buffered");
+
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(strip(streamed_report), strip(buffered_report));
+}
+
+/// Satellite: admission control at the front door, end to end. With an
+/// `AdmissionController` gating the stream, a workflow whose critical path
+/// cannot meet its deadline is turned away before touching the event loop:
+/// the report's admission block counts it by reason, an `AdmissionReject`
+/// record lands in the trace, and the remaining workflows run as usual.
+#[test]
+fn admission_gate_rejects_at_the_front_door() {
+    let mut workflows = fig11_workflows();
+    workflows.push(
+        paper_fig7("doomed")
+            .submit_at(SimTime::from_mins(15))
+            .relative_deadline(SimDuration::from_mins(1))
+            .build()
+            .unwrap(),
+    );
+    let cluster = demo_cluster();
+    let config = SimConfig {
+        observability: ObservabilityConfig {
+            trace: true,
+            ..ObservabilityConfig::default()
+        },
+        ..SimConfig::default()
+    };
+
+    let mut gate = AdmissionController::new(&cluster);
+    let mut source = VecSource::new(workflows.clone());
+    let mut sink = MemorySink::new();
+    let (report, _) = try_run_simulation_streamed_observed(
+        &mut source,
+        &mut WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96)),
+        &cluster,
+        &config,
+        Some(&mut gate),
+        Some(&mut sink),
+    )
+    .unwrap();
+    assert!(report.completed);
+    assert_eq!(report.outcomes.len(), 3, "the three feasible workflows run");
+    assert_eq!(report.deadline_misses(), 0);
+    let admission = report.admission.expect("gated run reports admission");
+    assert_eq!(admission.workflows_rejected, 1);
+    assert_eq!(admission.rejections.len(), 1);
+    assert_eq!(
+        admission.rejections[0].reason,
+        "critical_path_exceeds_deadline"
+    );
+    assert_eq!(admission.rejections[0].count, 1);
+    let rejects: Vec<_> = sink
+        .into_records()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::AdmissionReject { workflow, reason } => Some((r.at, workflow, reason)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rejects.len(), 1, "one rejection traced");
+    assert_eq!(rejects[0].1, "doomed");
+    assert_eq!(rejects[0].2, "critical_path_exceeds_deadline");
+    assert_eq!(rejects[0].0, SimTime::from_mins(15), "rejected on arrival");
+
+    // Ungated, the doomed workflow runs (and misses); no admission block.
+    let ungated = run_simulation(
+        &workflows,
+        &mut WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96)),
+        &cluster,
+        &config,
+    );
+    assert_eq!(ungated.outcomes.len(), 4);
+    assert!(ungated.admission.is_none());
+    assert!(ungated.deadline_misses() >= 1);
+}
