@@ -1,0 +1,34 @@
+//! The `live_service` sweep: sustained arrival throughput and
+//! submit-to-plan latency (p50/p99) of the long-running scheduler service
+//! at 1–8 tenants, on a sped-up wall clock (DESIGN.md §13).
+//!
+//! Writes the machine-readable `BENCH_serve.json` and the human-readable
+//! `results/live_service.txt` table, then prints the table. Pass
+//! `--quick` for the CI smoke sweep (two tenant counts, 30 workflows);
+//! the output schema is identical.
+
+use woha_bench::experiments::service::{run_live_service, service_table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("live_service — service throughput and plan latency vs tenant count");
+    let report = run_live_service(quick);
+    let table = service_table(&report).render();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/live_service.txt", &table).expect("write results/live_service.txt");
+
+    print!("{table}");
+    let clean = report
+        .points
+        .iter()
+        .all(|p| p.shed == 0 && p.rejected == 0 && p.arrivals == p.submitted);
+    if clean {
+        eprintln!("PASS: every submitted workflow was admitted and planned");
+    } else {
+        eprintln!("WARN: arrivals were shed or rejected under generous caps");
+    }
+    eprintln!("wrote BENCH_serve.json and results/live_service.txt");
+}

@@ -9,5 +9,6 @@ pub mod ingest;
 pub mod master_failover;
 pub mod obs;
 pub mod plans;
+pub mod service;
 pub mod throughput;
 pub mod tracestats;

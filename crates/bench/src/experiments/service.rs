@@ -1,0 +1,275 @@
+//! The `live_service` bench: sustained throughput and submit-to-plan
+//! latency of the long-running scheduler service (DESIGN.md §13).
+//!
+//! A producer thread feeds tenant-prefixed workflows through a
+//! [`ChannelSource`] at a fixed real-time cadence while the service runs
+//! on a sped-up [`WallClock`](woha_sim::WallClock) with a
+//! [`MultiTenantGate`] in front. A custom [`TraceSink`] captures the host
+//! `Instant` at every `PlanGenerated` record, so each workflow's
+//! admission-to-plan latency is measured end to end: channel, arrival
+//! buffer, wall-clock pacing, admission, and Algorithm 1 planning. The
+//! sweep scales the tenant count 1–8 to price the per-tenant accounting.
+
+use crate::table::{fmt_f64, Table};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use woha_core::{MultiTenantGate, PriorityPolicy, TenantSpec, WohaConfig, WohaScheduler};
+use woha_model::{JobSpec, SimDuration, SimTime, WorkflowBuilder, WorkflowSpec};
+use woha_serve::{run_service, ClockMode, ServeConfig, ShutdownConfig};
+use woha_sim::{ClusterConfig, SimConfig, TraceEvent, TraceRecord, TraceSink};
+use woha_trace::ChannelSource;
+
+/// One tenant-count measurement of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    /// Tenants configured on the gate (and interleaved by the producer).
+    pub tenants: u32,
+    /// Workflows the producer submitted.
+    pub submitted: u64,
+    /// Arrivals that reached the event loop (after the buffer).
+    pub arrivals: u64,
+    /// Arrivals shed by the backpressure buffer.
+    pub shed: u64,
+    /// Workflows turned away by the tenant gate.
+    pub rejected: u64,
+    /// Wall time of the whole service run, ms.
+    pub wall_ms: f64,
+    /// Sustained arrival rate over the run, workflows per real second.
+    pub arrivals_per_sec: f64,
+    /// Median submit-to-plan latency, ms (producer `send` to the host
+    /// instant of the workflow's `PlanGenerated` trace record).
+    pub plan_latency_p50_ms: f64,
+    /// 99th-percentile submit-to-plan latency, ms.
+    pub plan_latency_p99_ms: f64,
+}
+
+/// The full `live_service` report written to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Experiment name (always "live_service").
+    pub experiment: String,
+    /// Whether this was the `--quick` CI sweep.
+    pub quick: bool,
+    /// Wall-clock speedup the service ran at.
+    pub speedup: f64,
+    /// Per-tenant-count measurements.
+    pub points: Vec<ServiceRecord>,
+}
+
+/// Captures the host instant of every `PlanGenerated` record. Plans are
+/// generated at workflow submission in arrival order, so the k-th instant
+/// pairs with the k-th submitted workflow.
+struct PlanInstantSink {
+    plans: Vec<Instant>,
+}
+
+impl TraceSink for PlanInstantSink {
+    fn record(&mut self, record: TraceRecord) {
+        if let TraceEvent::PlanGenerated { .. } = record.event {
+            self.plans.push(Instant::now());
+        }
+    }
+}
+
+/// A small two-job chain, namespaced under its tenant.
+fn workflow(tenant: u32, seq: u64, submit: SimTime) -> WorkflowSpec {
+    let name = format!("t{tenant}/wf-{seq}");
+    let mut b = WorkflowBuilder::new(&name);
+    let crunch = b.add_job(JobSpec::new(
+        "crunch",
+        6,
+        2,
+        SimDuration::from_secs(30),
+        SimDuration::from_secs(60),
+    ));
+    let publish = b.add_job(JobSpec::new(
+        "publish",
+        2,
+        1,
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(30),
+    ));
+    b.add_dependency(crunch, publish);
+    b.relative_deadline(SimDuration::from_mins(20));
+    b.build().expect("static workflow shape is valid").reissued(
+        name,
+        submit,
+        submit + SimDuration::from_mins(20),
+    )
+}
+
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Runs one service point: `count` workflows round-robined over `tenants`
+/// namespaces at `interarrival_real` cadence, wall clock at `speedup`.
+fn run_point(tenants: u32, count: u64, speedup: f64, interarrival: SimDuration) -> ServiceRecord {
+    // Sized so the sustained load (~360 slot-s per workflow every 20 sim
+    // seconds = 18 slot-s/s) fits the 36 slots with headroom: the sweep
+    // measures a healthy service, not aggregate-overload shedding.
+    let cluster = ClusterConfig::uniform(12, 2, 1);
+    let mut gate = MultiTenantGate::new(&cluster);
+    for t in 0..tenants {
+        // Caps generous enough that the sweep measures accounting cost,
+        // not shedding: rejection rates belong to the tenant E2E tests.
+        gate = gate.with_tenant(TenantSpec::new(format!("t{t}"), 64).with_weight(1.0));
+    }
+
+    let interarrival_real =
+        Duration::from_secs_f64(interarrival.as_millis() as f64 / 1e3 / speedup);
+    let (tx, source) = ChannelSource::pair();
+    let producer = std::thread::spawn(move || {
+        let mut send_at = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let submit = SimTime::ZERO + SimDuration::from_millis(interarrival.as_millis() * i);
+            let spec = workflow((i % u64::from(tenants)) as u32, i, submit);
+            send_at.push(Instant::now());
+            if tx.send(spec).is_err() {
+                break;
+            }
+            std::thread::sleep(interarrival_real);
+        }
+        send_at
+    });
+
+    let mut scheduler = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 36));
+    let mut sink = PlanInstantSink { plans: Vec::new() };
+    let config = SimConfig {
+        observability: woha_sim::ObservabilityConfig {
+            trace: true,
+            ..woha_sim::ObservabilityConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let start = Instant::now();
+    let outcome = run_service(
+        source,
+        None,
+        &mut scheduler,
+        &cluster,
+        &config,
+        Some(&mut gate),
+        Some(&mut sink),
+        &ServeConfig {
+            clock: ClockMode::Wall {
+                speedup,
+                poll: Duration::from_millis(1),
+            },
+            buffer: 1024,
+            shutdown: ShutdownConfig {
+                // Backstop only: dropping the sender ends the feed.
+                idle_timeout: Some(Duration::from_secs(5)),
+                ..ShutdownConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid service config");
+    let wall = start.elapsed();
+    let send_at = producer.join().expect("producer finishes");
+
+    let mut latencies: Vec<Duration> = send_at
+        .iter()
+        .zip(&sink.plans)
+        .map(|(sent, planned)| planned.saturating_duration_since(*sent))
+        .collect();
+    latencies.sort_unstable();
+
+    let rejected = outcome
+        .report
+        .admission
+        .as_ref()
+        .map_or(0, |a| a.workflows_rejected);
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    ServiceRecord {
+        tenants,
+        submitted: count,
+        arrivals: outcome.arrivals,
+        shed: outcome.shed,
+        rejected,
+        wall_ms,
+        arrivals_per_sec: outcome.arrivals as f64 / wall.as_secs_f64(),
+        plan_latency_p50_ms: quantile_ms(&latencies, 0.50),
+        plan_latency_p99_ms: quantile_ms(&latencies, 0.99),
+    }
+}
+
+/// Runs the `live_service` sweep across tenant counts.
+pub fn run_live_service(quick: bool) -> ServiceReport {
+    let speedup = 2000.0;
+    let (tenant_counts, count) = if quick {
+        (vec![1, 2], 30)
+    } else {
+        (vec![1, 2, 4, 8], 200)
+    };
+    let points = tenant_counts
+        .into_iter()
+        .map(|t| run_point(t, count, speedup, SimDuration::from_secs(20)))
+        .collect();
+    ServiceReport {
+        experiment: "live_service".to_string(),
+        quick,
+        speedup,
+        points,
+    }
+}
+
+/// Renders the report as the human-readable sweep table.
+pub fn service_table(report: &ServiceReport) -> Table {
+    let mut t = Table::new(vec![
+        "tenants",
+        "submitted",
+        "arrivals",
+        "shed",
+        "rejected",
+        "wall ms",
+        "arrivals/s",
+        "plan p50 ms",
+        "plan p99 ms",
+    ]);
+    for p in &report.points {
+        t.row(vec![
+            p.tenants.to_string(),
+            p.submitted.to_string(),
+            p.arrivals.to_string(),
+            p.shed.to_string(),
+            p.rejected.to_string(),
+            fmt_f64(p.wall_ms),
+            fmt_f64(p.arrivals_per_sec),
+            fmt_f64(p.plan_latency_p50_ms),
+            fmt_f64(p.plan_latency_p99_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_shape() {
+        let report = run_live_service(true);
+        assert_eq!(report.experiment, "live_service");
+        assert!(report.quick);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert_eq!(p.submitted, 30);
+            // Generous caps and a deep buffer: everything gets through.
+            assert_eq!(p.arrivals, 30, "tenants={}", p.tenants);
+            assert_eq!(p.shed, 0, "tenants={}", p.tenants);
+            assert_eq!(p.rejected, 0, "tenants={}", p.tenants);
+            assert!(p.wall_ms > 0.0);
+            assert!(p.plan_latency_p50_ms <= p.plan_latency_p99_ms);
+        }
+        // Round-trips through JSON for BENCH_serve.json consumers.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -77,6 +77,51 @@ pub enum Command {
         /// Emit machine-readable JSON instead of a table.
         json: bool,
     },
+    /// `woha-cli serve --follow <path> [--wall-clock] [--tenants FILE] ...`
+    ///
+    /// Run the scheduler as a long-lived service over a growing JSONL
+    /// arrival feed (a file being appended to, or a directory of rotated
+    /// files). See [`woha_serve`] for the service architecture.
+    Serve {
+        /// JSONL file or directory of `*.jsonl` files to tail.
+        follow: String,
+        /// Cluster shape.
+        cluster: ClusterConfig,
+        /// Scheduler name (single scheduler only; no `all`).
+        scheduler: String,
+        /// Priority-index backend for the WOHA schedulers.
+        index: QueueStrategy,
+        /// Tenant admission config file (TOML subset; see
+        /// `woha_serve::TenantsConfig`).
+        tenants: Option<String>,
+        /// Demand-bound admission when no tenant file is given
+        /// (default on: a live service should protect itself).
+        admission: bool,
+        /// Pace execution against real time instead of replaying.
+        wall_clock: bool,
+        /// Sim-time-per-real-time factor for `--wall-clock`.
+        speedup: f64,
+        /// Wall-clock poll slice (arrival/shutdown latency bound).
+        poll_interval: woha_model::SimDuration,
+        /// Arrival buffer capacity.
+        buffer: usize,
+        /// Shedding high watermark (defaults to the buffer capacity).
+        high: Option<usize>,
+        /// Shedding low watermark (defaults to half the high mark).
+        low: Option<usize>,
+        /// Stop when this file appears (the no-signals `kill -TERM`).
+        stop_file: Option<String>,
+        /// Stop after this long without a new arrival.
+        idle_timeout: Option<woha_model::SimDuration>,
+        /// Stop once this many workflows have arrived.
+        max_arrivals: Option<u64>,
+        /// Write end-of-run metrics in Prometheus text format here.
+        metrics_out: Option<String>,
+        /// Stream the scheduling decision trace (JSONL) to this path.
+        trace_out: Option<String>,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
     /// `woha-cli help`
     Help,
 }
@@ -186,6 +231,47 @@ USAGE:
       --obs-sample-interval D
                           gauge sampling interval for --metrics-out,
                           e.g. 5s (default 10s)
+      --json              machine-readable output
+
+  woha-cli serve --follow <path> [OPTIONS]
+      Run the scheduler as a long-lived service: tail a growing JSONL
+      arrival feed, admit workflows per tenant, and execute them on the
+      simulated cluster in real time (--wall-clock) or as a
+      deterministic replay (default).
+
+      --follow PATH       JSONL file being appended to, or a directory
+                          whose *.jsonl files are consumed in name order
+                          (log-rotation convention)
+      --cluster NxMxR     as for simulate (default 8x2x1)
+      --scheduler NAME    as for simulate, single scheduler only
+      --index BACKEND     as for simulate
+      --tenants FILE      per-tenant admission config (policy, in-flight
+                          caps, slot budgets, weights); workflow names
+                          are namespaced as tenant/name
+      --admission MODE    off | necessary  (default necessary): plain
+                          demand-bound admission when no --tenants file
+                          is given
+      --wall-clock        pace events against real time; without it the
+                          feed is replayed deterministically and the run
+                          ends when the feed stops growing
+      --speedup F         sim seconds per real second with --wall-clock
+                          (default 1)
+      --poll-interval D   wall-clock poll slice, e.g. 20ms (default);
+                          bounds arrival and shutdown latency
+      --buffer N          arrival buffer capacity (default 1024)
+      --high N            shed arrivals at this queue depth
+                          (default: buffer capacity)
+      --low N             stop shedding once drained to this depth
+                          (default: half of --high)
+      --stop-file PATH    shut down cleanly when this file appears
+                          (touch it instead of sending a signal); the
+                          feed is drained before exit
+      --idle-timeout D    shut down after this long without an arrival
+      --max-arrivals N    shut down after N workflows have arrived
+      --metrics-out FILE  write end-of-run metrics (including service
+                          queue depth, lag, and shed counters) in the
+                          Prometheus text format
+      --trace-out FILE    stream the decision trace as JSONL
       --json              machine-readable output
 
   woha-cli help
@@ -512,6 +598,141 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 trace_format: trace_format.unwrap_or_default(),
                 metrics_out,
                 obs_sample_interval,
+                json,
+            })
+        }
+        "serve" => {
+            let mut follow = None;
+            let mut cluster = ClusterConfig::uniform(8, 2, 1);
+            let mut scheduler = "woha-lpf".to_string();
+            let mut index = QueueStrategy::Dsl;
+            let mut tenants = None;
+            let mut admission = true;
+            let mut wall_clock = false;
+            let mut speedup = 1.0f64;
+            let mut poll_interval = woha_model::SimDuration::from_millis(20);
+            let mut buffer = 1024usize;
+            let mut high = None;
+            let mut low = None;
+            let mut stop_file = None;
+            let mut idle_timeout = None;
+            let mut max_arrivals = None;
+            let mut metrics_out = None;
+            let mut trace_out = None;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--follow" => follow = Some(next_value(&mut it, "--follow")?),
+                    "--cluster" => cluster = parse_cluster(&next_value(&mut it, "--cluster")?)?,
+                    "--scheduler" => {
+                        scheduler = next_value(&mut it, "--scheduler")?.to_ascii_lowercase();
+                        if scheduler == "all" || !SCHEDULERS.contains(&scheduler.as_str()) {
+                            return Err(err(format!(
+                                "unknown --scheduler {scheduler:?} (a single scheduler from \
+                                 {SCHEDULERS:?}, not \"all\")"
+                            )));
+                        }
+                    }
+                    "--index" => {
+                        let raw = next_value(&mut it, "--index")?.to_ascii_lowercase();
+                        index = QueueStrategy::from_flag(&raw).ok_or_else(|| {
+                            err(format!("unknown --index {raw:?} (dsl|btree|pheap|naive)"))
+                        })?;
+                    }
+                    "--tenants" => tenants = Some(next_value(&mut it, "--tenants")?),
+                    "--admission" => {
+                        let raw = next_value(&mut it, "--admission")?.to_ascii_lowercase();
+                        admission = match raw.as_str() {
+                            "off" => false,
+                            "necessary" => true,
+                            _ => {
+                                return Err(err(format!(
+                                    "unknown --admission {raw:?} (off|necessary)"
+                                )))
+                            }
+                        };
+                    }
+                    "--wall-clock" => wall_clock = true,
+                    "--speedup" => {
+                        speedup = next_value(&mut it, "--speedup")?
+                            .parse()
+                            .map_err(|_| err("--speedup needs a number"))?;
+                        if !(speedup.is_finite() && speedup > 0.0) {
+                            return Err(err("--speedup must be positive"));
+                        }
+                    }
+                    "--poll-interval" => {
+                        poll_interval = parse_positive_duration(&mut it, "--poll-interval")?;
+                    }
+                    "--buffer" => {
+                        buffer = next_value(&mut it, "--buffer")?
+                            .parse()
+                            .map_err(|_| err("--buffer needs a positive integer"))?;
+                        if buffer == 0 {
+                            return Err(err("--buffer must be positive"));
+                        }
+                    }
+                    "--high" => {
+                        high = Some(
+                            next_value(&mut it, "--high")?
+                                .parse()
+                                .map_err(|_| err("--high needs an integer"))?,
+                        );
+                    }
+                    "--low" => {
+                        low = Some(
+                            next_value(&mut it, "--low")?
+                                .parse()
+                                .map_err(|_| err("--low needs an integer"))?,
+                        );
+                    }
+                    "--stop-file" => stop_file = Some(next_value(&mut it, "--stop-file")?),
+                    "--idle-timeout" => {
+                        idle_timeout = Some(parse_positive_duration(&mut it, "--idle-timeout")?);
+                    }
+                    "--max-arrivals" => {
+                        let n: u64 = next_value(&mut it, "--max-arrivals")?
+                            .parse()
+                            .map_err(|_| err("--max-arrivals needs a positive integer"))?;
+                        if n == 0 {
+                            return Err(err("--max-arrivals must be positive"));
+                        }
+                        max_arrivals = Some(n);
+                    }
+                    "--metrics-out" => metrics_out = Some(next_value(&mut it, "--metrics-out")?),
+                    "--trace-out" => trace_out = Some(next_value(&mut it, "--trace-out")?),
+                    "--json" => json = true,
+                    other => return Err(err(format!("unexpected argument {other:?}"))),
+                }
+            }
+            let follow = follow.ok_or_else(|| err("serve needs --follow <path>"))?;
+            if let (Some(high), Some(low)) = (high, low) {
+                if low >= high {
+                    return Err(err("--low must be below --high"));
+                }
+            }
+            if !wall_clock && (speedup != 1.0 || poll_interval.as_millis() != 20) {
+                return Err(err("--speedup/--poll-interval need --wall-clock"));
+            }
+            Ok(Command::Serve {
+                follow,
+                cluster,
+                scheduler,
+                index,
+                tenants,
+                admission,
+                wall_clock,
+                speedup,
+                poll_interval,
+                buffer,
+                high,
+                low,
+                stop_file,
+                idle_timeout,
+                max_arrivals,
+                metrics_out,
+                trace_out,
                 json,
             })
         }
@@ -926,5 +1147,110 @@ mod tests {
         assert_eq!(w.release, SimTime::from_secs(90));
         let w = parse_workflow_arg("plain.xml").unwrap();
         assert_eq!(w.release, SimTime::ZERO);
+    }
+
+    #[test]
+    fn serve_defaults_and_full_flag_set() {
+        let cmd = parse(&args(&["serve", "--follow", "feed.jsonl"])).unwrap();
+        let Command::Serve {
+            follow,
+            scheduler,
+            admission,
+            wall_clock,
+            speedup,
+            buffer,
+            ..
+        } = cmd
+        else {
+            panic!("expected serve, got {cmd:?}");
+        };
+        assert_eq!(follow, "feed.jsonl");
+        assert_eq!(scheduler, "woha-lpf");
+        assert!(admission, "a service defends itself by default");
+        assert!(!wall_clock);
+        assert_eq!(speedup, 1.0);
+        assert_eq!(buffer, 1024);
+
+        let cmd = parse(&args(&[
+            "serve",
+            "--follow",
+            "feed/",
+            "--cluster",
+            "4x2x1",
+            "--scheduler",
+            "edf",
+            "--tenants",
+            "tenants.toml",
+            "--admission",
+            "off",
+            "--wall-clock",
+            "--speedup",
+            "50",
+            "--poll-interval",
+            "5ms",
+            "--buffer",
+            "64",
+            "--high",
+            "48",
+            "--low",
+            "16",
+            "--stop-file",
+            "stop",
+            "--idle-timeout",
+            "2s",
+            "--max-arrivals",
+            "100",
+            "--metrics-out",
+            "m.prom",
+            "--trace-out",
+            "t.jsonl",
+            "--json",
+        ]))
+        .unwrap();
+        let Command::Serve {
+            tenants,
+            admission,
+            wall_clock,
+            speedup,
+            poll_interval,
+            high,
+            low,
+            stop_file,
+            idle_timeout,
+            max_arrivals,
+            json,
+            ..
+        } = cmd
+        else {
+            panic!("expected serve, got {cmd:?}");
+        };
+        assert_eq!(tenants.as_deref(), Some("tenants.toml"));
+        assert!(!admission);
+        assert!(wall_clock);
+        assert_eq!(speedup, 50.0);
+        assert_eq!(poll_interval.as_millis(), 5);
+        assert_eq!((high, low), (Some(48), Some(16)));
+        assert_eq!(stop_file.as_deref(), Some("stop"));
+        assert_eq!(idle_timeout.unwrap().as_millis(), 2000);
+        assert_eq!(max_arrivals, Some(100));
+        assert!(json);
+    }
+
+    #[test]
+    fn serve_rejects_bad_combinations() {
+        assert!(parse(&args(&["serve"])).is_err(), "--follow is required");
+        assert!(parse(&args(&["serve", "--follow", "f", "--scheduler", "all"])).is_err());
+        assert!(parse(&args(&["serve", "--follow", "f", "--speedup", "2"])).is_err());
+        assert!(parse(&args(&["serve", "--follow", "f", "--speedup", "0"])).is_err());
+        assert!(
+            parse(&args(&[
+                "serve", "--follow", "f", "--high", "8", "--low", "8"
+            ]))
+            .is_err(),
+            "--low must be below --high"
+        );
+        assert!(parse(&args(&["serve", "--follow", "f", "--buffer", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--follow", "f", "--max-arrivals", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--follow", "f", "positional.xml"])).is_err());
     }
 }

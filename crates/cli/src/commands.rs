@@ -9,6 +9,7 @@ use woha_core::{
     PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler,
 };
 use woha_model::{SimDuration, SlotKind, WorkflowConfig, WorkflowSpec};
+use woha_serve::{run_service, ClockMode, ServeConfig, ShutdownConfig, TenantsConfig};
 use woha_sim::{
     try_run_simulation_streamed, try_run_simulation_streamed_observed, AdmissionGate,
     ClusterConfig, JsonlTraceSink, MemorySink, ObservabilityConfig, Observations, SimConfig,
@@ -64,6 +65,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             obs_sample_interval,
             json,
         ),
+        c @ Command::Serve { .. } => serve(c),
     }
 }
 
@@ -320,6 +322,197 @@ fn simulate(
                 if o.met_deadline() { "met" } else { "MISSED" },
             )?;
         }
+    }
+    Ok(out)
+}
+
+/// Runs the live service: tail the followed feed, gate admissions, pace
+/// (or replay) the cluster, and summarize what happened.
+fn serve(command: Command) -> Result<String, Box<dyn Error>> {
+    let Command::Serve {
+        follow,
+        cluster,
+        scheduler,
+        index,
+        tenants,
+        admission,
+        wall_clock,
+        speedup,
+        poll_interval,
+        buffer,
+        high,
+        low,
+        stop_file,
+        idle_timeout,
+        max_arrivals,
+        metrics_out,
+        trace_out,
+        json,
+    } = command
+    else {
+        unreachable!("serve() is only called with Command::Serve");
+    };
+
+    let meta = std::fs::metadata(&follow).map_err(|e| format!("cannot follow {follow}: {e}"))?;
+    let source = if meta.is_dir() {
+        woha_trace::FollowSource::dir(&follow)
+    } else {
+        woha_trace::FollowSource::file(&follow)
+    };
+    let stop = source.stop_handle();
+
+    // The gate: a tenant file wins; otherwise plain demand-bound admission
+    // unless explicitly turned off.
+    let mut tenant_gate = match &tenants {
+        Some(path) => Some(TenantsConfig::load(path)?.build_gate(&cluster)),
+        None => None,
+    };
+    let mut plain_gate =
+        (tenant_gate.is_none() && admission).then(|| AdmissionController::new(&cluster));
+    let gate: Option<&mut dyn AdmissionGate> = match (&mut tenant_gate, &mut plain_gate) {
+        (Some(g), _) => Some(g),
+        (None, Some(g)) => Some(g),
+        (None, None) => None,
+    };
+
+    let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
+    let mut sched = build_scheduler(&scheduler, total_slots, index);
+    let config = SimConfig {
+        observability: ObservabilityConfig {
+            metrics: metrics_out.is_some(),
+            trace: trace_out.is_some(),
+            ..ObservabilityConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let to_real = |d: SimDuration| std::time::Duration::from_millis(d.as_millis());
+    let serve_config = ServeConfig {
+        clock: if wall_clock {
+            ClockMode::Wall {
+                speedup,
+                poll: to_real(poll_interval),
+            }
+        } else {
+            ClockMode::Sim
+        },
+        buffer,
+        watermarks: high.map(|h| (h, low.unwrap_or(h / 2))),
+        shutdown: ShutdownConfig {
+            stop_file: stop_file.map(Into::into),
+            idle_timeout: idle_timeout.map(to_real),
+            max_arrivals,
+            ..ShutdownConfig::default()
+        },
+    };
+    // A deterministic replay must not abandon the tail of the feed when
+    // the source reports "no data yet": pre-raising the stop makes the
+    // FollowSource finalize and drain every written byte, then end.
+    if !wall_clock {
+        stop.stop();
+    }
+
+    let bad_config = |e: woha_sim::SimError| format!("bad service config: {e}");
+    let outcome = match &trace_out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let mut sink = JsonlTraceSink::new(std::io::BufWriter::new(file));
+            let outcome = run_service(
+                source,
+                Some(stop),
+                sched.as_mut(),
+                &cluster,
+                &config,
+                gate,
+                Some(&mut sink),
+                &serve_config,
+            )
+            .map_err(bad_config)?;
+            let mut writer = sink
+                .finish()
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::io::Write::flush(&mut writer).map_err(|e| format!("cannot write {path}: {e}"))?;
+            outcome
+        }
+        None => run_service(
+            source,
+            Some(stop),
+            sched.as_mut(),
+            &cluster,
+            &config,
+            gate,
+            None,
+            &serve_config,
+        )
+        .map_err(bad_config)?,
+    };
+    if let Some(e) = &outcome.source_error {
+        return Err(e.clone().into());
+    }
+    write_prometheus(metrics_out.as_deref(), outcome.metrics.as_ref())?;
+
+    let cause = outcome
+        .cause
+        .map_or_else(|| "drained".to_string(), |c| c.to_string());
+    if json {
+        return Ok(format!(
+            "{{\n  \"service\": {{\"cause\": \"{cause}\", \"arrivals\": {}, \"shed\": {}, \
+             \"depth_peak\": {}, \"lag_peak_ms\": {}}},\n  \"report\": {}\n}}\n",
+            outcome.arrivals,
+            outcome.shed,
+            outcome.depth_peak,
+            outcome.lag_peak_ms,
+            serde_json::to_string_pretty(&outcome.report)?,
+        ));
+    }
+    let report = &outcome.report;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== serve {} ===  shutdown: {cause}  arrivals {}  shed {}  \
+         queue peak {}  lag peak {:.1}s",
+        report.scheduler,
+        outcome.arrivals,
+        outcome.shed,
+        outcome.depth_peak,
+        outcome.lag_peak_ms as f64 / 1000.0,
+    )?;
+    writeln!(
+        out,
+        "  misses {}/{}  max tardiness {}  utilization {:.1}%",
+        report.deadline_misses(),
+        report.outcomes.len(),
+        report.max_tardiness(),
+        report.overall_utilization() * 100.0,
+    )?;
+    if let Some(a) = &report.admission {
+        let detail: Vec<String> = a
+            .rejections
+            .iter()
+            .map(|r| format!("{} x{}", r.reason, r.count))
+            .collect();
+        writeln!(
+            out,
+            "  admission rejected {}{}",
+            a.workflows_rejected,
+            if detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", detail.join(", "))
+            },
+        )?;
+    }
+    for o in &report.outcomes {
+        writeln!(
+            out,
+            "  {:<24} submit {:>9}  finish {:>11}  deadline {:>9}  {}",
+            o.name,
+            o.submitted.to_string(),
+            o.finished
+                .map_or("unfinished".to_string(), |t| t.to_string()),
+            deadline_str(o),
+            if o.met_deadline() { "met" } else { "MISSED" },
+        )?;
     }
     Ok(out)
 }
@@ -811,5 +1004,146 @@ mod tests {
         let parsed: Vec<SimReport> = serde_json::from_str(&out).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].deadline_misses(), 0);
+    }
+
+    /// A JSONL arrival feed of tiny namespaced workflows, as a temp file.
+    fn arrivals_feed(entries: &[(&str, u64)]) -> tempfile::TempPath {
+        use woha_model::{JobSpec, SimTime, WorkflowBuilder};
+        let specs: Vec<WorkflowSpec> = entries
+            .iter()
+            .map(|&(name, submit_s)| {
+                let mut b = WorkflowBuilder::new(name);
+                b.add_job(JobSpec::new(
+                    "j",
+                    2,
+                    1,
+                    SimDuration::from_secs(20),
+                    SimDuration::from_secs(30),
+                ));
+                b.relative_deadline(SimDuration::from_mins(30));
+                b.build().unwrap().reissued(
+                    name.to_string(),
+                    SimTime::from_secs(submit_s),
+                    SimTime::from_secs(submit_s) + SimDuration::from_mins(30),
+                )
+            })
+            .collect();
+        temp_file_with(&woha_trace::to_jsonl(&specs).unwrap())
+    }
+
+    #[test]
+    fn serve_replays_a_finite_feed_and_matches_simulate() {
+        let feed = arrivals_feed(&[("ads/a", 0), ("etl/b", 60)]);
+        let batch = run_line(&[
+            "simulate",
+            "--arrivals",
+            feed.to_str(),
+            "--admission",
+            "necessary",
+            "--json",
+        ])
+        .unwrap();
+        let served = run_line(&["serve", "--follow", feed.to_str(), "--json"]).unwrap();
+        // The serve JSON wraps the identical report in a service object.
+        use serde::Deserialize as _;
+        let wrapped: serde::Value = serde_json::from_str(&served).unwrap();
+        let field = |v: &serde::Value, name: &str| {
+            v.as_object()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {name} in {served}"))
+        };
+        let mut report = SimReport::from_value(&field(&wrapped, "report")).unwrap();
+        let mut batch: Vec<SimReport> = serde_json::from_str(&batch).unwrap();
+        report.scheduler_nanos = 0;
+        batch[0].scheduler_nanos = 0;
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&batch[0]).unwrap()
+        );
+        let service = field(&wrapped, "service");
+        let cause = field(&service, "cause");
+        assert_eq!(cause.as_str(), Some("drained"));
+        assert!(served.contains("\"arrivals\": 2"), "{served}");
+        assert!(served.contains("\"shed\": 0"), "{served}");
+    }
+
+    #[test]
+    fn serve_tenant_file_gates_admission_with_tenant_labels() {
+        let feed = arrivals_feed(&[("ads/a", 0), ("ads/b", 10), ("etl/c", 20)]);
+        let tenants = temp_file_with(
+            "policy = \"necessity\"\n\
+             [tenant.ads]\nmax_in_flight = 1\n\
+             [tenant.etl]\nmax_in_flight = 4\n",
+        );
+        let out = run_line(&[
+            "serve",
+            "--follow",
+            feed.to_str(),
+            "--tenants",
+            tenants.to_str(),
+        ])
+        .unwrap();
+        assert!(out.contains("=== serve"), "{out}");
+        assert!(
+            out.contains("admission rejected 1  (tenant_cap_exceeded:ads x1)"),
+            "{out}"
+        );
+        assert!(out.contains("etl/c"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_tenants_without_a_fallback() {
+        let feed = arrivals_feed(&[("mystery/w", 0)]);
+        let tenants = temp_file_with("[tenant.ads]\nmax_in_flight = 1\n");
+        let out = run_line(&[
+            "serve",
+            "--follow",
+            feed.to_str(),
+            "--tenants",
+            tenants.to_str(),
+        ])
+        .unwrap();
+        assert!(out.contains("unknown_tenant:mystery x1"), "{out}");
+    }
+
+    #[test]
+    fn serve_wall_clock_drains_and_reports_idle_shutdown() {
+        let feed = arrivals_feed(&[("live/a", 0), ("live/b", 5)]);
+        let metrics = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+        let out = run_line(&[
+            "serve",
+            "--follow",
+            feed.to_str(),
+            "--wall-clock",
+            "--speedup",
+            "4000",
+            "--poll-interval",
+            "1ms",
+            "--idle-timeout",
+            "300ms",
+            "--admission",
+            "off",
+            "--metrics-out",
+            metrics.to_str(),
+        ])
+        .unwrap();
+        assert!(out.contains("shutdown: idle-timeout"), "{out}");
+        assert!(out.contains("arrivals 2"), "{out}");
+        assert!(out.contains("misses 0/2"), "{out}");
+        let prom = std::fs::read_to_string(metrics.to_str()).unwrap();
+        assert!(prom.contains("woha_arrivals_total 2"), "{prom}");
+        assert!(prom.contains("woha_arrivals_shed_total 0"), "{prom}");
+        assert!(prom.contains("woha_arrival_queue_depth"), "{prom}");
+        assert!(prom.contains("woha_arrival_lag_seconds"), "{prom}");
+    }
+
+    #[test]
+    fn serve_surfaces_feed_errors_with_the_file_name() {
+        let feed = temp_file_with("not json at all\n");
+        let err = run_line(&["serve", "--follow", feed.to_str()]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 }

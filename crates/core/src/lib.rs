@@ -53,6 +53,7 @@ pub mod priority;
 pub mod progress;
 pub mod replan;
 pub mod skiplist;
+pub mod tenant;
 pub mod woha;
 
 pub use admission::{AdmissionController, RejectReason};
@@ -65,4 +66,5 @@ pub use priority::{JobPriorities, PriorityPolicy};
 pub use progress::WorkflowProgress;
 pub use replan::{remaining_workflow, ReplanConfig};
 pub use skiplist::SkipList;
+pub use tenant::{tenant_of, MultiTenantGate, OverloadPolicy, TenantSpec};
 pub use woha::{QueueStrategy, WohaConfig, WohaScheduler};

@@ -1,0 +1,169 @@
+//! Property tests for the multi-tenant admission gate: per-tenant caps
+//! and budgets are invariants that hold for *every* arrival/release
+//! interleaving, and shedding is a deterministic function of the sequence
+//! (two gates fed the same script make identical decisions).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use woha_core::{AdmissionController, MultiTenantGate, OverloadPolicy, TenantSpec};
+use woha_model::{JobSpec, SimDuration, SimTime, WorkflowBuilder, WorkflowSpec};
+use woha_sim::ClusterConfig;
+
+const TENANTS: &[&str] = &["ads", "etl", "ml"];
+
+fn workflow(name: &str, maps: u32, map_secs: u64, deadline_mins: u64) -> WorkflowSpec {
+    let mut b = WorkflowBuilder::new(name);
+    b.add_job(JobSpec::new(
+        "j",
+        maps,
+        0,
+        SimDuration::from_secs(map_secs),
+        SimDuration::ZERO,
+    ));
+    if deadline_mins > 0 {
+        b.relative_deadline(SimDuration::from_mins(deadline_mins));
+    }
+    b.build().unwrap()
+}
+
+/// One scripted step, decoded from raw numeric draws so any tuple is a
+/// legal script: submit a workflow for a tenant, or release an earlier
+/// admitted one.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    tenant: usize,
+    maps: u32,
+    map_secs: u64,
+    deadline_mins: u64,
+    /// Release an admitted workflow (chosen by this modulus) instead of
+    /// submitting, when odd.
+    action: u8,
+}
+
+fn policy_of(code: u8) -> OverloadPolicy {
+    match code % 3 {
+        0 => OverloadPolicy::Necessity,
+        1 => OverloadPolicy::ValueDensity,
+        _ => OverloadPolicy::WeightedFair,
+    }
+}
+
+fn build_gate(policy: OverloadPolicy, cap: usize, budget_ms: u128) -> MultiTenantGate {
+    let mut g = MultiTenantGate::new(&ClusterConfig::uniform(4, 2, 1))
+        .with_controller(AdmissionController::new(&ClusterConfig::uniform(4, 2, 1)))
+        .with_policy(policy);
+    for (i, t) in TENANTS.iter().enumerate() {
+        g.add_tenant(
+            TenantSpec::new(*t, cap)
+                .with_slot_budget(budget_ms)
+                .with_weight(1.0 + i as f64),
+        );
+    }
+    g
+}
+
+/// Replays a script against a fresh gate, checking the cap/budget
+/// invariants after every step, and returns the decision log.
+fn run_script(
+    policy: OverloadPolicy,
+    cap: usize,
+    budget_ms: u128,
+    steps: &[Step],
+) -> Result<Vec<Result<(), String>>, TestCaseError> {
+    let mut gate = build_gate(policy, cap, budget_ms);
+    let mut admitted: Vec<String> = Vec::new();
+    let mut decisions = Vec::new();
+    let mut seq = 0u64;
+    for (k, s) in steps.iter().enumerate() {
+        let now = SimTime::from_secs(k as u64 * 10);
+        if s.action % 2 == 1 && !admitted.is_empty() {
+            let name = admitted.remove(s.action as usize % admitted.len());
+            gate.complete(&name);
+        } else {
+            seq += 1;
+            let tenant = TENANTS[s.tenant % TENANTS.len()];
+            let name = format!("{tenant}/wf-{seq}");
+            let w = workflow(
+                &name,
+                1 + s.maps % 16,
+                10 + s.map_secs % 120,
+                s.deadline_mins % 30,
+            )
+            .reissued(
+                name.clone(),
+                now,
+                if s.deadline_mins % 30 == 0 {
+                    SimTime::MAX
+                } else {
+                    now.saturating_add(SimDuration::from_mins(s.deadline_mins % 30))
+                },
+            );
+            let decision = gate.try_admit(&w, now);
+            if decision.is_ok() {
+                admitted.push(name);
+            }
+            decisions.push(decision);
+        }
+        // The hard invariants: no tenant ever holds more than its cap or
+        // budget, no matter the policy or interleaving.
+        for t in TENANTS {
+            prop_assert!(
+                gate.tenant_in_flight(t) <= cap,
+                "tenant {t} exceeds cap {cap}: {}",
+                gate.tenant_in_flight(t)
+            );
+            prop_assert!(
+                gate.tenant_work_ms(t) <= budget_ms,
+                "tenant {t} exceeds budget {budget_ms}: {}",
+                gate.tenant_work_ms(t)
+            );
+        }
+    }
+    Ok(decisions)
+}
+
+proptest! {
+    /// Caps and budgets are never exceeded, under any policy, for
+    /// arbitrary admit/release scripts.
+    #[test]
+    fn caps_and_budgets_hold_for_all_scripts(
+        policy_code in 0u8..3,
+        cap in 1usize..4,
+        raw in vec((0usize..8, 0u32..64, 0u64..512, 0u64..64, 0u8..8), 1..40),
+    ) {
+        let steps: Vec<Step> = raw
+            .iter()
+            .map(|&(tenant, maps, map_secs, deadline_mins, action)| Step {
+                tenant,
+                maps,
+                map_secs,
+                deadline_mins,
+                action,
+            })
+            .collect();
+        run_script(policy_of(policy_code), cap, 2_000_000, &steps)?;
+    }
+
+    /// Shedding is deterministic: the same script against two fresh gates
+    /// produces the same decision log, label for label.
+    #[test]
+    fn shedding_is_deterministic(
+        policy_code in 0u8..3,
+        raw in vec((0usize..8, 0u32..64, 0u64..512, 0u64..64, 0u8..8), 1..40),
+    ) {
+        let steps: Vec<Step> = raw
+            .iter()
+            .map(|&(tenant, maps, map_secs, deadline_mins, action)| Step {
+                tenant,
+                maps,
+                map_secs,
+                deadline_mins,
+                action,
+            })
+            .collect();
+        let a = run_script(policy_of(policy_code), 2, 1_000_000, &steps)?;
+        let b = run_script(policy_of(policy_code), 2, 1_000_000, &steps)?;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -42,6 +42,7 @@
 //! JobTracker-restart semantics), and task completions the master has no
 //! record of are discarded as orphans.
 
+use crate::clock::{Clock, SimClock, SourceWait};
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{splitmix, FaultStream};
@@ -64,7 +65,7 @@ use serde::Value;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId, WorkflowSpec};
-use woha_trace::{VecSource, WorkloadSource};
+use woha_trace::{SourcePoll, VecSource, WorkloadSource};
 
 /// A configuration error detected before the simulation starts.
 ///
@@ -2140,6 +2141,49 @@ pub fn try_run_simulation_streamed_observed<'a>(
     Ok(result)
 }
 
+/// Clocked variant of [`try_run_simulation_streamed_observed`]: the same
+/// event loop, but time is governed by a caller-supplied [`Clock`].
+///
+/// With [`SimClock`] this is byte-identical to the streamed-observed entry
+/// point (pinned by the E2E identity tests). With a
+/// [`WallClock`](crate::clock::WallClock) the loop paces events against
+/// real time and waits for live sources — this is the engine under
+/// `woha serve --wall-clock`, where the source is typically a
+/// [`FollowSource`](woha_trace::FollowSource) or
+/// [`ChannelSource`](woha_trace::ChannelSource) behind an
+/// [`ArrivalBuffer`](crate::backpressure::ArrivalBuffer).
+///
+/// # Errors
+///
+/// Returns the same [`SimError`]s as [`try_run_simulation`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_simulation_clocked<'a>(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
+    sink: Option<&'a mut dyn TraceSink>,
+    clock: &mut dyn Clock,
+) -> Result<(SimReport, Option<MetricsRegistry>), SimError> {
+    validate(cluster)?;
+    let metrics = config
+        .observability
+        .metrics
+        .then(|| MetricsRegistry::new(scheduler.backend_label()));
+    let sched_tracing = sink.is_some() || metrics.is_some();
+    if sched_tracing {
+        scheduler.set_tracing(true);
+    }
+    let result = run_inner_clocked(
+        source, scheduler, cluster, config, gate, sink, metrics, clock,
+    );
+    if sched_tracing {
+        scheduler.set_tracing(false);
+    }
+    Ok(result)
+}
+
 /// Observability-enabled variant of [`run_simulation`]: runs the same
 /// simulation and additionally returns the [`Observations`] collected
 /// according to [`SimConfig::observability`] (an empty trace and no
@@ -2234,6 +2278,29 @@ fn run_inner<'a>(
     gate: Option<&'a mut dyn AdmissionGate>,
     sink: Option<&'a mut dyn TraceSink>,
     metrics: Option<MetricsRegistry>,
+) -> (SimReport, Option<MetricsRegistry>) {
+    run_inner_clocked(
+        source,
+        scheduler,
+        cluster,
+        config,
+        gate,
+        sink,
+        metrics,
+        &mut SimClock,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inner_clocked<'a>(
+    source: &mut dyn WorkloadSource,
+    scheduler: &mut dyn WorkflowScheduler,
+    cluster: &'a ClusterConfig,
+    config: &'a SimConfig,
+    gate: Option<&'a mut dyn AdmissionGate>,
+    sink: Option<&'a mut dyn TraceSink>,
+    metrics: Option<MetricsRegistry>,
+    clock: &mut dyn Clock,
 ) -> (SimReport, Option<MetricsRegistry>) {
     let fault_mode = cluster.faults().enabled();
     let master_mode = cluster.faults().master.enabled();
@@ -2379,13 +2446,27 @@ fn run_inner<'a>(
         // by the time an event at time T is processed, every workflow
         // submitted at or before T has been pulled, gated, and enqueued —
         // exactly the set the batch driver had pre-registered. Arrivals
-        // the gate turns away are counted and dropped on the spot.
+        // the gate turns away are counted and dropped on the spot. A live
+        // source may have no data *yet* (Pending); the clock decides
+        // whether to wait it out, service the next due event, or — for
+        // the replay clock, which never waits — treat it as the end.
         while !sim.exhausted {
-            let Some(submit) = source.peek_time() else {
-                sim.exhausted = true;
-                break;
+            let submit = match source.poll_time() {
+                SourcePoll::Ready(submit) => submit,
+                SourcePoll::Exhausted => {
+                    sim.exhausted = true;
+                    break;
+                }
+                SourcePoll::Pending => match clock.source_pending(sim.queue.peek_time()) {
+                    SourceWait::Retry => continue,
+                    SourceWait::EventDue => break,
+                    SourceWait::Ended => {
+                        sim.exhausted = true;
+                        break;
+                    }
+                },
             };
-            let at = submit.saturating_add(sim.arrival_shift);
+            let at = clock.stamp(submit.saturating_add(sim.arrival_shift), sim.now);
             if sim.queue.peek_time().is_some_and(|head| at > head) {
                 break;
             }
@@ -2414,6 +2495,14 @@ fn run_inner<'a>(
         }
         if sim.remaining == 0 && sim.exhausted {
             break;
+        }
+        // In wall-clock mode, wait (in poll slices) until the head event
+        // is due, re-polling the source between slices so fresh arrivals
+        // can still beat it. The replay clock is always ready.
+        if let Some(head) = sim.queue.peek_time() {
+            if !clock.ready_for(head) {
+                continue;
+            }
         }
         let Some((t, event)) = sim.queue.pop() else {
             break;

@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backpressure;
+pub mod clock;
 pub mod cluster;
 pub mod driver;
 pub mod event;
@@ -49,11 +51,13 @@ pub mod scheduler;
 pub mod snapshot;
 pub mod state;
 
+pub use backpressure::{ArrivalBuffer, ServiceStats};
+pub use clock::{Clock, SimClock, SourceWait, WallClock};
 pub use cluster::{ClusterConfig, NodeConfig};
 pub use driver::{
     run_simulation, run_simulation_observed, run_simulation_streamed, try_run_simulation,
-    try_run_simulation_observed, try_run_simulation_streamed, try_run_simulation_streamed_observed,
-    LocalityConfig, SimConfig, SimError, SpeculationConfig,
+    try_run_simulation_clocked, try_run_simulation_observed, try_run_simulation_streamed,
+    try_run_simulation_streamed_observed, LocalityConfig, SimConfig, SimError, SpeculationConfig,
 };
 pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
 pub use gate::{AdmissionGate, AdmitAll};

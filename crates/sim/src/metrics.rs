@@ -716,6 +716,10 @@ pub struct MetricsRegistry {
     pub wal_replayed: Counter,
     /// Node crashes observed.
     pub node_failures: Counter,
+    /// Workflow arrivals accepted into the service's arrival buffer.
+    pub arrivals: Counter,
+    /// Workflow arrivals shed by backpressure before reaching admission.
+    pub arrivals_shed: Counter,
     /// Incomplete workflows, sampled over sim time.
     pub pending_workflows: Gauge,
     /// Eligible-but-unassigned tasks across incomplete workflows
@@ -724,6 +728,11 @@ pub struct MetricsRegistry {
     /// Tightest deadline margin (seconds) across incomplete workflows,
     /// sampled over sim time; 0 when no workflow is pending.
     pub min_deadline_margin_seconds: Gauge,
+    /// Depth of the service's bounded arrival buffer.
+    pub arrival_queue_depth: Gauge,
+    /// Ingest lag (seconds): newest buffered submit time minus the oldest
+    /// still-buffered submit time — how far the master trails the stream.
+    pub arrival_lag_seconds: Gauge,
     /// Wall-clock seconds per scheduler consultation, labelled with the
     /// priority-index backend. Wall-clock: nondeterministic across runs.
     pub decision_seconds: Histogram,
@@ -765,6 +774,14 @@ impl MetricsRegistry {
                 "WAL records replayed during master recovery.",
             ),
             node_failures: Counter::new("woha_node_failures_total", "Node crashes observed."),
+            arrivals: Counter::new(
+                "woha_arrivals_total",
+                "Workflow arrivals accepted into the arrival buffer.",
+            ),
+            arrivals_shed: Counter::new(
+                "woha_arrivals_shed_total",
+                "Workflow arrivals shed by backpressure.",
+            ),
             pending_workflows: Gauge::new("woha_pending_workflows", "Incomplete workflows."),
             pending_tasks: Gauge::new(
                 "woha_pending_tasks",
@@ -773,6 +790,14 @@ impl MetricsRegistry {
             min_deadline_margin_seconds: Gauge::new(
                 "woha_min_deadline_margin_seconds",
                 "Tightest deadline margin across incomplete workflows.",
+            ),
+            arrival_queue_depth: Gauge::new(
+                "woha_arrival_queue_depth",
+                "Depth of the bounded arrival buffer.",
+            ),
+            arrival_lag_seconds: Gauge::new(
+                "woha_arrival_lag_seconds",
+                "Ingest lag between the stream head and the oldest buffered arrival.",
             ),
             decision_seconds: Histogram::new(
                 "woha_decision_seconds",
@@ -796,7 +821,7 @@ impl MetricsRegistry {
     }
 
     /// All counters, in export order.
-    pub fn counters(&self) -> [&Counter; 10] {
+    pub fn counters(&self) -> [&Counter; 12] {
         [
             &self.heartbeats,
             &self.heartbeat_batches,
@@ -808,15 +833,19 @@ impl MetricsRegistry {
             &self.checkpoints,
             &self.wal_replayed,
             &self.node_failures,
+            &self.arrivals,
+            &self.arrivals_shed,
         ]
     }
 
     /// All gauges, in export order.
-    pub fn gauges(&self) -> [&Gauge; 3] {
+    pub fn gauges(&self) -> [&Gauge; 5] {
         [
             &self.pending_workflows,
             &self.pending_tasks,
             &self.min_deadline_margin_seconds,
+            &self.arrival_queue_depth,
+            &self.arrival_lag_seconds,
         ]
     }
 

@@ -39,6 +39,9 @@ pub use dist::{
     BoundedPareto, Clamped, Discrete, Distribution, Exponential, LogNormal, Mixture, Uniform,
 };
 pub use rng::Rng;
-pub use source::{drain, to_jsonl, GeneratorSource, JsonlSource, VecSource, WorkloadSource};
+pub use source::{
+    drain, to_jsonl, ChannelSource, FollowSource, GeneratorSource, JsonlSource, SourcePoll,
+    SourceStop, VecSource, WorkloadSource,
+};
 pub use workload::{DeadlineRule, ReleasePattern, Workload};
 pub use yahoo::YahooTraceConfig;

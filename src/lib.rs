@@ -12,7 +12,10 @@
 //!   paper's published Yahoo! trace statistics;
 //! - [`sim`] (`woha-sim`) — the discrete-event Hadoop-1 cluster simulator;
 //! - [`core`] (`woha-core`) — scheduling plans, the Double Skip List, the
-//!   progress-based WOHA scheduler, and the FIFO/Fair/EDF baselines.
+//!   progress-based WOHA scheduler, and the FIFO/Fair/EDF baselines;
+//! - [`serve`] (`woha-serve`) — the long-running scheduler service: live
+//!   workload feeds, wall-clock pacing, backpressure, multi-tenant
+//!   admission, and cooperative shutdown.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 
 pub use woha_core as core;
 pub use woha_model as model;
+pub use woha_serve as serve;
 pub use woha_sim as sim;
 pub use woha_trace as trace;
 
@@ -56,19 +60,25 @@ pub mod prelude {
         JobId, JobSpec, ModelError, NodeId, SimDuration, SimTime, SlotKind, WorkflowBuilder,
         WorkflowConfig, WorkflowId, WorkflowSpec,
     };
+    pub use woha_serve::{
+        run_service, ClockMode, ServeConfig, ServiceOutcome, ShutdownCause, ShutdownConfig,
+        ShutdownSignal, TenantsConfig,
+    };
     pub use woha_sim::{
         run_simulation, run_simulation_observed, run_simulation_streamed, try_run_simulation,
-        try_run_simulation_observed, try_run_simulation_streamed,
+        try_run_simulation_clocked, try_run_simulation_observed, try_run_simulation_streamed,
         try_run_simulation_streamed_observed, AdmissionGate, AdmissionReport, AdmitAll,
         ClusterConfig, FaultConfig, JsonlTraceSink, LocalityConfig, MasterFaultConfig, MemorySink,
         ObservabilityConfig, Observations, RecoveryReport, RejectCount, SchedulerState,
         ScriptedFault, SimConfig, SimError, SimReport, SpeculationConfig, TraceEvent, TraceRecord,
         TraceSink, WorkflowPool, WorkflowScheduler,
     };
+    pub use woha_sim::{ArrivalBuffer, Clock, ServiceStats, SimClock, SourceWait, WallClock};
     pub use woha_trace::{
         drain, to_jsonl,
         workload::{DeadlineRule, ReleasePattern, Workload},
         yahoo::{yahoo_workflows, YahooTraceConfig},
-        GeneratorSource, JsonlSource, Rng, VecSource, WorkloadSource,
+        ChannelSource, FollowSource, GeneratorSource, JsonlSource, Rng, SourcePoll, SourceStop,
+        VecSource, WorkloadSource,
     };
 }

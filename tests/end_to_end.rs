@@ -915,3 +915,186 @@ fn admission_gate_rejects_at_the_front_door() {
     assert!(ungated.admission.is_none());
     assert!(ungated.deadline_misses() >= 1);
 }
+
+/// A replay clock for a source that is still being written: like
+/// `SimClock` it never paces events and never re-stamps arrivals, but when
+/// the source reports "no data yet" it blocks — sleeps a poll slice and
+/// retries — instead of declaring the stream over. The event loop
+/// therefore never advances past data the writer has yet to produce, so
+/// the run is byte-identical to a batch run no matter how slowly (or in
+/// what fragments) the bytes arrive.
+struct BlockingReplayClock;
+
+impl Clock for BlockingReplayClock {
+    fn source_pending(&mut self, _next_event: Option<SimTime>) -> SourceWait {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        SourceWait::Retry
+    }
+}
+
+fn temp_feed_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "woha_e2e_feed_{}_{}_{tag}.jsonl",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Satellite: tailing a file that is still being written is the batch
+/// front door. A writer thread appends the Yahoo-trace JSONL to a file
+/// that does not exist yet, landing every record in two separate writes so
+/// the reader keeps hitting end-of-file inside an unterminated line (the
+/// truncated-tail retry in `JsonlSource`/`FollowSource`), then raises the
+/// stop flag. The `FollowSource`-fed clocked run produces a `SimReport`
+/// byte-identical to the batch run — on a plain cluster and across a
+/// mid-run master crash recovered from checkpoint.
+#[test]
+fn follow_source_written_live_matches_batch_byte_for_byte() {
+    use std::io::Write as _;
+
+    // A live feed is chronological: sort by submit time so the sources'
+    // nondecreasing-watermark clamp never has to rewrite a timestamp, and
+    // use the same order for the batch reference.
+    let mut workflows = obs_yahoo_workload().workflows().to_vec();
+    workflows.sort_by_key(|w| w.submit_time());
+    let jsonl = to_jsonl(&workflows).unwrap();
+    let plain = ClusterConfig::with_totals(120, 120);
+    let faulty = ClusterConfig::with_totals(120, 120).with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_secs(45),
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let config = SimConfig::default();
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+    let schedulers = || -> Vec<Box<dyn WorkflowScheduler>> {
+        vec![
+            Box::new(WohaScheduler::new(WohaConfig::new(
+                PriorityPolicy::Lpf,
+                240,
+            ))),
+            Box::new(EdfScheduler::new()),
+        ]
+    };
+
+    for (cluster, label) in [(&plain, "plain"), (&faulty, "failover")] {
+        for (mut batch_s, mut follow_s) in schedulers().into_iter().zip(schedulers()) {
+            let batch = run_simulation(&workflows, batch_s.as_mut(), cluster, &config);
+            let name = batch.scheduler.clone();
+            if label == "failover" {
+                assert_eq!(batch.recovery.as_ref().unwrap().master_crashes, 1, "{name}");
+            }
+            let reference = strip(batch);
+
+            let path = temp_feed_path(label);
+            std::fs::remove_file(&path).ok();
+            let mut follow = FollowSource::file(&path);
+            let stop = follow.stop_handle();
+            let writer = {
+                let text = jsonl.clone();
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    // The file comes into being with the first chunk;
+                    // until then the source stays Pending.
+                    let mut f = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .unwrap();
+                    for (i, line) in text.lines().enumerate() {
+                        let bytes = line.as_bytes();
+                        let mid = bytes.len() / 2;
+                        f.write_all(&bytes[..mid]).unwrap();
+                        if i < 4 {
+                            // Give the reader a real chance to observe the
+                            // torn record before the rest of it lands.
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        f.write_all(&bytes[mid..]).unwrap();
+                        f.write_all(b"\n").unwrap();
+                    }
+                    stop.stop();
+                })
+            };
+
+            let (live, metrics) = try_run_simulation_clocked(
+                &mut follow,
+                follow_s.as_mut(),
+                cluster,
+                &config,
+                None,
+                None,
+                &mut BlockingReplayClock,
+            )
+            .unwrap();
+            writer.join().unwrap();
+            std::fs::remove_file(&path).ok();
+            assert!(follow.error().is_none(), "{label} {name}: clean tail parse");
+            assert!(metrics.is_none(), "observability off");
+            assert_eq!(strip(live), reference, "{label} {name}: live FollowSource");
+        }
+    }
+}
+
+/// Satellite: the clocked event loop under `SimClock` IS the streamed
+/// event loop. For every scheduler, on a plain cluster and across a
+/// mid-run master crash, `try_run_simulation_clocked(.., SimClock)`
+/// produces a `SimReport` byte-identical to
+/// `try_run_simulation_streamed` — the wall-clock plumbing costs replay
+/// mode nothing.
+#[test]
+fn sim_clock_replay_matches_streamed_byte_for_byte() {
+    let workflows = fig11_workflows();
+    let plain = demo_cluster();
+    let faulty = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_secs(45),
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..FaultConfig::default()
+    });
+    let config = SimConfig::default();
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+
+    for (cluster, label) in [(&plain, "plain"), (&faulty, "failover")] {
+        for (mut streamed_s, mut clocked_s) in
+            all_schedulers(96).into_iter().zip(all_schedulers(96))
+        {
+            let mut source = VecSource::new(workflows.clone());
+            let streamed = try_run_simulation_streamed(
+                &mut source,
+                streamed_s.as_mut(),
+                cluster,
+                &config,
+                None,
+            )
+            .unwrap();
+            let name = streamed.scheduler.clone();
+
+            let mut source = VecSource::new(workflows.clone());
+            let (clocked, metrics) = try_run_simulation_clocked(
+                &mut source,
+                clocked_s.as_mut(),
+                cluster,
+                &config,
+                None,
+                None,
+                &mut SimClock,
+            )
+            .unwrap();
+            assert!(metrics.is_none(), "observability off");
+            assert_eq!(strip(clocked), strip(streamed), "{label} {name}: SimClock");
+        }
+    }
+}
