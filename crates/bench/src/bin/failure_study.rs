@@ -1,14 +1,26 @@
 //! Node-failure resilience study: sweeps the per-node MTBF over the
 //! Yahoo-like deadline workload (the Figs 8–10 scenario on the middle
-//! cluster) and compares deadline-miss ratio, total tardiness, and
-//! fault-subsystem disruption across EDF, FIFO, Fair and WOHA-LPF.
+//! cluster) twice. The reactive sweep compares EDF, FIFO, Fair and
+//! WOHA-LPF with failure prediction off; the proactive sweep holds
+//! WOHA-LPF fixed and climbs the prediction ladder — reactive, plan
+//! padding, padding + risk-aware placement.
+//!
+//! Writes the machine-readable `BENCH_failure.json` and the human-readable
+//! `results/failure_study.txt`, then prints the tables. Pass `--quick` for
+//! the CI smoke sweep (two MTBF points); the output schema is identical.
 
-use woha_bench::experiments::failures::{default_mtbf_points, run_failure_sweep};
+use std::fmt::Write as _;
+use woha_bench::experiments::failures::{
+    default_mtbf_points, failure_study_report, miss_ratio, run_failure_sweep, run_proactive_sweep,
+    PredictionMode,
+};
 use woha_bench::scenarios::{trace_clusters, yahoo_workload, YahooScenario};
+use woha_bench::schedulers::SchedulerKind;
 use woha_model::SimDuration;
 use woha_sim::SimConfig;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let scenario = YahooScenario::default();
     let workload = yahoo_workload(&scenario);
     let (label, cluster) = trace_clusters().remove(1); // 240m-240r
@@ -18,24 +30,92 @@ fn main() {
         ..SimConfig::default()
     };
     let mttr = SimDuration::from_mins(5);
-    let sweep = run_failure_sweep(
-        workload.workflows(),
-        &cluster,
-        &default_mtbf_points(),
-        mttr,
-        &config,
-    );
-    println!(
+    let points = if quick {
+        vec![
+            ("none".to_string(), None),
+            ("8h".to_string(), Some(SimDuration::from_mins(8 * 60))),
+        ]
+    } else {
+        default_mtbf_points()
+    };
+    eprintln!("failure_study — reactive schedulers vs proactive WOHA-LPF under node crashes");
+    let reactive = run_failure_sweep(workload.workflows(), &cluster, &points, mttr, &config);
+    let proactive = run_proactive_sweep(workload.workflows(), &cluster, &points, mttr, &config);
+
+    let mut text = String::new();
+    writeln!(
+        text,
         "Failure study — {} multi-job Yahoo-like workflows on {label}, \
          per-node exponential crashes (MTTR 5m, 2 missed heartbeats to detect)\n",
-        sweep.workflow_count
-    );
-    println!("deadline-miss ratio");
-    print!("{}", sweep.miss_ratio_table().render());
-    println!("\ntotal tardiness (s)");
-    print!("{}", sweep.tardiness_table().render());
-    println!(
+        reactive.workflow_count
+    )
+    .unwrap();
+    writeln!(text, "deadline-miss ratio (reactive schedulers)").unwrap();
+    write!(text, "{}", reactive.miss_ratio_table().render()).unwrap();
+    writeln!(text, "\ntotal tardiness (s, reactive schedulers)").unwrap();
+    write!(text, "{}", reactive.tardiness_table().render()).unwrap();
+    writeln!(
+        text,
         "\ndisruption: node failures / tasks requeued / map outputs lost / work lost (slot-s)"
+    )
+    .unwrap();
+    write!(text, "{}", reactive.disruption_table().render()).unwrap();
+    writeln!(
+        text,
+        "\ndeadline-miss ratio (proactive WOHA-LPF: reactive vs pad vs pad+risk)"
+    )
+    .unwrap();
+    write!(text, "{}", proactive.miss_ratio_table().render()).unwrap();
+    writeln!(text, "\ntotal tardiness (s, proactive WOHA-LPF)").unwrap();
+    write!(text, "{}", proactive.tardiness_table().render()).unwrap();
+    writeln!(
+        text,
+        "\nprediction counters: plans padded / risk-averted placements / preemptive speculations"
+    )
+    .unwrap();
+    write!(text, "{}", proactive.prediction_table().render()).unwrap();
+
+    let report = failure_study_report(&reactive, &proactive, quick);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_failure.json", &json).expect("write BENCH_failure.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/failure_study.txt", &text).expect("write results/failure_study.txt");
+
+    print!("{text}");
+
+    // The headline claim: at MTBF <= 8 h, anticipating failures (pad+risk)
+    // misses fewer deadlines than merely reacting to them.
+    let stressed: Vec<&str> = points
+        .iter()
+        .filter(|(_, mtbf)| mtbf.is_some_and(|d| d <= SimDuration::from_mins(8 * 60)))
+        .map(|(l, _)| l.as_str())
+        .collect();
+    let sum = |mode: PredictionMode| -> f64 {
+        stressed
+            .iter()
+            .map(|l| miss_ratio(proactive.report(l, mode)))
+            .sum()
+    };
+    let reactive_misses = sum(PredictionMode::Off);
+    let proactive_misses = sum(PredictionMode::PadRisk);
+    let lpf_check: f64 = stressed
+        .iter()
+        .map(|l| miss_ratio(reactive.report(l, SchedulerKind::WohaLpf)))
+        .sum();
+    assert!(
+        (reactive_misses - lpf_check).abs() < 1e-12,
+        "mode Off must reproduce the reactive WOHA-LPF cells"
     );
-    print!("{}", sweep.disruption_table().render());
+    if proactive_misses < reactive_misses {
+        eprintln!(
+            "PASS: pad+risk cuts summed miss ratio {reactive_misses:.3} -> {proactive_misses:.3} \
+             at MTBF <= 8h"
+        );
+    } else {
+        eprintln!(
+            "WARN: pad+risk miss ratio {proactive_misses:.3} does not beat reactive \
+             {reactive_misses:.3} at MTBF <= 8h"
+        );
+    }
+    eprintln!("wrote BENCH_failure.json and results/failure_study.txt");
 }

@@ -3,12 +3,23 @@
 //! the paper, whose testbed never loses nodes; this probes how WOHA's
 //! progress-based priorities and the baselines degrade when the simulator's
 //! fault injector takes nodes away mid-flight).
+//!
+//! Two sweeps share the workload and fault schedules: the *reactive* sweep
+//! compares the four schedulers with failure prediction off, and the
+//! *proactive* sweep holds WOHA-LPF fixed and turns on the prediction
+//! ladder — plan padding, then padding plus risk-aware placement — to
+//! measure what anticipating failures buys over merely reacting to them.
 
 use crate::runner::run_many;
 use crate::schedulers::SchedulerKind;
 use crate::table::{fmt_f64, Table};
-use woha_model::{SimDuration, WorkflowSpec};
-use woha_sim::{ClusterConfig, FaultConfig, SimConfig, SimReport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use woha_core::{CapMode, PadConfig, PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler};
+use woha_model::{SimDuration, SlotKind, WorkflowSpec};
+use woha_sim::{
+    run_simulation, ClusterConfig, FaultConfig, PredictionConfig, SimConfig, SimReport,
+};
 
 /// The four schedulers the study compares (one WOHA variant suffices; the
 /// three policies share the fault-handling path).
@@ -149,6 +160,305 @@ impl FailureSweep {
     }
 }
 
+/// One rung of the proactive-response ladder the second sweep climbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionMode {
+    /// Failure prediction off — the reactive baseline (identical to the
+    /// reactive sweep's WOHA-LPF cell).
+    Off,
+    /// Propensity tracking plus proactive plan padding (`--pad-plans`).
+    PadOnly,
+    /// Padding plus risk-aware placement and preemptive speculation
+    /// (`--risk-placement`).
+    PadRisk,
+}
+
+impl PredictionMode {
+    /// All three rungs, reactive first.
+    pub const ALL: [PredictionMode; 3] = [
+        PredictionMode::Off,
+        PredictionMode::PadOnly,
+        PredictionMode::PadRisk,
+    ];
+
+    /// Short label used in tables and `BENCH_failure.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictionMode::Off => "reactive",
+            PredictionMode::PadOnly => "pad",
+            PredictionMode::PadRisk => "pad+risk",
+        }
+    }
+}
+
+impl fmt::Display for PredictionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// WOHA-LPF under `mode`: the same construction as
+/// [`SchedulerKind::WohaLpf`] except for the padding knob, so mode
+/// [`PredictionMode::Off`] reproduces the reactive sweep's WOHA-LPF cell
+/// exactly.
+fn build_proactive(
+    total_slots: u32,
+    mtbf: Option<SimDuration>,
+    mode: PredictionMode,
+) -> WohaScheduler {
+    let padding = match mode {
+        PredictionMode::Off => None,
+        _ => mtbf.map(PadConfig::new),
+    };
+    let policy = PriorityPolicy::Lpf;
+    WohaScheduler::new(WohaConfig {
+        policy,
+        cap_mode: CapMode::MinFeasible,
+        total_slots,
+        queue: QueueStrategy::Dsl,
+        padding,
+        ..WohaConfig::new(policy, total_slots)
+    })
+}
+
+/// One cell of the proactive sweep.
+#[derive(Debug, Clone)]
+pub struct ProactiveCell {
+    /// MTBF label ("none", "8h", ...).
+    pub mtbf: String,
+    /// Prediction mode.
+    pub mode: PredictionMode,
+    /// Full report.
+    pub report: SimReport,
+}
+
+/// The proactive sweep: WOHA-LPF at every `(MTBF, prediction mode)` pair.
+#[derive(Debug, Clone)]
+pub struct ProactiveSweep {
+    /// All cells, grouped by MTBF in sweep order.
+    pub cells: Vec<ProactiveCell>,
+    /// Number of workflows in the workload.
+    pub workflow_count: usize,
+}
+
+/// Runs the proactive sweep: WOHA-LPF over every `(MTBF point, mode)`
+/// pair, same fault schedules per point as [`run_failure_sweep`] given the
+/// same cluster, MTTR, and seed. Modes at one point run in parallel.
+pub fn run_proactive_sweep(
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    points: &[MtbfPoint],
+    mttr: SimDuration,
+    config: &SimConfig,
+) -> ProactiveSweep {
+    let total = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
+    let mut cells = Vec::new();
+    for (label, mtbf) in points {
+        let faulty = match mtbf {
+            Some(mtbf) => cluster
+                .clone()
+                .with_faults(FaultConfig::with_mtbf(*mtbf, mttr)),
+            None => cluster.clone(),
+        };
+        let mut reports: Vec<Option<SimReport>> = Vec::new();
+        reports.resize_with(PredictionMode::ALL.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot, &mode) in reports.iter_mut().zip(&PredictionMode::ALL) {
+                let faulty = &faulty;
+                scope.spawn(move || {
+                    let mut scheduler = build_proactive(total, *mtbf, mode);
+                    let run_config = SimConfig {
+                        prediction: (mode != PredictionMode::Off).then(|| PredictionConfig {
+                            risk_placement: mode == PredictionMode::PadRisk,
+                            ..PredictionConfig::default()
+                        }),
+                        ..config.clone()
+                    };
+                    *slot = Some(run_simulation(
+                        workflows,
+                        &mut scheduler,
+                        faulty,
+                        &run_config,
+                    ));
+                });
+            }
+        });
+        for (report, mode) in reports.into_iter().zip(PredictionMode::ALL) {
+            cells.push(ProactiveCell {
+                mtbf: label.clone(),
+                mode,
+                report: report.expect("every thread filled its slot"),
+            });
+        }
+    }
+    ProactiveSweep {
+        cells,
+        workflow_count: workflows.len(),
+    }
+}
+
+impl ProactiveSweep {
+    /// The report of one cell.
+    pub fn report(&self, mtbf: &str, mode: PredictionMode) -> &SimReport {
+        &self
+            .cells
+            .iter()
+            .find(|c| c.mtbf == mtbf && c.mode == mode)
+            .expect("cell exists")
+            .report
+    }
+
+    fn metric_table(&self, metric: impl Fn(&SimReport) -> String) -> Table {
+        let points: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.mtbf) {
+                    seen.push(c.mtbf.clone());
+                }
+            }
+            seen
+        };
+        let mut columns = vec!["mode".to_string()];
+        columns.extend(points.iter().map(|p| format!("mtbf {p}")));
+        let mut t = Table::new(columns);
+        for mode in PredictionMode::ALL {
+            let mut row = vec![mode.to_string()];
+            for point in &points {
+                row.push(metric(self.report(point, mode)));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Deadline-miss ratio per (mode, MTBF).
+    pub fn miss_ratio_table(&self) -> Table {
+        self.metric_table(|r| fmt_f64(miss_ratio(r)))
+    }
+
+    /// Total tardiness (s) per (mode, MTBF).
+    pub fn tardiness_table(&self) -> Table {
+        self.metric_table(|r| format!("{:.0}", r.total_tardiness().as_secs_f64()))
+    }
+
+    /// Prediction-subsystem counters per (mode, MTBF) as
+    /// `padded/averted/preempt`; `-` where prediction is off.
+    pub fn prediction_table(&self) -> Table {
+        self.metric_table(|r| match &r.prediction {
+            Some(p) => format!(
+                "{}/{}/{}",
+                p.plans_padded, p.risk_averted_placements, p.preemptive_speculations
+            ),
+            None => "-".to_string(),
+        })
+    }
+}
+
+/// Deadline-miss ratio of one run.
+pub fn miss_ratio(report: &SimReport) -> f64 {
+    report.deadline_misses() as f64 / report.outcomes.len().max(1) as f64
+}
+
+/// One reactive cell of `BENCH_failure.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReactivePoint {
+    /// MTBF label ("none", "8h", ...).
+    pub mtbf: String,
+    /// Scheduler label ("WOHA-LPF", ...).
+    pub scheduler: String,
+    /// Deadline-miss ratio.
+    pub miss_ratio: f64,
+    /// Total tardiness, seconds.
+    pub tardiness_s: f64,
+    /// Node crashes observed before the run drained.
+    pub node_failures: u64,
+    /// Running attempts requeued by crashes.
+    pub tasks_requeued: u64,
+}
+
+/// One proactive cell of `BENCH_failure.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProactivePoint {
+    /// MTBF label ("none", "8h", ...).
+    pub mtbf: String,
+    /// Prediction mode label ("reactive", "pad", "pad+risk").
+    pub mode: String,
+    /// Deadline-miss ratio.
+    pub miss_ratio: f64,
+    /// Total tardiness, seconds.
+    pub tardiness_s: f64,
+    /// Node crashes observed before the run drained.
+    pub node_failures: u64,
+    /// Plans generated with proactive padding applied.
+    pub plans_padded: u64,
+    /// Placements declined because the picked node was risky.
+    pub risk_averted_placements: u64,
+    /// Speculative duplicates launched off risky nodes.
+    pub preemptive_speculations: u64,
+    /// Highest end-of-run propensity score across nodes.
+    pub peak_propensity: f64,
+}
+
+/// The full failure study written to `BENCH_failure.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureStudyReport {
+    /// Experiment name (always "failure_study").
+    pub experiment: String,
+    /// Whether this was the `--quick` CI sweep.
+    pub quick: bool,
+    /// Number of workflows in the workload.
+    pub workflow_count: u64,
+    /// Reactive sweep: every (MTBF, scheduler) pair, prediction off.
+    pub reactive: Vec<ReactivePoint>,
+    /// Proactive sweep: WOHA-LPF at every (MTBF, prediction mode) pair.
+    pub proactive: Vec<ProactivePoint>,
+}
+
+/// Flattens the two sweeps into the machine-readable report.
+pub fn failure_study_report(
+    reactive: &FailureSweep,
+    proactive: &ProactiveSweep,
+    quick: bool,
+) -> FailureStudyReport {
+    FailureStudyReport {
+        experiment: "failure_study".to_string(),
+        quick,
+        workflow_count: reactive.workflow_count as u64,
+        reactive: reactive
+            .cells
+            .iter()
+            .map(|c| ReactivePoint {
+                mtbf: c.mtbf.clone(),
+                scheduler: c.scheduler.to_string(),
+                miss_ratio: miss_ratio(&c.report),
+                tardiness_s: c.report.total_tardiness().as_secs_f64(),
+                node_failures: c.report.node_failures,
+                tasks_requeued: c.report.tasks_requeued,
+            })
+            .collect(),
+        proactive: proactive
+            .cells
+            .iter()
+            .map(|c| {
+                let p = c.report.prediction.as_ref();
+                ProactivePoint {
+                    mtbf: c.mtbf.clone(),
+                    mode: c.mode.label().to_string(),
+                    miss_ratio: miss_ratio(&c.report),
+                    tardiness_s: c.report.total_tardiness().as_secs_f64(),
+                    node_failures: c.report.node_failures,
+                    plans_padded: p.map_or(0, |p| p.plans_padded),
+                    risk_averted_placements: p.map_or(0, |p| p.risk_averted_placements),
+                    preemptive_speculations: p.map_or(0, |p| p.preemptive_speculations),
+                    peak_propensity: p.map_or(0.0, |p| {
+                        p.node_propensity.iter().copied().fold(0.0f64, f64::max)
+                    }),
+                }
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +509,65 @@ mod tests {
         assert_eq!(sweep.miss_ratio_table().len(), SCHEDULERS.len());
         assert_eq!(sweep.tardiness_table().len(), SCHEDULERS.len());
         assert_eq!(sweep.disruption_table().len(), SCHEDULERS.len());
+    }
+
+    #[test]
+    fn proactive_sweep_matches_reactive_baseline_and_reports_prediction() {
+        let workflows = fig11_workflows();
+        let cluster = demo_cluster();
+        let points = vec![
+            ("none".to_string(), None),
+            ("12m".to_string(), Some(SimDuration::from_mins(12))),
+        ];
+        let config = SimConfig {
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let mttr = SimDuration::from_mins(3);
+        let reactive = run_failure_sweep(&workflows, &cluster, &points, mttr, &config);
+        let proactive = run_proactive_sweep(&workflows, &cluster, &points, mttr, &config);
+        assert_eq!(proactive.cells.len(), 2 * PredictionMode::ALL.len());
+
+        for (label, _) in &points {
+            // Mode Off IS the reactive WOHA-LPF run, bit for bit.
+            assert_eq!(
+                proactive.report(label, PredictionMode::Off),
+                reactive.report(label, SchedulerKind::WohaLpf),
+                "{label}"
+            );
+            // Prediction modes carry a prediction section; Off does not.
+            assert!(proactive
+                .report(label, PredictionMode::Off)
+                .prediction
+                .is_none());
+            for mode in [PredictionMode::PadOnly, PredictionMode::PadRisk] {
+                let report = proactive.report(label, mode);
+                assert!(report.completed, "{label} {mode}");
+                let p = report.prediction.as_ref().expect("prediction on");
+                if *label == "12m" {
+                    // A 12 m MTBF pads every plan and leaves nonzero scores.
+                    assert!(p.plans_padded > 0, "{mode}");
+                    assert!(p.node_propensity.iter().any(|&s| s > 0.0), "{mode}");
+                } else {
+                    // Fault-free: padding has no MTBF to work from and no
+                    // crash ever bumps a score.
+                    assert_eq!(p.plans_padded, 0, "{mode}");
+                    assert!(p.node_propensity.iter().all(|&s| s == 0.0), "{mode}");
+                }
+            }
+        }
+
+        // The JSON flattening covers every cell of both sweeps.
+        let json = failure_study_report(&reactive, &proactive, true);
+        assert_eq!(json.experiment, "failure_study");
+        assert_eq!(json.reactive.len(), reactive.cells.len());
+        assert_eq!(json.proactive.len(), proactive.cells.len());
+        let roundtrip: FailureStudyReport =
+            serde_json::from_str(&serde_json::to_string(&json).unwrap()).unwrap();
+        assert_eq!(roundtrip, json);
+        assert_eq!(
+            proactive.prediction_table().len(),
+            PredictionMode::ALL.len()
+        );
     }
 }

@@ -32,6 +32,8 @@ pub enum Command {
     /// [--scheduler S] [--index dsl|btree|pheap|naive] [--no-batch]
     /// [--jitter F] [--seed N] [--failures P] [--mtbf D]
     /// [--mttr D] [--detect-missed N] [--blacklist-after N]
+    /// [--predict-failures] [--pad-plans] [--risk-placement]
+    /// [--adaptive-blacklist T]
     /// [--master-mtbf D] [--master-mttr D] [--checkpoint-interval D]
     /// [--scripted-master-crash T]... [--no-wal] [--arrivals FILE]
     /// [--admission off|necessary] [--trace-out FILE]
@@ -62,6 +64,17 @@ pub enum Command {
         seed: u64,
         /// Task failure probability.
         failures: f64,
+        /// Track per-node failure propensity (the prediction layer).
+        predict_failures: bool,
+        /// Proactively pad WOHA plan budgets by the expected rework
+        /// fraction derived from the cluster MTBF.
+        pad_plans: bool,
+        /// Steer deadline-critical work away from failure-prone nodes and
+        /// preemptively speculate attempts already running on them.
+        risk_placement: bool,
+        /// Propensity threshold for adaptive blacklisting, replacing the
+        /// fixed `--blacklist-after` crash count.
+        adaptive_blacklist: Option<f64>,
         /// Screen each arriving workflow through the demand-bound
         /// admission test before it enters the cluster.
         admission: bool,
@@ -197,6 +210,21 @@ USAGE:
                           (default 2; needs --mtbf)
       --blacklist-after N crashes before a node is blacklisted
                           (default 0 = never; needs --mtbf)
+      --predict-failures  track a decaying per-node failure-propensity
+                          score from the injected fault history and report
+                          it (needs --mtbf)
+      --pad-plans         inflate WOHA plan budgets by the expected rework
+                          fraction (cluster MTBF x remaining work) so
+                          plans front-load slack for failures
+                          (needs --mtbf)
+      --risk-placement    decline risky nodes for deadline-critical tasks
+                          and preemptively speculate attempts running on
+                          them (needs --predict-failures)
+      --adaptive-blacklist T
+                          blacklist a node once its propensity score
+                          reaches T, replacing the fixed
+                          --blacklist-after count (needs
+                          --predict-failures)
       --master-mtbf D     mean time between master (JobTracker) crashes
                           (default: no master faults)
       --scripted-master-crash T
@@ -402,6 +430,10 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut mttr = None;
             let mut detect_missed = None;
             let mut blacklist_after = None;
+            let mut predict_failures = false;
+            let mut pad_plans = false;
+            let mut risk_placement = false;
+            let mut adaptive_blacklist = None;
             let mut master_mtbf = None;
             let mut master_mttr = None;
             let mut checkpoint_interval = None;
@@ -470,6 +502,19 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                                 .parse::<u32>()
                                 .map_err(|_| err("--blacklist-after needs an integer"))?,
                         );
+                    }
+                    "--predict-failures" => predict_failures = true,
+                    "--pad-plans" => pad_plans = true,
+                    "--risk-placement" => risk_placement = true,
+                    "--adaptive-blacklist" => {
+                        let raw = next_value(&mut it, "--adaptive-blacklist")?;
+                        let t: f64 = raw
+                            .parse()
+                            .map_err(|_| err("--adaptive-blacklist needs a number"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(err("--adaptive-blacklist must be positive"));
+                        }
+                        adaptive_blacklist = Some(t);
                     }
                     "--master-mtbf" => {
                         master_mtbf = Some(parse_positive_duration(&mut it, "--master-mtbf")?);
@@ -555,8 +600,21 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 None if mttr.is_some() || detect_missed.is_some() || blacklist_after.is_some() => {
                     return Err(err("--mttr/--detect-missed/--blacklist-after need --mtbf"));
                 }
+                None if predict_failures || pad_plans => {
+                    return Err(err("--predict-failures/--pad-plans need --mtbf"));
+                }
                 None => FaultConfig::default(),
             };
+            if (risk_placement || adaptive_blacklist.is_some()) && !predict_failures {
+                return Err(err(
+                    "--risk-placement/--adaptive-blacklist need --predict-failures",
+                ));
+            }
+            if adaptive_blacklist.is_some() && blacklist_after.is_some() {
+                return Err(err(
+                    "--adaptive-blacklist replaces --blacklist-after; pass one or the other",
+                ));
+            }
             if master_mtbf.is_some() || !scripted_crashes.is_empty() {
                 scripted_crashes.sort();
                 let defaults = MasterFaultConfig::default();
@@ -593,6 +651,10 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 jitter,
                 seed,
                 failures,
+                predict_failures,
+                pad_plans,
+                risk_placement,
+                adaptive_blacklist,
                 admission,
                 trace_out,
                 trace_format: trace_format.unwrap_or_default(),
@@ -852,6 +914,10 @@ mod tests {
                 jitter,
                 seed,
                 failures,
+                predict_failures,
+                pad_plans,
+                risk_placement,
+                adaptive_blacklist,
                 admission,
                 trace_out,
                 trace_format,
@@ -860,6 +926,10 @@ mod tests {
                 json,
             } => {
                 assert_eq!(workflows.len(), 2);
+                assert!(!predict_failures);
+                assert!(!pad_plans);
+                assert!(!risk_placement);
+                assert_eq!(adaptive_blacklist, None);
                 assert_eq!(workflows[1].release, SimTime::from_mins(5));
                 assert_eq!(arrivals, None);
                 assert_eq!(cluster.total_slots(SlotKind::Map), 64);
@@ -1107,6 +1177,91 @@ mod tests {
             "simulate",
             "a.xml",
             "--scripted-master-crash",
+            "soon"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_prediction_flags() {
+        let cmd = parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "8h",
+            "--predict-failures",
+            "--pad-plans",
+            "--risk-placement",
+            "--adaptive-blacklist",
+            "2.5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                predict_failures,
+                pad_plans,
+                risk_placement,
+                adaptive_blacklist,
+                ..
+            } => {
+                assert!(predict_failures);
+                assert!(pad_plans);
+                assert!(risk_placement);
+                assert_eq!(adaptive_blacklist, Some(2.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The prediction layer needs fault injection to learn from.
+        assert!(parse(&args(&["simulate", "a.xml", "--predict-failures"])).is_err());
+        assert!(parse(&args(&["simulate", "a.xml", "--pad-plans"])).is_err());
+        // Risk placement and adaptive blacklisting build on the tracker.
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--risk-placement"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--adaptive-blacklist",
+            "2"
+        ]))
+        .is_err());
+        // Adaptive and fixed blacklisting are mutually exclusive.
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--predict-failures",
+            "--blacklist-after",
+            "2",
+            "--adaptive-blacklist",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--predict-failures",
+            "--adaptive-blacklist",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "simulate",
+            "a.xml",
+            "--mtbf",
+            "1h",
+            "--predict-failures",
+            "--adaptive-blacklist",
             "soon"
         ]))
         .is_err());

@@ -6,14 +6,14 @@ use std::error::Error;
 use std::fmt::Write as _;
 use woha_core::{
     generate_plan, AdmissionController, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities,
-    PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler,
+    PadConfig, PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler,
 };
 use woha_model::{SimDuration, SlotKind, WorkflowConfig, WorkflowSpec};
 use woha_serve::{run_service, ClockMode, ServeConfig, ShutdownConfig, TenantsConfig};
 use woha_sim::{
     try_run_simulation_streamed, try_run_simulation_streamed_observed, AdmissionGate,
-    ClusterConfig, JsonlTraceSink, MemorySink, ObservabilityConfig, Observations, SimConfig,
-    SimReport, WorkflowScheduler,
+    ClusterConfig, JsonlTraceSink, MemorySink, ObservabilityConfig, Observations, PredictionConfig,
+    SimConfig, SimReport, WorkflowScheduler,
 };
 use woha_trace::{JsonlSource, VecSource, WorkloadSource};
 
@@ -42,6 +42,10 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             jitter,
             seed,
             failures,
+            predict_failures,
+            pad_plans,
+            risk_placement,
+            adaptive_blacklist,
             admission,
             trace_out,
             trace_format,
@@ -58,6 +62,12 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             jitter,
             seed,
             failures,
+            predict_failures.then(|| PredictionConfig {
+                risk_placement,
+                adaptive_blacklist,
+                ..PredictionConfig::default()
+            }),
+            pad_plans,
             admission,
             trace_out.as_deref(),
             trace_format,
@@ -146,10 +156,12 @@ fn build_scheduler(
     name: &str,
     total_slots: u32,
     queue: QueueStrategy,
+    padding: Option<PadConfig>,
 ) -> Box<dyn WorkflowScheduler> {
     let woha = |policy| {
         Box::new(WohaScheduler::new(WohaConfig {
             queue,
+            padding,
             ..WohaConfig::new(policy, total_slots)
         }))
     };
@@ -174,6 +186,8 @@ fn simulate(
     jitter: f64,
     seed: u64,
     failures: f64,
+    prediction: Option<PredictionConfig>,
+    pad_plans: bool,
     admission: bool,
     trace_out: Option<&str>,
     trace_format: TraceFormat,
@@ -193,6 +207,7 @@ fn simulate(
         task_failure_prob: failures,
         seed,
         batch_heartbeats: batch,
+        prediction,
         observability: ObservabilityConfig {
             trace: trace_out.is_some(),
             metrics: metrics_out.is_some(),
@@ -201,6 +216,10 @@ fn simulate(
         },
         ..SimConfig::default()
     };
+    // Arg validation guarantees --pad-plans comes with --mtbf.
+    let padding = pad_plans
+        .then(|| cluster.faults().mtbf.map(PadConfig::new))
+        .flatten();
     let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
     let names: Vec<&str> = if scheduler == "all" {
         vec!["woha-lpf", "woha-hlf", "woha-mpf", "edf", "fifo", "fair"]
@@ -210,7 +229,7 @@ fn simulate(
 
     let mut reports = Vec::new();
     for name in names {
-        let mut s = build_scheduler(name, total_slots, index);
+        let mut s = build_scheduler(name, total_slots, index, padding);
         // Each run consumes a fresh source and (when enabled) a fresh
         // admission controller, so compared schedulers see the same world.
         let mut gate = admission.then(|| AdmissionController::new(cluster));
@@ -310,6 +329,19 @@ fn simulate(
                 r.jobs_resubmitted,
             )?;
         }
+        if let Some(p) = &report.prediction {
+            let peak = p.node_propensity.iter().copied().fold(0.0f64, f64::max);
+            writeln!(
+                out,
+                "  prediction: plans padded {}  risk-averted placements {}  \
+                 preemptive speculations {}  adaptive blacklists {}  peak propensity {:.2}",
+                p.plans_padded,
+                p.risk_averted_placements,
+                p.preemptive_speculations,
+                p.adaptive_blacklists,
+                peak,
+            )?;
+        }
         for o in &report.outcomes {
             writeln!(
                 out,
@@ -376,7 +408,7 @@ fn serve(command: Command) -> Result<String, Box<dyn Error>> {
     };
 
     let total_slots = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
-    let mut sched = build_scheduler(&scheduler, total_slots, index);
+    let mut sched = build_scheduler(&scheduler, total_slots, index, None);
     let config = SimConfig {
         observability: ObservabilityConfig {
             metrics: metrics_out.is_some(),
@@ -784,6 +816,59 @@ mod tests {
         .unwrap();
         assert!(out.contains("node failures"), "{out}");
         assert!(out.contains("=== FIFO ==="), "{out}");
+    }
+
+    #[test]
+    fn simulate_with_prediction_reports_propensity() {
+        let path = sample_file();
+        let out = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "woha-lpf",
+            "--mtbf",
+            "5m",
+            "--mttr",
+            "30s",
+            "--seed",
+            "3",
+            "--predict-failures",
+            "--pad-plans",
+            "--risk-placement",
+        ])
+        .unwrap();
+        assert!(out.contains("prediction: plans padded"), "{out}");
+        // The JSON report carries the prediction section.
+        let json = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "woha-lpf",
+            "--mtbf",
+            "5m",
+            "--seed",
+            "3",
+            "--predict-failures",
+            "--json",
+        ])
+        .unwrap();
+        let parsed: Vec<SimReport> = serde_json::from_str(&json).unwrap();
+        let p = parsed[0].prediction.as_ref().expect("prediction report");
+        assert!(!p.node_propensity.is_empty());
+        // Prediction off: the key is absent entirely.
+        let json = run_line(&[
+            "simulate",
+            path.to_str(),
+            "--scheduler",
+            "woha-lpf",
+            "--mtbf",
+            "5m",
+            "--seed",
+            "3",
+            "--json",
+        ])
+        .unwrap();
+        assert!(!json.contains("\"prediction\""), "{json}");
     }
 
     #[test]

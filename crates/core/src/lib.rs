@@ -61,7 +61,10 @@ pub use baseline::{EdfScheduler, FairScheduler, FifoScheduler};
 pub use index::{BTreeIndex, BstIndex, DslIndex, PriorityIndex, WorkflowIndex};
 pub use pheap::{PairingHeap, PairingIndex};
 pub use plan::{ProgressRequirement, SchedulingPlan};
-pub use plangen::{generate_plan, generate_reqs, CapMode};
+pub use plangen::{
+    generate_plan, generate_plan_with_budget, generate_reqs, padded_budget, rework_fraction,
+    CapMode, PadConfig,
+};
 pub use priority::{JobPriorities, PriorityPolicy};
 pub use progress::WorkflowProgress;
 pub use replan::{remaining_workflow, ReplanConfig};

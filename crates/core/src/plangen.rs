@@ -48,6 +48,93 @@ pub enum CapMode {
     MinFeasible,
 }
 
+/// Proactive failure padding for plan generation.
+///
+/// Algorithm 1 assumes zero failures: a MinFeasible plan spends its whole
+/// deadline budget, so the first lost attempt pushes the workflow straight
+/// into rho-rollback. Padding reserves margin up front: the expected rework
+/// fraction `r` is estimated from the cluster-wide MTBF and the workflow's
+/// own task mix, and the makespan budget handed to the cap search is shrunk
+/// to `budget / (1 + r)` — the plan finishes early by exactly the margin
+/// the expected rework will consume.
+///
+/// The rework estimate: a task of duration `d` restarts with probability
+/// `~ d / MTBF` (exponential failures), so the expected rework share of the
+/// workflow's total work is the work-weighted mean task duration
+/// `Σ d²·n / Σ d·n` over MTBF. `rework_factor` scales the estimate
+/// (1.0 = the raw model) and the fraction is capped at
+/// [`PadConfig::MAX_FRACTION`] so a tiny MTBF cannot collapse the budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PadConfig {
+    /// Cluster-wide mean time between node failures.
+    pub cluster_mtbf: SimDuration,
+    /// Multiplier on the raw rework estimate (1.0 = the model as-is).
+    pub rework_factor: f64,
+}
+
+impl PadConfig {
+    /// The rework fraction is never allowed to exceed this, bounding how
+    /// much of the deadline budget padding can take.
+    pub const MAX_FRACTION: f64 = 0.5;
+
+    /// Fractions below this snap to exactly zero, so an effectively
+    /// infinite MTBF yields a plan bit-identical to the unpadded one
+    /// (no `1/(1+ε)` rounding residue).
+    pub const MIN_FRACTION: f64 = 1e-6;
+
+    /// Padding against the given cluster-wide MTBF with the raw (1.0)
+    /// rework factor.
+    pub fn new(cluster_mtbf: SimDuration) -> Self {
+        PadConfig {
+            cluster_mtbf,
+            rework_factor: 1.0,
+        }
+    }
+}
+
+/// The expected rework fraction for `workflow` under `pad`: the share of
+/// scheduled work expected to be redone due to node failures. Exactly
+/// `0.0` when the MTBF is effectively infinite (see
+/// [`PadConfig::MIN_FRACTION`]).
+pub fn rework_fraction(workflow: &WorkflowSpec, pad: &PadConfig) -> f64 {
+    let mtbf_ms = pad.cluster_mtbf.as_millis();
+    if mtbf_ms == 0 {
+        return 0.0;
+    }
+    // Work-weighted mean task duration Σ d²·n / Σ d·n: long tasks both
+    // hold more work hostage and are likelier to be interrupted.
+    let (mut weighted, mut work) = (0.0f64, 0.0f64);
+    for j in workflow.job_ids() {
+        let spec = workflow.job(j);
+        let md = spec.map_duration().as_millis() as f64;
+        let rd = spec.reduce_duration().as_millis() as f64;
+        let m = f64::from(spec.map_tasks());
+        let r = f64::from(spec.reduce_tasks());
+        weighted += m * md * md + r * rd * rd;
+        work += m * md + r * rd;
+    }
+    if work <= 0.0 {
+        return 0.0;
+    }
+    let fraction = (weighted / work) / (mtbf_ms as f64) * pad.rework_factor;
+    if fraction < PadConfig::MIN_FRACTION {
+        0.0
+    } else {
+        fraction.min(PadConfig::MAX_FRACTION)
+    }
+}
+
+/// Shrinks a makespan budget to reserve margin for the expected rework
+/// fraction: `budget / (1 + fraction)`, floored at 1ms. A zero fraction or
+/// an unbounded budget passes through untouched.
+pub fn padded_budget(budget: SimDuration, fraction: f64) -> SimDuration {
+    if fraction <= 0.0 || budget == SimDuration::MAX {
+        return budget;
+    }
+    let padded = (budget.as_millis() as f64 / (1.0 + fraction)) as u64;
+    SimDuration::from_millis(padded.max(1))
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum MiniEvent {
     /// `value` slots become free.
@@ -520,6 +607,58 @@ mod tests {
         // Span = 1 (a) + 100 (c) + 1 (b) + 1 (d): b runs during/after c
         // under one slot; critical span 103.
         assert_eq!(plan.span(), SimDuration::from_secs(103));
+    }
+
+    #[test]
+    fn rework_fraction_scales_with_mtbf() {
+        let w = fig2_workflow(9);
+        // All tasks are 1s, so the work-weighted mean duration is 1s and
+        // the fraction is simply 1s / MTBF.
+        let pad = PadConfig::new(SimDuration::from_secs(100));
+        assert!((rework_fraction(&w, &pad) - 0.01).abs() < 1e-12);
+        let double = PadConfig {
+            rework_factor: 2.0,
+            ..pad
+        };
+        assert!((rework_fraction(&w, &double) - 0.02).abs() < 1e-12);
+        // A tiny MTBF is capped, not allowed to consume the whole budget.
+        let churn = PadConfig::new(SimDuration::from_millis(10));
+        assert_eq!(rework_fraction(&w, &churn), PadConfig::MAX_FRACTION);
+    }
+
+    #[test]
+    fn rework_fraction_is_exactly_zero_at_infinite_mtbf() {
+        let w = fig2_workflow(9);
+        let pad = PadConfig::new(SimDuration::MAX);
+        assert_eq!(rework_fraction(&w, &pad), 0.0);
+        assert_eq!(
+            padded_budget(SimDuration::from_secs(9), rework_fraction(&w, &pad)),
+            SimDuration::from_secs(9)
+        );
+    }
+
+    #[test]
+    fn padded_budget_reserves_margin() {
+        let budget = SimDuration::from_secs(100);
+        assert_eq!(padded_budget(budget, 0.25), SimDuration::from_secs(80));
+        assert_eq!(padded_budget(budget, 0.0), budget);
+        assert_eq!(padded_budget(SimDuration::MAX, 0.25), SimDuration::MAX);
+        // Floors at 1ms rather than producing a zero budget.
+        assert_eq!(
+            padded_budget(SimDuration::from_millis(1), 0.5),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn padding_tightens_the_min_feasible_cap() {
+        // Unpadded, a 9s deadline is met with cap 2 (span 8s). Padded by
+        // 20%, the budget shrinks to 7.5s, forcing a bigger cap.
+        let w = fig2_workflow(9);
+        let budget = padded_budget(SimDuration::from_secs(9), 0.2);
+        let padded = generate_plan_with_budget(&w, &hlf(&w), 6, CapMode::MinFeasible, budget);
+        assert!(padded.resource_cap() > 2);
+        assert!(padded.span() <= budget);
     }
 
     #[test]

@@ -23,13 +23,15 @@
 
 use crate::index::{BTreeIndex, DslIndex, PriorityIndex};
 use crate::pheap::PairingIndex;
-use crate::plangen::{generate_plan_with_budget, CapMode};
+use crate::plangen::{
+    generate_plan_with_budget, padded_budget, rework_fraction, CapMode, PadConfig,
+};
 use crate::priority::{JobPriorities, PriorityPolicy};
 use crate::progress::WorkflowProgress;
 use crate::replan::{replan, ReplanConfig};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
-use woha_model::{JobId, SimTime, SlotKind, WorkflowId};
+use woha_model::{JobId, SimDuration, SimTime, SlotKind, WorkflowId};
 use woha_sim::{SchedTrace, SchedulerState, WorkflowPool, WorkflowScheduler};
 
 /// Which data structure orders the queued workflows.
@@ -110,6 +112,11 @@ pub struct WohaConfig {
     /// and the paper's behaviour) keeps the submission-time plan for the
     /// workflow's whole life.
     pub replan: Option<ReplanConfig>,
+    /// Proactive failure padding (see [`crate::plangen::PadConfig`]):
+    /// shrink each plan's makespan budget by the expected rework fraction
+    /// so deadlines keep margin under node churn. `None` (the default and
+    /// the paper's zero-failure assumption) plans against the raw budget.
+    pub padding: Option<PadConfig>,
 }
 
 impl WohaConfig {
@@ -123,6 +130,7 @@ impl WohaConfig {
             queue: QueueStrategy::Dsl,
             plan_slack: 0.08,
             replan: None,
+            padding: None,
         }
     }
 }
@@ -166,6 +174,9 @@ pub struct WohaScheduler {
     /// Total `ρ` rollbacks after task failures / node losses (observable
     /// for tests and reports).
     rho_rollbacks: u64,
+    /// Plans (initial or replacement) generated with a nonzero failure
+    /// pad (observable for tests and reports).
+    plans_padded: u64,
     /// Structured decision-trace buffer; `None` (the default) disables
     /// tracing entirely, so the untraced hot path only pays an
     /// `Option` check.
@@ -185,6 +196,7 @@ impl WohaScheduler {
             last_replan: Vec::new(),
             replans: 0,
             rho_rollbacks: 0,
+            plans_padded: 0,
             trace: None,
         }
     }
@@ -203,6 +215,19 @@ impl WohaScheduler {
     /// The scheduler's configuration.
     pub fn config(&self) -> &WohaConfig {
         &self.config
+    }
+
+    /// Applies the configured failure padding to a plan budget, counting
+    /// the plans that actually received a nonzero pad.
+    fn pad_budget(&mut self, spec: &woha_model::WorkflowSpec, budget: SimDuration) -> SimDuration {
+        let Some(pad) = &self.config.padding else {
+            return budget;
+        };
+        let fraction = rework_fraction(spec, pad);
+        if fraction > 0.0 {
+            self.plans_padded += 1;
+        }
+        padded_budget(budget, fraction)
     }
 
     /// The progress record of a queued workflow (for inspection/tests).
@@ -262,7 +287,7 @@ impl WohaScheduler {
             return;
         }
         let deadline = record.deadline();
-        let budget = deadline.saturating_since(now);
+        let budget = self.pad_budget(pool.workflow(wf).spec(), deadline.saturating_since(now));
         if budget.is_zero() {
             return; // already past the effective deadline; nothing to re-pace
         }
@@ -328,6 +353,10 @@ struct WohaSnapshot {
     last_replan: Vec<SimTime>,
     replans: u64,
     rho_rollbacks: u64,
+    /// Defaulted so checkpoints taken before failure padding existed still
+    /// decode.
+    #[serde(default)]
+    plans_padded: u64,
 }
 
 impl SchedulerState for WohaScheduler {
@@ -338,6 +367,7 @@ impl SchedulerState for WohaScheduler {
             last_replan: self.last_replan.clone(),
             replans: self.replans,
             rho_rollbacks: self.rho_rollbacks,
+            plans_padded: self.plans_padded,
         }
         .to_value()
     }
@@ -351,6 +381,7 @@ impl SchedulerState for WohaScheduler {
         self.last_replan = snap.last_replan;
         self.replans = snap.replans;
         self.rho_rollbacks = snap.rho_rollbacks;
+        self.plans_padded = snap.plans_padded;
         // Rebuild the index by re-inserting every queued record under its
         // current keys, replacing whatever the index held before.
         self.index = self.config.queue.build_index();
@@ -386,7 +417,10 @@ impl WorkflowScheduler for WohaScheduler {
                 .mul_f64(self.config.plan_slack.clamp(0.0, 0.9));
             spec.deadline().saturating_sub(slack)
         };
-        let budget = effective_deadline.saturating_since(spec.submit_time());
+        let budget = self.pad_budget(
+            spec,
+            effective_deadline.saturating_since(spec.submit_time()),
+        );
         let plan = generate_plan_with_budget(
             spec,
             &priorities,
@@ -655,6 +689,23 @@ impl WorkflowScheduler for WohaScheduler {
 
     fn backend_label(&self) -> &'static str {
         self.config.queue.label()
+    }
+
+    fn slack_fraction(&self, pool: &WorkflowPool, wf: WorkflowId, now: SimTime) -> f64 {
+        // A workflow behind its plan is deadline-critical regardless of
+        // how much wall-clock slack the raw deadline suggests: the plan
+        // already prices in the work left, so a positive lag means the
+        // remaining window is insufficient at the current pace.
+        if let Some(record) = self.progress(wf) {
+            if record.lag() > 0 {
+                return 0.0;
+            }
+        }
+        woha_sim::spec_slack_fraction(pool, wf, now)
+    }
+
+    fn plans_padded(&self) -> u64 {
+        self.plans_padded
     }
 }
 

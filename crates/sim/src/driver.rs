@@ -47,6 +47,7 @@ use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{splitmix, FaultStream};
 use crate::gate::AdmissionGate;
+use crate::health::{NodeHealth, PredictionConfig, PredictionReport};
 use crate::metrics::{
     AdmissionReport, MetricsRegistry, RecoveryReport, RejectCount, SimReport, TimelineRecorder,
     WorkflowOutcome,
@@ -211,6 +212,11 @@ pub struct SimConfig {
     /// [`try_run_simulation_observed`], which return the collected
     /// [`Observations`] alongside the report.
     pub observability: ObservabilityConfig,
+    /// Failure prediction: per-node propensity tracking plus the
+    /// risk-aware placement and adaptive-blacklist policies built on it
+    /// (see [`crate::health`]). `None` (the default) keeps the reactive
+    /// behaviour and the byte-identical output it guarantees.
+    pub prediction: Option<PredictionConfig>,
 }
 
 impl Default for SimConfig {
@@ -227,6 +233,7 @@ impl Default for SimConfig {
             speculation: None,
             batch_heartbeats: true,
             observability: ObservabilityConfig::default(),
+            prediction: None,
         }
     }
 }
@@ -424,6 +431,8 @@ struct Sim<'a> {
     tasks_requeued: u64,
     map_outputs_lost: u64,
     work_lost_slot_ms: u128,
+    /// Per-node failure-propensity tracker (prediction mode only).
+    health: Option<NodeHealth>,
     // Master-failover state (master mode only).
     master_mode: bool,
     /// Whether the JobTracker process is up. While it is down the world is
@@ -834,10 +843,13 @@ impl<'a> Sim<'a> {
     /// Offers all of `node`'s free slots to the scheduler, as a heartbeat
     /// response does.
     fn assign_node(&mut self, scheduler: &mut dyn WorkflowScheduler, node: NodeId) {
-        // Delay scheduling can decline individual offers, which would
-        // desynchronize a scheduler's pre-committed batch picks, so the
-        // batch path stays off whenever locality is modelled.
-        let batchable = self.config.batch_heartbeats && self.config.locality.is_none();
+        // Delay scheduling and risk-aware placement can decline individual
+        // offers, which would desynchronize a scheduler's pre-committed
+        // batch picks, so the batch path stays off whenever either is
+        // modelled.
+        let batchable = self.config.batch_heartbeats
+            && self.config.locality.is_none()
+            && !self.risk_placement_on();
         for kind in SlotKind::ALL {
             let free = self.nodes[node.index()].free(kind);
             if batchable && free > 0 {
@@ -937,6 +949,12 @@ impl<'a> Sim<'a> {
         kind: SlotKind,
         notify: bool,
     ) -> bool {
+        // Risk-aware placement: decline the offer outright (before any
+        // state is touched) when a deadline-critical task would land on a
+        // failure-prone node and a safer node could still take it.
+        if self.risk_placement_on() && self.decline_for_risk(scheduler, node, wf, kind) {
+            return false;
+        }
         let (estimate, index) = {
             let state = self.pool.workflow(wf);
             let spec = state.spec().job(job);
@@ -1046,10 +1064,125 @@ impl<'a> Sim<'a> {
         true
     }
 
+    /// Whether risk-aware placement is active (prediction on with the
+    /// placement policy enabled).
+    fn risk_placement_on(&self) -> bool {
+        matches!(&self.config.prediction, Some(p) if p.risk_placement)
+    }
+
+    /// Whether the sequential-path offer of `(node, wf)` should be
+    /// declined because the node is failure-prone, the workflow is
+    /// deadline-critical, and a safer live node has a free slot of this
+    /// kind right now — an escape route the declined task can actually
+    /// take. Gating on free capacity rather than mere node liveness keeps
+    /// the policy quiet when the cluster is saturated: under heavy churn
+    /// every slot is spoken for, declining just idles the node's remaining
+    /// slots for the heartbeat, and any slot beats none. Counts and traces
+    /// the aversion when it declines.
+    fn decline_for_risk(
+        &mut self,
+        scheduler: &mut dyn WorkflowScheduler,
+        node: NodeId,
+        wf: WorkflowId,
+        kind: SlotKind,
+    ) -> bool {
+        let p = self
+            .config
+            .prediction
+            .expect("risk placement implies prediction");
+        let Some(health) = &self.health else {
+            return false;
+        };
+        if !health.risky(node, self.now, p.risk_threshold) {
+            return false;
+        }
+        if scheduler.slack_fraction(&self.pool, wf, self.now) >= p.slack_threshold {
+            return false;
+        }
+        let escape_exists = (0..self.node_count).any(|i| {
+            i != node.index()
+                && self.alive[i]
+                && !self.node_blacklisted[i]
+                && self.nodes[i].free(kind) > 0
+                && !health.risky(NodeId::new(i as u32), self.now, p.risk_threshold)
+        });
+        if !escape_exists {
+            return false;
+        }
+        self.health.as_mut().expect("checked above").risk_averted += 1;
+        if self.sink.is_some() {
+            self.emit(TraceEvent::RiskAverted {
+                node: node.index(),
+                workflow: wf,
+            });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.risk_averted.inc();
+        }
+        true
+    }
+
+    /// Launches a preemptive duplicate of an attempt running on a
+    /// failure-prone node, if any, onto the (safe) `node`. A duplicate
+    /// burns a slot for the attempt's whole duration even when the
+    /// original survives, so only *repeat offenders* — nodes at twice the
+    /// risk threshold, i.e. multiple recent crashes still undecayed —
+    /// qualify. Highest propensity first, ties broken by lowest attempt
+    /// id, so the choice is deterministic. Returns whether a duplicate was
+    /// launched.
+    fn try_speculate_risk(&mut self, node: NodeId, kind: SlotKind) -> bool {
+        let Some(p) = self.config.prediction else {
+            return false;
+        };
+        if !p.risk_placement {
+            return false;
+        }
+        let Some(health) = &self.health else {
+            return false;
+        };
+        let now = self.now;
+        // Never duplicate onto a node that is itself risky.
+        if health.risky(node, now, p.risk_threshold) {
+            return false;
+        }
+        let candidate = self
+            .attempts
+            .iter()
+            .filter(|(_, a)| {
+                a.kind == kind && !a.speculative && !a.cancelled && a.node != node && {
+                    let g = &self.groups[&a.group];
+                    !g.done && !g.twin_launched
+                }
+            })
+            .filter_map(|(&id, a)| {
+                let score = health.score(a.node, now);
+                (score >= 2.0 * p.risk_threshold).then_some((id, score))
+            })
+            .fold(None::<(u64, f64)>, |best, (id, score)| match best {
+                Some((best_id, best_score))
+                    if best_score > score || (best_score == score && best_id < id) =>
+                {
+                    best
+                }
+                _ => Some((id, score)),
+            })
+            .map(|(id, _)| id);
+        let Some(original_id) = candidate else {
+            return false;
+        };
+        self.launch_duplicate(original_id, node, kind, true);
+        true
+    }
+
     /// Launches a speculative duplicate of the most-overdue running
-    /// attempt of `kind`, if any, onto `node`. Returns whether a duplicate
-    /// was launched.
+    /// attempt of `kind`, if any, onto `node`. Under risk placement,
+    /// attempts running on failure-prone nodes are duplicated first (a
+    /// preemptive copy before the node dies), then the overdue-based
+    /// policy applies unchanged. Returns whether a duplicate was launched.
     fn try_speculate(&mut self, node: NodeId, kind: SlotKind) -> bool {
+        if self.try_speculate_risk(node, kind) {
+            return true;
+        }
         let Some(spec) = self.config.speculation else {
             return false;
         };
@@ -1074,14 +1207,31 @@ impl<'a> Sim<'a> {
         let Some(original_id) = candidate else {
             return false;
         };
+        self.launch_duplicate(original_id, node, kind, false);
+        true
+    }
+
+    /// Starts a speculative duplicate of `original_id` on `node`; shared
+    /// by overdue-based and risk-preemptive speculation. `preemptive`
+    /// marks risk-driven launches for the prediction counters.
+    fn launch_duplicate(
+        &mut self,
+        original_id: u64,
+        node: NodeId,
+        kind: SlotKind,
+        preemptive: bool,
+    ) {
+        let now = self.now;
         let original = self.attempts[&original_id];
         let attempt = self.next_attempt;
         self.next_attempt += 1;
         // The duplicate gets a fresh duration (its own straggler roll).
         let mut factor = 1.0;
-        if self.rng.straggler(attempt) < spec.straggler_prob {
-            factor *= spec.straggler_factor.max(1.0);
-            self.stragglers += 1;
+        if let Some(spec) = self.config.speculation {
+            if self.rng.straggler(attempt) < spec.straggler_prob {
+                factor *= spec.straggler_factor.max(1.0);
+                self.stragglers += 1;
+            }
         }
         let duration =
             SimDuration::from_millis(original.estimate.mul_f64(factor).as_millis().max(1));
@@ -1100,6 +1250,14 @@ impl<'a> Sim<'a> {
         group.attempts[1] = attempt;
         group.attempt_count = 2;
         self.speculative_launched += 1;
+        if preemptive {
+            if let Some(h) = self.health.as_mut() {
+                h.preemptive_speculations += 1;
+            }
+            if let Some(m) = &mut self.metrics {
+                m.preemptive_speculations.inc();
+            }
+        }
 
         self.pool
             .workflow_mut(original.wf)
@@ -1132,7 +1290,6 @@ impl<'a> Sim<'a> {
                 attempt,
             },
         );
-        true
     }
 
     /// A node crashes: every attempt on it dies, its slots leave the pool,
@@ -1162,6 +1319,7 @@ impl<'a> Sim<'a> {
             .map(|(&id, _)| id)
             .collect();
         victims.sort_unstable();
+        let victim_count = victims.len();
         for id in victims {
             let a = self.attempts.get_mut(&id).expect("victim is registered");
             a.cancelled = true;
@@ -1201,9 +1359,40 @@ impl<'a> Sim<'a> {
             rec.record_down(self.now, node_cfg.total_slots() as i32);
         }
         let faults = self.cluster.faults();
-        if faults.blacklist_after > 0 && self.crash_count[i] >= faults.blacklist_after {
+        // Failure prediction: fold this crash into the node's propensity
+        // score — the crash itself plus a per-victim term, since a crash
+        // that took running work down with it is stronger evidence.
+        if let Some(p) = self.config.prediction {
+            self.health
+                .as_mut()
+                .expect("prediction implies health tracker")
+                .bump(
+                    node,
+                    self.now,
+                    p.crash_weight + p.kill_weight * victim_count as f64,
+                );
+        }
+        // Blacklisting: the adaptive propensity-threshold policy when
+        // configured, otherwise the fixed crash-count policy (the default,
+        // preserved for byte-identical replays).
+        let adaptive = self.config.prediction.and_then(|p| p.adaptive_blacklist);
+        let blacklist = match adaptive {
+            Some(threshold) => self
+                .health
+                .as_ref()
+                .expect("adaptive blacklist implies health tracker")
+                .risky(node, self.now, threshold),
+            None => faults.blacklist_after > 0 && self.crash_count[i] >= faults.blacklist_after,
+        };
+        if blacklist {
             self.node_blacklisted[i] = true;
             self.nodes_blacklisted += 1;
+            if adaptive.is_some() {
+                self.health
+                    .as_mut()
+                    .expect("checked above")
+                    .adaptive_blacklists += 1;
+            }
             self.emit(TraceEvent::NodeBlacklisted { node: i });
         }
         // Failure detector: the JobTracker declares the node lost after it
@@ -1523,6 +1712,7 @@ impl<'a> Sim<'a> {
                     .collect(),
             },
             scheduler: scheduler.snapshot_state(),
+            health: self.health.as_ref().map(NodeHealth::to_record),
         }
     }
 
@@ -1631,6 +1821,11 @@ impl<'a> Sim<'a> {
             })
             .collect();
         self.remaining = self.arrived.len() - completed_workflows(&self.pool);
+        if let (Some(health), Some(rec)) = (self.health.as_mut(), snap.health.as_ref()) {
+            // Propensity is logical (learned) state: restore the
+            // checkpoint and let WAL replay re-apply later crashes.
+            health.restore(rec);
+        }
         scheduler.restore_state(&self.pool, &snap.scheduler);
     }
 
@@ -2346,7 +2541,10 @@ fn run_inner_clocked<'a>(
         stragglers: 0,
         speculative_launched: 0,
         speculative_wins: 0,
-        track_attempts: config.speculation.is_some() || fault_mode || master_mode,
+        track_attempts: config.speculation.is_some()
+            || fault_mode
+            || master_mode
+            || config.prediction.is_some(),
         fault_mode,
         alive: vec![true; node_count],
         node_blacklisted: vec![false; node_count],
@@ -2361,6 +2559,10 @@ fn run_inner_clocked<'a>(
         tasks_requeued: 0,
         map_outputs_lost: 0,
         work_lost_slot_ms: 0,
+        health: config
+            .prediction
+            .as_ref()
+            .map(|p| NodeHealth::new(p, node_count)),
         master_mode,
         master_alive: true,
         replaying: false,
@@ -2597,6 +2799,13 @@ fn run_inner_clocked<'a>(
             })
             .collect(),
     });
+    let prediction = sim.health.as_ref().map(|h| PredictionReport {
+        node_propensity: h.scores_at(end_time),
+        plans_padded: scheduler.plans_padded(),
+        risk_averted_placements: h.risk_averted,
+        preemptive_speculations: h.preemptive_speculations,
+        adaptive_blacklists: h.adaptive_blacklists,
+    });
     let report = SimReport {
         scheduler: scheduler.name().to_string(),
         outcomes,
@@ -2628,6 +2837,7 @@ fn run_inner_clocked<'a>(
         timelines,
         recovery: sim.master_mode.then_some(sim.recovery),
         admission,
+        prediction,
     };
     (report, metrics)
 }

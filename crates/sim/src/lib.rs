@@ -45,6 +45,7 @@ pub mod driver;
 pub mod event;
 pub mod fault;
 pub mod gate;
+pub mod health;
 pub mod metrics;
 pub mod obs;
 pub mod scheduler;
@@ -61,6 +62,7 @@ pub use driver::{
 };
 pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
 pub use gate::{AdmissionGate, AdmitAll};
+pub use health::{HealthRecord, NodeHealth, PredictionConfig, PredictionReport};
 pub use metrics::{
     AdmissionReport, Counter, Gauge, Histogram, MetricsRegistry, RecoveryReport, RejectCount,
     SimReport, Timelines, WorkflowOutcome,
@@ -70,7 +72,8 @@ pub use obs::{
     TraceRecord, TraceSink,
 };
 pub use scheduler::{
-    first_eligible_job, SchedTrace, SchedulerState, SubmitOrderScheduler, WorkflowScheduler,
+    first_eligible_job, spec_slack_fraction, SchedTrace, SchedulerState, SubmitOrderScheduler,
+    WorkflowScheduler,
 };
 pub use snapshot::MasterSnapshot;
 pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};

@@ -1,6 +1,7 @@
 //! Simulation outputs: per-workflow outcomes, cluster utilization, and
 //! per-workflow slot-allocation timelines (the raw material of Figs 8–19).
 
+use crate::health::PredictionReport;
 use serde::{Deserialize, Serialize, Value};
 use woha_model::{SimDuration, SimTime, SlotKind, WorkflowId};
 
@@ -288,6 +289,10 @@ pub struct SimReport {
     /// Admission-gate accounting; `None` (and omitted from serialized
     /// output) unless an admission gate was supplied.
     pub admission: Option<AdmissionReport>,
+    /// Failure-prediction accounting (propensity table, padding and
+    /// risk-placement counters); `None` (and omitted from serialized
+    /// output) unless failure prediction was enabled.
+    pub prediction: Option<PredictionReport>,
 }
 
 // Hand-written so that `recovery: None` / `admission: None` produce output
@@ -362,6 +367,9 @@ impl Serialize for SimReport {
         if let Some(admission) = &self.admission {
             obj.push(("admission".to_string(), admission.to_value()));
         }
+        if let Some(prediction) = &self.prediction {
+            obj.push(("prediction".to_string(), prediction.to_value()));
+        }
         Value::Object(obj)
     }
 }
@@ -394,6 +402,7 @@ impl PartialEq for SimReport {
             && self.timelines == other.timelines
             && self.recovery == other.recovery
             && self.admission == other.admission
+            && self.prediction == other.prediction
     }
 }
 
@@ -720,6 +729,11 @@ pub struct MetricsRegistry {
     pub arrivals: Counter,
     /// Workflow arrivals shed by backpressure before reaching admission.
     pub arrivals_shed: Counter,
+    /// Slot offers declined by risk-aware placement (deadline-critical
+    /// attempt steered away from a failure-prone node).
+    pub risk_averted: Counter,
+    /// Preemptive speculative duplicates launched off failure-prone nodes.
+    pub preemptive_speculations: Counter,
     /// Incomplete workflows, sampled over sim time.
     pub pending_workflows: Gauge,
     /// Eligible-but-unassigned tasks across incomplete workflows
@@ -782,6 +796,14 @@ impl MetricsRegistry {
                 "woha_arrivals_shed_total",
                 "Workflow arrivals shed by backpressure.",
             ),
+            risk_averted: Counter::new(
+                "woha_risk_averted_total",
+                "Slot offers declined by risk-aware placement.",
+            ),
+            preemptive_speculations: Counter::new(
+                "woha_preemptive_speculations_total",
+                "Preemptive speculative duplicates launched off failure-prone nodes.",
+            ),
             pending_workflows: Gauge::new("woha_pending_workflows", "Incomplete workflows."),
             pending_tasks: Gauge::new(
                 "woha_pending_tasks",
@@ -821,7 +843,7 @@ impl MetricsRegistry {
     }
 
     /// All counters, in export order.
-    pub fn counters(&self) -> [&Counter; 12] {
+    pub fn counters(&self) -> [&Counter; 14] {
         [
             &self.heartbeats,
             &self.heartbeat_batches,
@@ -835,6 +857,8 @@ impl MetricsRegistry {
             &self.node_failures,
             &self.arrivals,
             &self.arrivals_shed,
+            &self.risk_averted,
+            &self.preemptive_speculations,
         ]
     }
 
@@ -961,6 +985,7 @@ mod tests {
             timelines: None,
             recovery: None,
             admission: None,
+            prediction: None,
         }
     }
 
@@ -1069,6 +1094,28 @@ mod tests {
         });
         let v = r.to_value();
         assert_eq!(v.as_object().unwrap().last().unwrap().0, "admission");
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn prediction_report_roundtrips_and_is_omitted_when_absent() {
+        let mut r = report(vec![]);
+        let v = r.to_value();
+        assert!(v
+            .as_object()
+            .unwrap()
+            .iter()
+            .all(|(k, _)| k != "prediction"));
+        r.prediction = Some(PredictionReport {
+            node_propensity: vec![0.0, 1.5, 0.25],
+            plans_padded: 4,
+            risk_averted_placements: 7,
+            preemptive_speculations: 2,
+            adaptive_blacklists: 1,
+        });
+        let v = r.to_value();
+        assert_eq!(v.as_object().unwrap().last().unwrap().0, "prediction");
         let back = SimReport::from_value(&v).unwrap();
         assert_eq!(back, r);
     }

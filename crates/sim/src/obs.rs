@@ -189,6 +189,15 @@ pub enum TraceEvent {
         /// Stable rejection-reason label produced by the gate in use.
         reason: String,
     },
+    /// Risk-aware placement declined a slot offer: the node's failure
+    /// propensity was over threshold and the workflow deadline-critical,
+    /// so the task waits for a safer node.
+    RiskAverted {
+        /// Declined (failure-prone) node.
+        node: usize,
+        /// Deadline-critical workflow steered away.
+        workflow: WorkflowId,
+    },
     /// The master (JobTracker) crashed.
     MasterCrashed,
     /// The restarted master finished replaying its write-ahead log. The
@@ -421,6 +430,11 @@ pub fn jsonl_line(record: &TraceRecord) -> String {
             put("workflow", Value::Str(workflow.clone()));
             put("reason", Value::Str(reason.clone()));
         }
+        TraceEvent::RiskAverted { node, workflow } => {
+            put("event", Value::Str("risk_averted".into()));
+            put("node", Value::U64(*node as u64));
+            put("workflow", Value::U64(workflow.as_u64()));
+        }
         TraceEvent::MasterCrashed => {
             put("event", Value::Str("master_crashed".into()));
         }
@@ -637,6 +651,13 @@ impl Observations {
                         ("workflow", Value::Str(workflow.clone())),
                         ("reason", Value::Str(reason.clone())),
                     ],
+                )),
+                TraceEvent::RiskAverted { node, workflow } => events.push(instant(
+                    "risk_averted",
+                    "scheduler",
+                    ts,
+                    node_tid(*node),
+                    vec![("workflow", Value::U64(workflow.as_u64()))],
                 )),
                 TraceEvent::MasterCrashed => {
                     events.push(instant("master_crashed", "master", ts, SCHED_TID, vec![]))

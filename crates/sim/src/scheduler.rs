@@ -204,6 +204,41 @@ pub trait WorkflowScheduler: SchedulerState {
     fn backend_label(&self) -> &'static str {
         "none"
     }
+
+    /// How much of its deadline window the workflow has left at `now`, in
+    /// `[0, 1]` — `0.0` means the deadline is due (or blown), `1.0` means
+    /// the whole window remains. The driver's risk-aware placement treats
+    /// workflows below a slack threshold as deadline-critical and steers
+    /// them away from failure-prone nodes.
+    ///
+    /// The default derives slack from the workflow spec alone (remaining
+    /// time over the relative deadline), which serves every baseline;
+    /// schedulers with richer progress state (WOHA's lag) override it.
+    fn slack_fraction(&self, pool: &WorkflowPool, wf: WorkflowId, now: SimTime) -> f64 {
+        spec_slack_fraction(pool, wf, now)
+    }
+
+    /// Plans generated with proactive failure padding applied (see
+    /// `woha-core`'s plan padding). Schedulers without plan generation
+    /// report zero.
+    fn plans_padded(&self) -> u64 {
+        0
+    }
+}
+
+/// The spec-based slack fraction shared by the default
+/// [`WorkflowScheduler::slack_fraction`] and scheduler overrides that
+/// refine it: time remaining to the deadline over the relative deadline,
+/// clamped to `[0, 1]`. A workflow with no deadline reports full slack and
+/// is therefore never deadline-critical.
+pub fn spec_slack_fraction(pool: &WorkflowPool, wf: WorkflowId, now: SimTime) -> f64 {
+    let spec = pool.workflow(wf).spec();
+    if spec.deadline() == SimTime::MAX {
+        return 1.0;
+    }
+    let window = spec.relative_deadline().as_millis().max(1) as f64;
+    let left = spec.deadline().saturating_since(now).as_millis() as f64;
+    (left / window).clamp(0.0, 1.0)
 }
 
 /// Picks the first eligible job of `wf` in job-id order — the common

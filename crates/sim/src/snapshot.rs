@@ -208,6 +208,12 @@ pub struct MasterSnapshot {
     /// Scheduler-private state from
     /// [`SchedulerState::snapshot_state`](crate::SchedulerState::snapshot_state).
     pub scheduler: Value,
+    /// Failure-propensity tracker state (prediction mode only). Trails the
+    /// struct and is omitted when absent, so prediction-off checkpoints
+    /// stay byte-identical to pre-prediction ones and old checkpoints
+    /// still decode.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub health: Option<crate::health::HealthRecord>,
 }
 
 impl MasterSnapshot {
@@ -317,6 +323,7 @@ mod tests {
                 ],
             },
             scheduler: Value::Null,
+            health: None,
         }
     }
 

@@ -163,6 +163,7 @@ proptest! {
             scheduler: woha_sim::scheduler::SchedulerState::snapshot_state(
                 &SubmitOrderScheduler::new(),
             ),
+            health: None,
         };
         let decoded = MasterSnapshot::decode(&snap.encode()).expect("snapshot decodes");
         prop_assert_eq!(snap, decoded);

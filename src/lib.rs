@@ -52,9 +52,10 @@ pub use woha_trace as trace;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use woha_core::{
-        generate_plan, generate_reqs, AdmissionController, CapMode, EdfScheduler, FairScheduler,
-        FifoScheduler, JobPriorities, PriorityPolicy, QueueStrategy, RejectReason, SchedulingPlan,
-        WohaConfig, WohaScheduler,
+        generate_plan, generate_plan_with_budget, generate_reqs, padded_budget, rework_fraction,
+        AdmissionController, CapMode, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities,
+        PadConfig, PriorityPolicy, QueueStrategy, RejectReason, SchedulingPlan, WohaConfig,
+        WohaScheduler,
     };
     pub use woha_model::{
         JobId, JobSpec, ModelError, NodeId, SimDuration, SimTime, SlotKind, WorkflowBuilder,
@@ -69,9 +70,9 @@ pub mod prelude {
         try_run_simulation_clocked, try_run_simulation_observed, try_run_simulation_streamed,
         try_run_simulation_streamed_observed, AdmissionGate, AdmissionReport, AdmitAll,
         ClusterConfig, FaultConfig, JsonlTraceSink, LocalityConfig, MasterFaultConfig, MemorySink,
-        ObservabilityConfig, Observations, RecoveryReport, RejectCount, SchedulerState,
-        ScriptedFault, SimConfig, SimError, SimReport, SpeculationConfig, TraceEvent, TraceRecord,
-        TraceSink, WorkflowPool, WorkflowScheduler,
+        ObservabilityConfig, Observations, PredictionConfig, PredictionReport, RecoveryReport,
+        RejectCount, SchedulerState, ScriptedFault, SimConfig, SimError, SimReport,
+        SpeculationConfig, TraceEvent, TraceRecord, TraceSink, WorkflowPool, WorkflowScheduler,
     };
     pub use woha_sim::{ArrivalBuffer, Clock, ServiceStats, SimClock, SourceWait, WallClock};
     pub use woha_trace::{

@@ -1098,3 +1098,111 @@ fn sim_clock_replay_matches_streamed_byte_for_byte() {
         }
     }
 }
+
+/// Satellite: failure prediction costs nothing when off. With
+/// `prediction: None` (the default) the report JSON carries no
+/// "prediction" key and is byte-identical across the plain entry point, a
+/// WOHA scheduler with the padding knob explicitly disabled, and the
+/// streamed-ingestion entry point — on a clean cluster, under node
+/// faults, and across a mid-run master crash recovered from checkpoint +
+/// WAL replay. With prediction armed on the faulty clusters, the section
+/// appears with live propensity state and every variant reproduces
+/// byte-identically on a rerun (the WAL replays the health bumps too).
+#[test]
+fn prediction_off_is_invisible_and_on_survives_failover() {
+    let workflows = fig11_workflows();
+    let plain = demo_cluster();
+    let node_faults = FaultConfig {
+        mtbf: Some(SimDuration::from_mins(12)),
+        mttr: SimDuration::from_mins(3),
+        detect_missed_heartbeats: 2,
+        blacklist_after: 0,
+        ..FaultConfig::default()
+    };
+    let faulty = demo_cluster().with_faults(node_faults.clone());
+    let failover = demo_cluster().with_faults(FaultConfig {
+        master: MasterFaultConfig {
+            mttr: SimDuration::from_secs(45),
+            wal: true,
+            scripted: vec![SimTime::from_mins(8)],
+            ..MasterFaultConfig::default()
+        },
+        ..node_faults
+    });
+    let strip = |mut r: SimReport| {
+        r.scheduler_nanos = 0;
+        serde_json::to_string(&r).unwrap()
+    };
+
+    for (cluster, label) in [
+        (&plain, "plain"),
+        (&faulty, "faults"),
+        (&failover, "failover"),
+    ] {
+        let config = SimConfig::default();
+        let mut s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let reference = strip(run_simulation(&workflows, &mut s, cluster, &config));
+        assert!(
+            !reference.contains("\"prediction\""),
+            "{label}: prediction off must not surface in the report"
+        );
+
+        let mut explicit_off = WohaScheduler::new(WohaConfig {
+            padding: None,
+            ..WohaConfig::new(PriorityPolicy::Lpf, 96)
+        });
+        let report = run_simulation(&workflows, &mut explicit_off, cluster, &config);
+        assert_eq!(reference, strip(report), "{label}: padding: None");
+
+        let mut source = VecSource::new(workflows.clone());
+        let mut streamed_s = WohaScheduler::new(WohaConfig::new(PriorityPolicy::Lpf, 96));
+        let streamed =
+            try_run_simulation_streamed(&mut source, &mut streamed_s, cluster, &config, None)
+                .unwrap();
+        assert_eq!(reference, strip(streamed), "{label}: streamed ingestion");
+    }
+
+    // Prediction armed: the report gains live state, node crashes bump the
+    // scores, and every variant — including WAL-replayed recovery and the
+    // streamed path — is reproducible bit for bit.
+    let armed = SimConfig {
+        prediction: Some(PredictionConfig {
+            risk_placement: true,
+            ..PredictionConfig::default()
+        }),
+        ..SimConfig::default()
+    };
+    for (cluster, label) in [(&faulty, "faults"), (&failover, "failover")] {
+        let run = || {
+            let mut s = WohaScheduler::new(WohaConfig {
+                padding: Some(PadConfig::new(SimDuration::from_mins(12))),
+                ..WohaConfig::new(PriorityPolicy::Lpf, 96)
+            });
+            run_simulation(&workflows, &mut s, cluster, &armed)
+        };
+        let first = run();
+        assert!(first.completed, "{label}");
+        let p = first.prediction.as_ref().expect("prediction on reports");
+        assert!(first.node_failures > 0, "{label}: faults must fire");
+        assert!(
+            p.node_propensity.iter().any(|&s| s > 0.0),
+            "{label}: crashes must leave propensity"
+        );
+        assert!(p.plans_padded > 0, "{label}: padding must engage");
+        assert_eq!(strip(first.clone()), strip(run()), "{label}: deterministic");
+
+        let mut source = VecSource::new(workflows.clone());
+        let mut streamed_s = WohaScheduler::new(WohaConfig {
+            padding: Some(PadConfig::new(SimDuration::from_mins(12))),
+            ..WohaConfig::new(PriorityPolicy::Lpf, 96)
+        });
+        let streamed =
+            try_run_simulation_streamed(&mut source, &mut streamed_s, cluster, &armed, None)
+                .unwrap();
+        assert_eq!(
+            strip(first),
+            strip(streamed),
+            "{label}: streamed ingestion with prediction on"
+        );
+    }
+}

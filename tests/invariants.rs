@@ -204,4 +204,63 @@ proptest! {
         let bst = run(QueueStrategy::Bst);
         prop_assert_eq!(dsl.outcomes, bst.outcomes);
     }
+
+    /// Failure prediction is inert without faults. Plan-level: a padding
+    /// config derived from an unbounded MTBF has rework fraction exactly
+    /// zero and reproduces the unpadded plan bit for bit. Sim-level: on a
+    /// fault-free cluster the propensity scores never leave zero, no
+    /// risk-aware action fires, and the workflow outcomes are the ones the
+    /// prediction-off run produces.
+    #[test]
+    fn prediction_is_inert_without_faults(
+        workflows in vec(arb_workflow(), 1..3),
+        seed in 0u64..4,
+        cap in 4u32..24,
+    ) {
+        for w in &workflows {
+            let pad = PadConfig::new(SimDuration::MAX);
+            let fraction = rework_fraction(w, &pad);
+            prop_assert_eq!(fraction, 0.0);
+            let budget = w.relative_deadline();
+            prop_assert_eq!(padded_budget(budget, fraction), budget);
+            for policy in [PriorityPolicy::Hlf, PriorityPolicy::Lpf, PriorityPolicy::Mpf] {
+                let pri = JobPriorities::compute(w, policy);
+                let plain = generate_plan(w, &pri, cap, CapMode::MinFeasible);
+                let padded = generate_plan_with_budget(
+                    w,
+                    &pri,
+                    cap,
+                    CapMode::MinFeasible,
+                    padded_budget(budget, fraction),
+                );
+                prop_assert_eq!(plain, padded);
+            }
+        }
+
+        let cluster = ClusterConfig::uniform(4, 2, 1);
+        let run = |prediction: Option<PredictionConfig>, padding: Option<PadConfig>| {
+            let mut s = WohaScheduler::new(WohaConfig {
+                padding,
+                ..WohaConfig::new(PriorityPolicy::Lpf, 12)
+            });
+            let config = SimConfig { seed, prediction, ..SimConfig::default() };
+            run_simulation(&workflows, &mut s, &cluster, &config)
+        };
+        let off = run(None, None);
+        let on = run(
+            Some(PredictionConfig {
+                risk_placement: true,
+                ..PredictionConfig::default()
+            }),
+            Some(PadConfig::new(SimDuration::MAX)),
+        );
+        prop_assert!(off.prediction.is_none());
+        let p = on.prediction.as_ref().expect("prediction on reports");
+        prop_assert!(p.node_propensity.iter().all(|&s| s == 0.0));
+        prop_assert_eq!(p.plans_padded, 0);
+        prop_assert_eq!(p.risk_averted_placements, 0);
+        prop_assert_eq!(p.preemptive_speculations, 0);
+        prop_assert_eq!(p.adaptive_blacklists, 0);
+        prop_assert_eq!(&off.outcomes, &on.outcomes);
+    }
 }

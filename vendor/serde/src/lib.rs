@@ -160,6 +160,21 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T,
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` fields: a missing key (or
+/// explicit `null`) produces `T::default()` instead of an error, so
+/// encodings written before the field existed keep decoding.
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) if !v.is_null() => {
+            T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+        }
+        _ => Ok(T::default()),
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -455,5 +470,61 @@ mod tests {
         let unit = Mode::Off.to_value();
         assert_eq!(unit, Value::Str("Off".into()));
         assert_eq!(Mode::from_value(&unit).unwrap(), Mode::Off);
+    }
+
+    #[test]
+    fn derive_field_attributes_roundtrip() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+        struct Versioned {
+            id: u32,
+            /// A field added after v1 encodings were written.
+            #[serde(default, skip_serializing_if = "Option::is_none")]
+            extra: Option<Vec<u64>>,
+            #[serde(default)]
+            count: u64,
+        }
+
+        // `None` omits the key entirely, so encodings match pre-field bytes.
+        let none = Versioned {
+            id: 1,
+            extra: None,
+            count: 7,
+        };
+        let v = none.to_value();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["id", "count"]);
+        assert_eq!(Versioned::from_value(&v).unwrap(), none);
+
+        // Encodings written before `extra`/`count` existed still decode.
+        let legacy = Value::Object(vec![("id".into(), Value::U64(2))]);
+        assert_eq!(
+            Versioned::from_value(&legacy).unwrap(),
+            Versioned {
+                id: 2,
+                extra: None,
+                count: 0,
+            }
+        );
+
+        // A populated optional field round-trips and keeps declaration order.
+        let some = Versioned {
+            id: 3,
+            extra: Some(vec![9, 10]),
+            count: 4,
+        };
+        let v = some.to_value();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["id", "extra", "count"]);
+        assert_eq!(Versioned::from_value(&v).unwrap(), some);
     }
 }

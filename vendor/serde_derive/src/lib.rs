@@ -5,17 +5,29 @@
 //! `serde` shim's value-tree model: `Serialize::to_value` /
 //! `Deserialize::from_value`. The item is parsed directly from the raw
 //! `proc_macro::TokenStream` (no `syn`/`quote`), which is enough because
-//! the workspace only derives on non-generic items without `#[serde]`
-//! attributes: named structs, tuple/newtype structs, and enums with unit
-//! or tuple variants.
+//! the workspace only derives on non-generic items: named structs,
+//! tuple/newtype structs, and enums with unit or tuple variants. Named
+//! struct fields may carry the `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]` attributes; other `#[serde]`
+//! attributes are rejected rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named-struct field plus the `#[serde(...)]` attributes it carries.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&self.field)` is true.
+    skip_serializing_if: Option<String>,
+}
 
 /// The shapes of items this shim knows how to derive for.
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -30,25 +42,56 @@ enum Shape {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     let body = match &shape {
         Shape::NamedStruct { name, fields } => {
-            let mut entries = String::new();
-            for f in fields {
-                entries.push_str(&format!(
-                    "(::std::string::String::from(\"{f}\"), \
-                     ::serde::Serialize::to_value(&self.{f})),"
-                ));
+            if fields.iter().any(|f| f.skip_serializing_if.is_some()) {
+                let mut stmts = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    let push = format!(
+                        "__fields.push((::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value(&self.{fname})));"
+                    );
+                    match &f.skip_serializing_if {
+                        Some(pred) => {
+                            stmts.push_str(&format!("if !{pred}(&self.{fname}) {{ {push} }}\n"));
+                        }
+                        None => {
+                            stmts.push_str(&push);
+                            stmts.push('\n');
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {stmts}\
+                             ::serde::Value::Object(__fields)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let mut entries = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    entries.push_str(&format!(
+                        "(::std::string::String::from(\"{fname}\"), \
+                         ::serde::Serialize::to_value(&self.{fname})),"
+                    ));
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Object(::std::vec![{entries}])\n\
+                         }}\n\
+                     }}"
+                )
             }
-            format!(
-                "impl ::serde::Serialize for {name} {{\n\
-                     fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(::std::vec![{entries}])\n\
-                     }}\n\
-                 }}"
-            )
         }
         Shape::TupleStruct { name, arity: 1 } => format!(
             "impl ::serde::Serialize for {name} {{\n\
@@ -116,14 +159,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     emit(&body)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     let body = match &shape {
         Shape::NamedStruct { name, fields } => {
             let mut entries = String::new();
             for f in fields {
-                entries.push_str(&format!("{f}: ::serde::__field(__obj, \"{f}\")?,"));
+                let fname = &f.name;
+                let helper = if f.default {
+                    "__field_or_default"
+                } else {
+                    "__field"
+                };
+                entries.push_str(&format!("{fname}: ::serde::{helper}(__obj, \"{fname}\")?,"));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -308,18 +357,24 @@ fn parse_item(input: TokenStream) -> Shape {
     }
 }
 
-/// Field names of a named struct, skipping attributes, visibility, and
-/// type tokens (commas inside `<...>` do not split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a named struct: names plus any `#[serde(...)]` attributes,
+/// skipping doc/other attributes, visibility, and type tokens (commas
+/// inside `<...>` do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility.
+        // Collect attributes and skip visibility until the field name.
+        let mut default = false;
+        let mut skip_serializing_if = None;
         let name = loop {
             match iter.next() {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    iter.next();
-                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        parse_serde_attr(g.stream(), &mut default, &mut skip_serializing_if);
+                    }
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                },
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = iter.peek() {
                         if g.delimiter() == Delimiter::Parenthesis {
@@ -339,7 +394,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field {
+            name,
+            default,
+            skip_serializing_if,
+        });
         // Consume the type up to the next field-separating comma.
         let mut angle = 0i32;
         for tt in iter.by_ref() {
@@ -354,6 +413,57 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// If `stream` (the inside of an attribute's `[...]`) is a
+/// `serde(...)` attribute, record the options it carries. Doc comments
+/// and non-serde attributes are ignored; unknown serde options panic so
+/// they fail the build instead of silently changing semantics.
+fn parse_serde_attr(
+    stream: TokenStream,
+    default: &mut bool,
+    skip_serializing_if: &mut Option<String>,
+) {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // not a serde attribute — ignore
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("serde_derive shim: expected `(...)` after `serde`");
+    };
+    let mut inner = g.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => *default = true,
+                "skip_serializing_if" => match (inner.next(), inner.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        let path = s
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "serde_derive shim: skip_serializing_if expects a \
+                                         string literal, got {s}"
+                                )
+                            });
+                        *skip_serializing_if = Some(path.to_string());
+                    }
+                    other => panic!(
+                        "serde_derive shim: expected `= \"path\"` after \
+                             skip_serializing_if, got {other:?}"
+                    ),
+                },
+                opt => panic!("serde_derive shim: unsupported serde option `{opt}`"),
+            },
+            other => panic!("serde_derive shim: unexpected token in serde attribute: {other:?}"),
+        }
+    }
 }
 
 /// `(name, arity)` for each enum variant; arity 0 is a unit variant.
