@@ -8,6 +8,8 @@
 //! Writes the machine-readable `BENCH_failure.json` and the human-readable
 //! `results/failure_study.txt`, then prints the tables. Pass `--quick` for
 //! the CI smoke sweep (two MTBF points); the output schema is identical.
+//! `--jobs N` bounds the sweep worker pool (default: available
+//! parallelism; results are identical for any N).
 
 use std::fmt::Write as _;
 use woha_bench::experiments::failures::{
@@ -21,6 +23,7 @@ use woha_sim::SimConfig;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = woha_bench::jobs_flag_or(woha_bench::available_jobs());
     let scenario = YahooScenario::default();
     let workload = yahoo_workload(&scenario);
     let (label, cluster) = trace_clusters().remove(1); // 240m-240r
@@ -39,8 +42,9 @@ fn main() {
         default_mtbf_points()
     };
     eprintln!("failure_study — reactive schedulers vs proactive WOHA-LPF under node crashes");
-    let reactive = run_failure_sweep(workload.workflows(), &cluster, &points, mttr, &config);
-    let proactive = run_proactive_sweep(workload.workflows(), &cluster, &points, mttr, &config);
+    let reactive = run_failure_sweep(workload.workflows(), &cluster, &points, mttr, &config, jobs);
+    let proactive =
+        run_proactive_sweep(workload.workflows(), &cluster, &points, mttr, &config, jobs);
 
     let mut text = String::new();
     writeln!(

@@ -1,11 +1,14 @@
 //! Regenerates the paper's Fig 8: deadline-miss ratio over the Yahoo-like
-//! workload, per cluster size and scheduler.
+//! workload, per cluster size and scheduler. `--jobs N` bounds the sweep
+//! worker pool (default: available parallelism; results are identical
+//! for any N).
 
-use woha_bench::experiments::deadline::run_trace_sweep;
+use woha_bench::experiments::deadline::run_trace_sweep_jobs;
 use woha_bench::scenarios::YahooScenario;
 
 fn main() {
-    let sweep = run_trace_sweep(&YahooScenario::default(), 0.1);
+    let jobs = woha_bench::jobs_flag_or(woha_bench::available_jobs());
+    let sweep = run_trace_sweep_jobs(&YahooScenario::default(), 0.1, jobs);
     println!(
         "Fig 8 — deadline miss ratio ({} multi-job Yahoo-like workflows)\n",
         sweep.workflow_count

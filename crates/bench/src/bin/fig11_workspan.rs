@@ -1,8 +1,11 @@
 //! Regenerates the paper's Fig 11: workspans of the three Fig-7 workflows
-//! under the six schedulers on the 32-slave demo cluster.
+//! under the six schedulers on the 32-slave demo cluster. `--jobs N`
+//! bounds the worker pool (default: available parallelism; results are
+//! identical for any N).
 
 fn main() {
-    let result = woha_bench::experiments::demo::run_fig11(false);
+    let jobs = woha_bench::jobs_flag_or(woha_bench::available_jobs());
+    let result = woha_bench::experiments::demo::run_fig11_jobs(false, jobs);
     println!("Fig 11 — synthetic workflow workspans (32 slaves: 64 map + 32 reduce slots)");
     println!(
         "relative deadlines: W-1 {}, W-2 {}, W-3 {} ('*' = deadline missed)\n",

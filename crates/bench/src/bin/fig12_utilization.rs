@@ -1,10 +1,13 @@
 //! Regenerates the paper's Fig 12: cluster utilization of the demo
-//! workload with 3 recurrences, per scheduler.
+//! workload with 3 recurrences, per scheduler. `--jobs N` bounds the
+//! worker pool (default: available parallelism; results are identical
+//! for any N).
 
-use woha_bench::experiments::demo::run_fig12;
+use woha_bench::experiments::demo::run_fig12_jobs;
 
 fn main() {
-    let r = run_fig12();
+    let jobs = woha_bench::jobs_flag_or(woha_bench::available_jobs());
+    let r = run_fig12_jobs(jobs);
     println!("Fig 12 — cluster utilization with 3 recurrences (32-slave demo cluster)\n");
     print!("{}", r.table().render());
 }

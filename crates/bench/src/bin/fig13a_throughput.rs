@@ -2,13 +2,16 @@
 //! workflow queue length for the DSL, BST, and naive schedulers.
 //!
 //! Queue lengths sweep 10^2..10^6 like the paper; pass `--quick` to stop
-//! at 10^4 (the naive scheduler needs minutes beyond that).
+//! at 10^4 (the naive scheduler needs minutes beyond that). `--jobs N`
+//! fans cells over N workers — defaults to 1 because concurrent
+//! wall-clock cells distort each other's timings.
 
 use std::time::Duration;
-use woha_bench::experiments::throughput::{fig13a_table, run_fig13a};
+use woha_bench::experiments::throughput::{fig13a_table, run_fig13a_jobs};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = woha_bench::jobs_flag_or(1);
     let lens: &[usize] = if quick {
         &[100, 1_000, 10_000]
     } else {
@@ -16,6 +19,6 @@ fn main() {
     };
     let budget = Duration::from_millis(if quick { 100 } else { 300 });
     println!("Fig 13(a) — scheduler throughput (AssignTask calls/second)\n");
-    let points = run_fig13a(lens, budget);
+    let points = run_fig13a_jobs(lens, budget, jobs);
     print!("{}", fig13a_table(&points).render());
 }

@@ -3,6 +3,9 @@
 //! compares the deadline damage and recovery work across EDF, FIFO, Fair
 //! and WOHA-LPF — once with the write-ahead log (lossless recovery) and
 //! once recovering from the last checkpoint alone.
+//!
+//! `--jobs N` bounds the sweep worker pool (default: available
+//! parallelism; results are identical for any N).
 
 use woha_bench::experiments::master_failover::run_failover_sweep;
 use woha_bench::scenarios::{demo_cluster, fig11_workflows};
@@ -10,6 +13,7 @@ use woha_model::{SimDuration, SimTime};
 use woha_sim::SimConfig;
 
 fn main() {
+    let jobs = woha_bench::jobs_flag_or(woha_bench::available_jobs());
     let workflows = fig11_workflows();
     let cluster = demo_cluster();
     let config = SimConfig {
@@ -33,7 +37,7 @@ fn main() {
         (false, "checkpoint-only recovery (WAL disabled)"),
     ] {
         let sweep = run_failover_sweep(
-            &workflows, &cluster, &intervals, &crashes, mttr, wal, &config,
+            &workflows, &cluster, &intervals, &crashes, mttr, wal, &config, jobs,
         );
         println!(
             "Master failover — {} Fig 11 workflows on 32x2x1, one scripted \

@@ -1,0 +1,197 @@
+//! The sweep-orchestrator benchmark and identity check: runs one
+//! multi-cell scenario grid twice — serially (`--jobs 1`) and fanned
+//! over the worker pool — asserts the aggregated canonical JSON is
+//! **byte-identical**, and records both wall times.
+//!
+//! Writes the machine-readable `BENCH_sweep.json` perf record and the
+//! human-readable `results/sweep_bench.txt`. Pass `--quick` for the CI
+//! smoke grid (8 cells of the Fig 11 scenario under node faults); the
+//! full grid is the Figs 8–10 Yahoo sweep (18 cells). `--jobs N` sets
+//! the parallel leg's worker count (default: available parallelism,
+//! floored at 2 so the identity check always crosses threads).
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use woha_bench::experiments::failures::SCHEDULERS;
+use woha_bench::scenarios::{
+    demo_cluster, fig11_workflows, trace_clusters, yahoo_workload, YahooScenario,
+};
+use woha_bench::sweep::{available_jobs, jobs_flag_or, CellKey, SimSweep, SimSweepRun};
+use woha_bench::SchedulerKind;
+use woha_model::SimDuration;
+use woha_sim::{FaultConfig, SimConfig};
+
+/// One cell's serial-vs-parallel wall time in `BENCH_sweep.json`.
+#[derive(Serialize)]
+struct CellRecord {
+    cell: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// The `BENCH_sweep.json` schema.
+#[derive(Serialize)]
+struct SweepBenchReport {
+    experiment: String,
+    quick: bool,
+    /// Available hardware parallelism where the record was produced. A
+    /// speedup near 1.0 with `cores = 1` is expected, not a regression.
+    cores: u64,
+    cell_count: u64,
+    serial_jobs: u64,
+    serial_wall_ms: f64,
+    parallel_jobs: u64,
+    parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms`.
+    speedup: f64,
+    /// Whether the two legs' canonical aggregated JSON matched byte for
+    /// byte (the run aborts before writing this report if they do not).
+    identical: bool,
+    cells: Vec<CellRecord>,
+}
+
+fn quick_grid(workflows: &[woha_model::WorkflowSpec]) -> SimSweep<'_> {
+    // The failure-study shape in miniature: 2 MTBF points × 4 schedulers
+    // on the 32-slave demo cluster = 8 cells.
+    let cluster = demo_cluster();
+    let config = SimConfig {
+        duration_jitter: 0.1,
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let mttr = SimDuration::from_mins(3);
+    let mut sweep = SimSweep::new();
+    for (label, mtbf) in [("none", None), ("12m", Some(SimDuration::from_mins(12)))] {
+        let faulty = match mtbf {
+            Some(mtbf) => cluster
+                .clone()
+                .with_faults(FaultConfig::with_mtbf(mtbf, mttr)),
+            None => cluster.clone(),
+        };
+        sweep.push_kinds(
+            &CellKey::new().with("mtbf", label),
+            &SCHEDULERS,
+            workflows,
+            &faulty,
+            &config,
+        );
+    }
+    sweep
+}
+
+fn full_grid<'w>(workflows: &'w [woha_model::WorkflowSpec], seed: u64) -> SimSweep<'w> {
+    // The Figs 8–10 grid: 3 cluster sizes × 6 schedulers = 18 cells.
+    let config = SimConfig {
+        duration_jitter: 0.1,
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sweep = SimSweep::new();
+    for (label, cluster) in trace_clusters() {
+        sweep.push_kinds(
+            &CellKey::new().with("cluster", &label),
+            &SchedulerKind::ALL,
+            workflows,
+            &cluster,
+            &config,
+        );
+    }
+    sweep
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = available_jobs();
+    let parallel_jobs = jobs_flag_or(cores.max(2));
+
+    let scenario = YahooScenario::default();
+    let fig11 = fig11_workflows();
+    let workload;
+    let sweep = if quick {
+        quick_grid(&fig11)
+    } else {
+        workload = yahoo_workload(&scenario);
+        full_grid(workload.workflows(), scenario.seed)
+    };
+
+    eprintln!(
+        "sweep_bench — {} cells, serial vs {parallel_jobs} workers on {cores} core(s)",
+        sweep.len()
+    );
+    let serial = sweep.run(1);
+    let parallel = sweep.run(parallel_jobs);
+
+    let serial_json = serial.canonical_json();
+    let parallel_json = parallel.canonical_json();
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep output must be byte-identical to the serial run"
+    );
+
+    let wall_ms = |r: &SimSweepRun| r.wall.as_secs_f64() * 1e3;
+    let speedup = wall_ms(&serial) / wall_ms(&parallel).max(1e-9);
+    let report = SweepBenchReport {
+        experiment: "sweep_bench".to_string(),
+        quick,
+        cores: cores as u64,
+        cell_count: serial.cells.len() as u64,
+        serial_jobs: serial.jobs as u64,
+        serial_wall_ms: wall_ms(&serial),
+        parallel_jobs: parallel.jobs as u64,
+        parallel_wall_ms: wall_ms(&parallel),
+        speedup,
+        identical: true,
+        cells: serial
+            .timings
+            .iter()
+            .zip(&parallel.timings)
+            .map(|(s, p)| CellRecord {
+                cell: s.label.clone(),
+                serial_ms: s.wall.as_secs_f64() * 1e3,
+                parallel_ms: p.wall.as_secs_f64() * 1e3,
+            })
+            .collect(),
+    };
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Sweep orchestrator — {} cells, {} core(s): serial {:.0} ms, \
+         {} workers {:.0} ms, speedup {:.2}x, outputs byte-identical\n",
+        report.cell_count,
+        report.cores,
+        report.serial_wall_ms,
+        report.parallel_jobs,
+        report.parallel_wall_ms,
+        report.speedup
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "cell                                serial(ms)  parallel(ms)"
+    )
+    .unwrap();
+    for c in &report.cells {
+        writeln!(
+            text,
+            "{:<36}{:>10.0}{:>14.0}",
+            c.cell, c.serial_ms, c.parallel_ms
+        )
+        .unwrap();
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/sweep_bench.txt", &text).expect("write results/sweep_bench.txt");
+
+    print!("{text}");
+    if cores >= 2 && speedup > 1.5 {
+        eprintln!("PASS: {speedup:.2}x speedup with {parallel_jobs} workers on {cores} cores");
+    } else if cores >= 2 {
+        eprintln!("WARN: speedup {speedup:.2}x with {parallel_jobs} workers on {cores} cores");
+    } else {
+        eprintln!("PASS: outputs byte-identical; speedup {speedup:.2}x not meaningful on 1 core");
+    }
+    eprintln!("wrote BENCH_sweep.json and results/sweep_bench.txt");
+}

@@ -5,13 +5,17 @@
 //! Writes the machine-readable `BENCH_throughput.json` perf baseline and
 //! the human-readable `results/throughput_index.txt` table, then prints
 //! the table. Pass `--quick` for the CI smoke sweep (10²–10³, short
-//! budgets); the output schema is identical.
+//! budgets); the output schema is identical. `--jobs N` fans cells over
+//! N workers — it defaults to 1 because concurrent wall-clock cells on
+//! shared cores distort each other; raise it only on idle many-core
+//! machines.
 
 use std::time::Duration;
-use woha_bench::experiments::throughput::{run_throughput_index, throughput_index_table};
+use woha_bench::experiments::throughput::{run_throughput_index_jobs, throughput_index_table};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = woha_bench::jobs_flag_or(1);
     let lens: &[usize] = if quick {
         &[100, 1_000]
     } else {
@@ -19,7 +23,7 @@ fn main() {
     };
     let budget = Duration::from_millis(if quick { 20 } else { 300 });
     eprintln!("throughput_index — PriorityIndex backend throughput (AssignTask calls/second)");
-    let report = run_throughput_index(lens, budget);
+    let report = run_throughput_index_jobs(lens, budget, jobs);
     let table = throughput_index_table(&report).render();
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

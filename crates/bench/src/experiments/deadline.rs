@@ -3,10 +3,10 @@
 //! three cluster sizes (200m-200r, 240m-240r, 280m-280r) and the six
 //! schedulers.
 
-use crate::runner::run_many;
 use crate::scenarios::{trace_clusters, yahoo_workload, YahooScenario};
 use crate::schedulers::SchedulerKind;
-use crate::table::{fmt_f64, fmt_secs, Table};
+use crate::sweep::{CellKey, SimSweep};
+use crate::table::{fmt_f64, fmt_secs, ordered_unique, Table};
 use woha_model::SimDuration;
 use woha_sim::{SimConfig, SimReport};
 
@@ -31,8 +31,17 @@ pub struct TraceSweep {
 }
 
 /// Runs the Figs 8–10 sweep. `jitter` adds the given relative task-duration
-/// noise so plans face estimation error, as on a real cluster.
+/// noise so plans face estimation error, as on a real cluster. Uses one
+/// worker thread per scheduler; see [`run_trace_sweep_jobs`] for an
+/// explicit thread budget.
 pub fn run_trace_sweep(scenario: &YahooScenario, jitter: f64) -> TraceSweep {
+    run_trace_sweep_jobs(scenario, jitter, SchedulerKind::ALL.len())
+}
+
+/// [`run_trace_sweep`] with an explicit worker-thread budget. The whole
+/// 18-cell grid (3 clusters × 6 schedulers) is one pool; results are
+/// identical for any `jobs`.
+pub fn run_trace_sweep_jobs(scenario: &YahooScenario, jitter: f64, jobs: usize) -> TraceSweep {
     let workload = yahoo_workload(scenario);
     let workflows = workload.workflows();
     let config = SimConfig {
@@ -40,34 +49,39 @@ pub fn run_trace_sweep(scenario: &YahooScenario, jitter: f64) -> TraceSweep {
         seed: scenario.seed,
         ..SimConfig::default()
     };
-    let mut cells = Vec::new();
-    for (label, cluster) in trace_clusters() {
-        let reports = run_many(&SchedulerKind::ALL, workflows, &cluster, &config);
-        for (scheduler, report) in reports {
-            cells.push(SweepCell {
-                cluster: label.clone(),
+    let clusters = trace_clusters();
+    let mut sweep = SimSweep::new();
+    for (label, cluster) in &clusters {
+        sweep.push_kinds(
+            &CellKey::new().with("cluster", label),
+            &SchedulerKind::ALL,
+            workflows,
+            cluster,
+            &config,
+        );
+    }
+    let reports = sweep.run(jobs).into_reports();
+    let coords = clusters.iter().flat_map(|(label, _)| {
+        SchedulerKind::ALL
+            .iter()
+            .map(move |&kind| (label.clone(), kind))
+    });
+    TraceSweep {
+        cells: coords
+            .zip(reports)
+            .map(|((cluster, scheduler), report)| SweepCell {
+                cluster,
                 scheduler,
                 report,
-            });
-        }
-    }
-    TraceSweep {
-        cells,
+            })
+            .collect(),
         workflow_count: workflows.len(),
     }
 }
 
 impl TraceSweep {
     fn metric_table(&self, header: &str, metric: impl Fn(&SimReport) -> String) -> Table {
-        let clusters: Vec<String> = {
-            let mut seen = Vec::new();
-            for c in &self.cells {
-                if !seen.contains(&c.cluster) {
-                    seen.push(c.cluster.clone());
-                }
-            }
-            seen
-        };
+        let clusters = ordered_unique(self.cells.iter().map(|c| c.cluster.clone()));
         let mut columns: Vec<String> = vec!["scheduler".to_string()];
         columns.extend(clusters.iter().cloned());
         let _ = header;

@@ -2,7 +2,7 @@
 //! utilization under 3 recurrences), and Figs 14–19 (slot-allocation
 //! timelines), all on the 32-slave cluster with three Fig-7 workflows.
 
-use crate::runner::run_many;
+use crate::runner::run_many_jobs;
 use crate::scenarios::{demo_cluster, fig11_workflows, fig12_workflows};
 use crate::schedulers::SchedulerKind;
 use crate::table::{fmt_f64, fmt_secs, Table};
@@ -25,6 +25,12 @@ pub struct Fig11Result {
 /// `track_timelines` additionally records the Fig 14–19 slot-allocation
 /// series (costs memory; enable only when those figures are wanted).
 pub fn run_fig11(track_timelines: bool) -> Fig11Result {
+    run_fig11_jobs(track_timelines, SchedulerKind::ALL.len())
+}
+
+/// [`run_fig11`] with an explicit worker-thread budget; results are
+/// identical for any `jobs`.
+pub fn run_fig11_jobs(track_timelines: bool, jobs: usize) -> Fig11Result {
     let workflows = fig11_workflows();
     let cluster = demo_cluster();
     let config = SimConfig {
@@ -32,7 +38,7 @@ pub fn run_fig11(track_timelines: bool) -> Fig11Result {
         sample_interval: SimDuration::from_secs(10),
         ..SimConfig::default()
     };
-    let reports = run_many(&SchedulerKind::ALL, &workflows, &cluster, &config);
+    let reports = run_many_jobs(&SchedulerKind::ALL, &workflows, &cluster, &config, jobs);
     let relative_deadlines = workflows.iter().map(|w| w.relative_deadline()).collect();
     let rows = reports
         .iter()
@@ -96,10 +102,16 @@ pub struct Fig12Result {
 /// Runs the Fig 12 experiment: the demo workload with 3 recurrences,
 /// reporting overall cluster utilization per scheduler.
 pub fn run_fig12() -> Fig12Result {
+    run_fig12_jobs(SchedulerKind::ALL.len())
+}
+
+/// [`run_fig12`] with an explicit worker-thread budget; results are
+/// identical for any `jobs`.
+pub fn run_fig12_jobs(jobs: usize) -> Fig12Result {
     let workflows = fig12_workflows(3);
     let cluster = demo_cluster();
     let config = SimConfig::default();
-    let reports = run_many(&SchedulerKind::ALL, &workflows, &cluster, &config);
+    let reports = run_many_jobs(&SchedulerKind::ALL, &workflows, &cluster, &config, jobs);
     Fig12Result {
         rows: reports
             .iter()

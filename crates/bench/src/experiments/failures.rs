@@ -10,15 +10,15 @@
 //! ladder — plan padding, then padding plus risk-aware placement — to
 //! measure what anticipating failures buys over merely reacting to them.
 
-use crate::runner::run_many;
 use crate::schedulers::SchedulerKind;
-use crate::table::{fmt_f64, Table};
+use crate::sweep::{CellKey, SimCell, SimSweep};
+use crate::table::{fmt_f64, ordered_unique, Table};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use woha_core::{CapMode, PadConfig, PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler};
 use woha_model::{SimDuration, SlotKind, WorkflowSpec};
 use woha_sim::{
-    run_simulation, ClusterConfig, FaultConfig, PredictionConfig, SimConfig, SimReport,
+    ClusterConfig, FaultConfig, PredictionConfig, SimConfig, SimReport, WorkflowScheduler,
 };
 
 /// The four schedulers the study compares (one WOHA variant suffices; the
@@ -67,18 +67,22 @@ pub struct FailureSweep {
 }
 
 /// Runs the sweep: the same workload and cluster under every
-/// `(MTBF point, scheduler)` pair. Nodes repair after an exponential
-/// downtime of mean `mttr`; `seed` drives jitter and the fault streams, so
-/// each point is reproducible and all schedulers at one point face the
-/// same crash schedule.
+/// `(MTBF point, scheduler)` pair, fanned over up to `jobs` worker
+/// threads (the whole grid is one cell pool, so a slow faulty point never
+/// idles the workers; `jobs = 1` is the serial path). Nodes repair after
+/// an exponential downtime of mean `mttr`; `seed` drives jitter and the
+/// fault streams, so each point is reproducible, all schedulers at one
+/// point face the same crash schedule, and results are identical for any
+/// `jobs`.
 pub fn run_failure_sweep(
     workflows: &[WorkflowSpec],
     cluster: &ClusterConfig,
     points: &[MtbfPoint],
     mttr: SimDuration,
     config: &SimConfig,
+    jobs: usize,
 ) -> FailureSweep {
-    let mut cells = Vec::new();
+    let mut sweep = SimSweep::new();
     for (label, mtbf) in points {
         let faulty = match mtbf {
             Some(mtbf) => cluster
@@ -86,16 +90,27 @@ pub fn run_failure_sweep(
                 .with_faults(FaultConfig::with_mtbf(*mtbf, mttr)),
             None => cluster.clone(),
         };
-        for (scheduler, report) in run_many(&SCHEDULERS, workflows, &faulty, config) {
-            cells.push(FailureCell {
-                mtbf: label.clone(),
+        sweep.push_kinds(
+            &CellKey::new().with("mtbf", label),
+            &SCHEDULERS,
+            workflows,
+            &faulty,
+            config,
+        );
+    }
+    let reports = sweep.run(jobs).into_reports();
+    let coords = points
+        .iter()
+        .flat_map(|(label, _)| SCHEDULERS.iter().map(move |&kind| (label.clone(), kind)));
+    FailureSweep {
+        cells: coords
+            .zip(reports)
+            .map(|((mtbf, scheduler), report)| FailureCell {
+                mtbf,
                 scheduler,
                 report,
-            });
-        }
-    }
-    FailureSweep {
-        cells,
+            })
+            .collect(),
         workflow_count: workflows.len(),
     }
 }
@@ -112,15 +127,7 @@ impl FailureSweep {
     }
 
     fn metric_table(&self, metric: impl Fn(&SimReport) -> String) -> Table {
-        let points: Vec<String> = {
-            let mut seen = Vec::new();
-            for c in &self.cells {
-                if !seen.contains(&c.mtbf) {
-                    seen.push(c.mtbf.clone());
-                }
-            }
-            seen
-        };
+        let points = ordered_unique(self.cells.iter().map(|c| c.mtbf.clone()));
         let mut columns = vec!["scheduler".to_string()];
         columns.extend(points.iter().map(|p| format!("mtbf {p}")));
         let mut t = Table::new(columns);
@@ -242,17 +249,19 @@ pub struct ProactiveSweep {
 }
 
 /// Runs the proactive sweep: WOHA-LPF over every `(MTBF point, mode)`
-/// pair, same fault schedules per point as [`run_failure_sweep`] given the
-/// same cluster, MTTR, and seed. Modes at one point run in parallel.
+/// pair, same fault schedules per point as [`run_failure_sweep`] given
+/// the same cluster, MTTR, and seed. The whole grid fans over up to
+/// `jobs` worker threads; results are identical for any `jobs`.
 pub fn run_proactive_sweep(
     workflows: &[WorkflowSpec],
     cluster: &ClusterConfig,
     points: &[MtbfPoint],
     mttr: SimDuration,
     config: &SimConfig,
+    jobs: usize,
 ) -> ProactiveSweep {
     let total = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
-    let mut cells = Vec::new();
+    let mut sweep = SimSweep::new();
     for (label, mtbf) in points {
         let faulty = match mtbf {
             Some(mtbf) => cluster
@@ -260,39 +269,39 @@ pub fn run_proactive_sweep(
                 .with_faults(FaultConfig::with_mtbf(*mtbf, mttr)),
             None => cluster.clone(),
         };
-        let mut reports: Vec<Option<SimReport>> = Vec::new();
-        reports.resize_with(PredictionMode::ALL.len(), || None);
-        std::thread::scope(|scope| {
-            for (slot, &mode) in reports.iter_mut().zip(&PredictionMode::ALL) {
-                let faulty = &faulty;
-                scope.spawn(move || {
-                    let mut scheduler = build_proactive(total, *mtbf, mode);
-                    let run_config = SimConfig {
-                        prediction: (mode != PredictionMode::Off).then(|| PredictionConfig {
-                            risk_placement: mode == PredictionMode::PadRisk,
-                            ..PredictionConfig::default()
-                        }),
-                        ..config.clone()
-                    };
-                    *slot = Some(run_simulation(
-                        workflows,
-                        &mut scheduler,
-                        faulty,
-                        &run_config,
-                    ));
-                });
-            }
-        });
-        for (report, mode) in reports.into_iter().zip(PredictionMode::ALL) {
-            cells.push(ProactiveCell {
-                mtbf: label.clone(),
-                mode,
-                report: report.expect("every thread filled its slot"),
-            });
+        for mode in PredictionMode::ALL {
+            let run_config = SimConfig {
+                prediction: (mode != PredictionMode::Off).then(|| PredictionConfig {
+                    risk_placement: mode == PredictionMode::PadRisk,
+                    ..PredictionConfig::default()
+                }),
+                ..config.clone()
+            };
+            let mtbf = *mtbf;
+            sweep.push(
+                CellKey::new().with("mtbf", label).with("mode", mode),
+                SimCell::new(
+                    workflows,
+                    faulty.clone(),
+                    run_config,
+                    Box::new(move || {
+                        let scheduler: Box<dyn WorkflowScheduler> =
+                            Box::new(build_proactive(total, mtbf, mode));
+                        scheduler
+                    }),
+                ),
+            );
         }
     }
+    let reports = sweep.run(jobs).into_reports();
+    let coords = points
+        .iter()
+        .flat_map(|(label, _)| PredictionMode::ALL.iter().map(move |&m| (label.clone(), m)));
     ProactiveSweep {
-        cells,
+        cells: coords
+            .zip(reports)
+            .map(|((mtbf, mode), report)| ProactiveCell { mtbf, mode, report })
+            .collect(),
         workflow_count: workflows.len(),
     }
 }
@@ -309,15 +318,7 @@ impl ProactiveSweep {
     }
 
     fn metric_table(&self, metric: impl Fn(&SimReport) -> String) -> Table {
-        let points: Vec<String> = {
-            let mut seen = Vec::new();
-            for c in &self.cells {
-                if !seen.contains(&c.mtbf) {
-                    seen.push(c.mtbf.clone());
-                }
-            }
-            seen
-        };
+        let points = ordered_unique(self.cells.iter().map(|c| c.mtbf.clone()));
         let mut columns = vec!["mode".to_string()];
         columns.extend(points.iter().map(|p| format!("mtbf {p}")));
         let mut t = Table::new(columns);
@@ -482,6 +483,7 @@ mod tests {
             &points,
             SimDuration::from_mins(3),
             &config,
+            4,
         );
         assert_eq!(sweep.cells.len(), 2 * SCHEDULERS.len());
         for kind in SCHEDULERS {
@@ -524,8 +526,8 @@ mod tests {
             ..SimConfig::default()
         };
         let mttr = SimDuration::from_mins(3);
-        let reactive = run_failure_sweep(&workflows, &cluster, &points, mttr, &config);
-        let proactive = run_proactive_sweep(&workflows, &cluster, &points, mttr, &config);
+        let reactive = run_failure_sweep(&workflows, &cluster, &points, mttr, &config, 4);
+        let proactive = run_proactive_sweep(&workflows, &cluster, &points, mttr, &config, 2);
         assert_eq!(proactive.cells.len(), 2 * PredictionMode::ALL.len());
 
         for (label, _) in &points {

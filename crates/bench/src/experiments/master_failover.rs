@@ -8,9 +8,9 @@
 //! crash-free baseline of the same scheduler, so the tables report the
 //! deadline misses and tardiness *attributable to the outage*.
 
-use crate::runner::run_many;
 use crate::schedulers::SchedulerKind;
-use crate::table::Table;
+use crate::sweep::{CellKey, SimSweep};
+use crate::table::{ordered_unique, Table};
 use woha_model::{SimDuration, SimTime, WorkflowSpec};
 use woha_sim::{ClusterConfig, FaultConfig, MasterFaultConfig, SimConfig, SimReport};
 
@@ -53,7 +53,10 @@ pub struct FailoverSweep {
 /// selects lossless recovery (replay to the crash instant) or
 /// checkpoint-only recovery (everything since the last checkpoint is
 /// lost and redone). A crash-free run per scheduler provides the
-/// baseline for the delta tables.
+/// baseline for the delta tables. The baselines and the whole grid share
+/// one worker pool of up to `jobs` threads; results are identical for
+/// any `jobs`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_failover_sweep(
     workflows: &[WorkflowSpec],
     cluster: &ClusterConfig,
@@ -62,9 +65,16 @@ pub fn run_failover_sweep(
     mttr: SimDuration,
     wal: bool,
     config: &SimConfig,
+    jobs: usize,
 ) -> FailoverSweep {
-    let baselines = run_many(&SCHEDULERS, workflows, cluster, config);
-    let mut cells = Vec::new();
+    let mut sweep = SimSweep::new();
+    sweep.push_kinds(
+        &CellKey::new().with("crash", "none"),
+        &SCHEDULERS,
+        workflows,
+        cluster,
+        config,
+    );
     for (interval_label, interval) in intervals {
         for (crash_label, crash) in crash_times {
             let faults = FaultConfig {
@@ -78,31 +88,42 @@ pub fn run_failover_sweep(
                 ..cluster.faults().clone()
             };
             let faulty = cluster.clone().with_faults(faults);
-            for (scheduler, report) in run_many(&SCHEDULERS, workflows, &faulty, config) {
-                cells.push(FailoverCell {
-                    interval: interval_label.clone(),
-                    crash: crash_label.clone(),
-                    scheduler,
-                    report,
-                });
-            }
+            sweep.push_kinds(
+                &CellKey::new()
+                    .with("ckpt", interval_label)
+                    .with("crash", crash_label),
+                &SCHEDULERS,
+                workflows,
+                &faulty,
+                config,
+            );
         }
     }
+    let mut reports = sweep.run(jobs).into_reports().into_iter();
+    let baselines = SCHEDULERS
+        .iter()
+        .map(|&kind| (kind, reports.next().expect("baseline cell")))
+        .collect();
+    let coords = intervals.iter().flat_map(|(interval, _)| {
+        crash_times.iter().flat_map(move |(crash, _)| {
+            SCHEDULERS
+                .iter()
+                .map(move |&kind| (interval.clone(), crash.clone(), kind))
+        })
+    });
     FailoverSweep {
-        cells,
+        cells: coords
+            .zip(reports)
+            .map(|((interval, crash, scheduler), report)| FailoverCell {
+                interval,
+                crash,
+                scheduler,
+                report,
+            })
+            .collect(),
         baselines,
         workflow_count: workflows.len(),
     }
-}
-
-fn ordered_unique(labels: impl Iterator<Item = String>) -> Vec<String> {
-    let mut seen = Vec::new();
-    for l in labels {
-        if !seen.contains(&l) {
-            seen.push(l);
-        }
-    }
-    seen
 }
 
 impl FailoverSweep {
@@ -212,6 +233,7 @@ mod tests {
                 SimDuration::from_mins(2),
                 wal,
                 &config,
+                4,
             );
             assert_eq!(sweep.cells.len(), 2 * SCHEDULERS.len());
             for cell in &sweep.cells {

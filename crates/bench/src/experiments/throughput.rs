@@ -8,6 +8,7 @@
 //! the due ct-list heads, picks the top-priority workflow, advances its
 //! true progress, and re-inserts it.
 
+use crate::sweep::{run_sweep, CellKey};
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -190,15 +191,42 @@ pub fn measure_throughput(
     }
 }
 
-/// Runs the full Fig 13(a) sweep over the given queue lengths.
+/// Runs the full Fig 13(a) sweep over the given queue lengths, serially
+/// (throughput cells measure wall clock, so concurrent cells on shared
+/// cores would distort each other; pass `jobs > 1` to
+/// [`run_fig13a_jobs`] only on idle many-core machines).
 pub fn run_fig13a(queue_lens: &[usize], budget: Duration) -> Vec<ThroughputPoint> {
-    let mut points = Vec::new();
-    for &len in queue_lens {
-        for strategy in QueueStrategy::ALL {
-            points.push(measure_throughput(strategy, len, budget));
-        }
-    }
-    points
+    run_fig13a_jobs(queue_lens, budget, 1)
+}
+
+/// [`run_fig13a`] with an explicit worker-thread budget. The *set* of
+/// measured cells and their order are jobs-invariant; the measured
+/// calls-per-second values are wall-clock and never byte-stable.
+pub fn run_fig13a_jobs(
+    queue_lens: &[usize],
+    budget: Duration,
+    jobs: usize,
+) -> Vec<ThroughputPoint> {
+    let cells: Vec<(CellKey, (QueueStrategy, usize))> = queue_lens
+        .iter()
+        .flat_map(|&len| {
+            QueueStrategy::ALL.into_iter().map(move |strategy| {
+                (
+                    CellKey::new()
+                        .with("len", len)
+                        .with("queue", strategy.label()),
+                    (strategy, len),
+                )
+            })
+        })
+        .collect();
+    run_sweep(&cells, jobs, |_, &(strategy, len)| {
+        measure_throughput(strategy, len, budget)
+    })
+    .results
+    .into_iter()
+    .map(|(_, p)| p)
+    .collect()
 }
 
 /// Renders the Fig 13(a) table: one row per queue length, one column per
@@ -270,19 +298,44 @@ pub const INDEX_BACKENDS: [QueueStrategy; 3] = [
 ];
 
 /// Runs the `throughput_index` sweep: backend × queue length, at least
-/// `budget` wall-clock time per point.
+/// `budget` wall-clock time per point, serially (see [`run_fig13a`] for
+/// why timing sweeps default to one worker).
 pub fn run_throughput_index(queue_lens: &[usize], budget: Duration) -> ThroughputReport {
-    let mut points = Vec::new();
-    for &len in queue_lens {
-        for strategy in INDEX_BACKENDS {
-            let p = measure_throughput(strategy, len, budget);
-            points.push(ThroughputRecord {
-                backend: strategy.label().to_string(),
-                queue_len: len as u64,
-                calls_per_sec: p.calls_per_sec,
-            });
+    run_throughput_index_jobs(queue_lens, budget, 1)
+}
+
+/// [`run_throughput_index`] with an explicit worker-thread budget; the
+/// cell set and order are jobs-invariant, the measured rates are not.
+pub fn run_throughput_index_jobs(
+    queue_lens: &[usize],
+    budget: Duration,
+    jobs: usize,
+) -> ThroughputReport {
+    let cells: Vec<(CellKey, (QueueStrategy, usize))> = queue_lens
+        .iter()
+        .flat_map(|&len| {
+            INDEX_BACKENDS.into_iter().map(move |strategy| {
+                (
+                    CellKey::new()
+                        .with("len", len)
+                        .with("queue", strategy.label()),
+                    (strategy, len),
+                )
+            })
+        })
+        .collect();
+    let points = run_sweep(&cells, jobs, |_, &(strategy, len)| {
+        let p = measure_throughput(strategy, len, budget);
+        ThroughputRecord {
+            backend: strategy.label().to_string(),
+            queue_len: len as u64,
+            calls_per_sec: p.calls_per_sec,
         }
-    }
+    })
+    .results
+    .into_iter()
+    .map(|(_, p)| p)
+    .collect();
     ThroughputReport {
         experiment: "throughput_index".to_string(),
         queue_lens: queue_lens.iter().map(|&l| l as u64).collect(),

@@ -12,7 +12,11 @@ pub mod experiments;
 pub mod runner;
 pub mod scenarios;
 pub mod schedulers;
+pub mod sweep;
 pub mod table;
 
-pub use runner::{run_many, run_one};
+pub use runner::{run_many, run_many_jobs, run_one};
 pub use schedulers::SchedulerKind;
+pub use sweep::{
+    available_jobs, canonical_report_json, jobs_flag_or, run_sweep, CellKey, SimSweep, SimSweepRun,
+};

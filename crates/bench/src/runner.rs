@@ -1,7 +1,11 @@
 //! Experiment execution: run one scenario under one or many schedulers,
 //! optionally in parallel across schedulers.
+//!
+//! These are thin convenience wrappers over the [`crate::sweep`]
+//! orchestrator for the common "same scenario, several schedulers" shape.
 
 use crate::schedulers::SchedulerKind;
+use crate::sweep::{CellKey, SimSweep};
 use woha_model::{SlotKind, WorkflowSpec};
 use woha_sim::{run_simulation, ClusterConfig, SimConfig, SimReport};
 
@@ -18,25 +22,32 @@ pub fn run_one(
 }
 
 /// Runs the same scenario under every scheduler in `kinds`, in parallel
-/// (one OS thread per scheduler), returning reports in `kinds` order.
+/// (one worker thread per scheduler), returning reports in `kinds` order.
 pub fn run_many(
     kinds: &[SchedulerKind],
     workflows: &[WorkflowSpec],
     cluster: &ClusterConfig,
     config: &SimConfig,
 ) -> Vec<(SchedulerKind, SimReport)> {
-    let mut results: Vec<Option<(SchedulerKind, SimReport)>> = Vec::new();
-    results.resize_with(kinds.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, &kind) in results.iter_mut().zip(kinds) {
-            scope.spawn(move || {
-                *slot = Some((kind, run_one(kind, workflows, cluster, config)));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every thread filled its slot"))
+    run_many_jobs(kinds, workflows, cluster, config, kinds.len().max(1))
+}
+
+/// [`run_many`] with an explicit worker-thread budget; `jobs = 1` runs
+/// the schedulers serially on the calling thread. Results are identical
+/// regardless of `jobs`.
+pub fn run_many_jobs(
+    kinds: &[SchedulerKind],
+    workflows: &[WorkflowSpec],
+    cluster: &ClusterConfig,
+    config: &SimConfig,
+    jobs: usize,
+) -> Vec<(SchedulerKind, SimReport)> {
+    let mut sweep = SimSweep::new();
+    sweep.push_kinds(&CellKey::new(), kinds, workflows, cluster, config);
+    kinds
+        .iter()
+        .copied()
+        .zip(sweep.run(jobs).into_reports())
         .collect()
 }
 
@@ -55,6 +66,19 @@ mod tests {
         for (kind, report) in &parallel {
             let solo = run_one(*kind, &workflows, &cluster, &config);
             assert_eq!(report, &solo, "{kind}");
+        }
+    }
+
+    #[test]
+    fn run_many_jobs_is_jobs_invariant() {
+        let workflows = fig2_workflows();
+        let cluster = fig2_cluster();
+        let config = SimConfig::default();
+        let kinds = [SchedulerKind::Fifo, SchedulerKind::Fair, SchedulerKind::Edf];
+        let serial = run_many_jobs(&kinds, &workflows, &cluster, &config, 1);
+        for jobs in [2, 8] {
+            let parallel = run_many_jobs(&kinds, &workflows, &cluster, &config, jobs);
+            assert_eq!(serial, parallel, "jobs={jobs}");
         }
     }
 }

@@ -1,0 +1,557 @@
+//! The parallel sweep orchestrator: fan a grid of independent scenario
+//! cells across worker threads and aggregate the results
+//! **deterministically**.
+//!
+//! Every paper figure is a grid of shared-nothing cells (seeds ×
+//! schedulers × MTBF × index backends), each one `run_simulation` call.
+//! [`run_sweep`] executes such a grid on a pool of `jobs` OS threads: a
+//! shared atomic cursor hands cells to workers in specification order,
+//! completed cells flow back over a channel, and [`merge_completions`]
+//! re-keys them by cell index — so the aggregated output is **byte
+//! identical regardless of thread count or completion order**. `jobs = 1`
+//! runs the cells inline on the caller's thread, preserving the serial
+//! path exactly.
+//!
+//! The determinism contract:
+//!
+//! - cell execution is shared-nothing (each cell builds its own scheduler
+//!   and consumes immutable borrows of the workload/cluster/config);
+//! - results are ordered by cell *specification* index, never by
+//!   completion order;
+//! - wall-clock measurements ([`CellTiming`], [`SweepRun::wall`]) are
+//!   carried next to the results, not inside them, and
+//!   [`canonical_report_json`] zeroes [`SimReport::scheduler_nanos`] — the
+//!   one wall-clock field inside a report — so serialized sweep output is
+//!   reproducible bit for bit.
+//!
+//! [`SimSweep`] layers the common scenario-grid vocabulary on top: cells
+//! keyed by [`CellKey`] axes that each run one simulation.
+
+use crate::schedulers::SchedulerKind;
+use serde::Serialize;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use woha_model::{SlotKind, WorkflowSpec};
+use woha_sim::{run_simulation, ClusterConfig, SimConfig, SimReport, WorkflowScheduler};
+
+/// Coordinates of one sweep cell: an ordered list of `(axis, value)`
+/// pairs, e.g. `mtbf=8h scheduler=EDF`. Axis order is the order of
+/// [`with`](CellKey::with) calls, so labels are stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    axes: Vec<(String, String)>,
+}
+
+impl CellKey {
+    /// An empty key (for single-axis sweeps built via
+    /// [`SimSweep::push_kinds`]).
+    pub fn new() -> Self {
+        CellKey::default()
+    }
+
+    /// Returns the key extended by one `axis=value` coordinate.
+    pub fn with(mut self, axis: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.axes.push((axis.into(), value.to_string()));
+        self
+    }
+
+    /// The value of one axis, if present.
+    pub fn get(&self, axis: &str) -> Option<&str> {
+        self.axes
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether every `(axis, value)` pair of `selector` matches.
+    pub fn matches(&self, selector: &[(&str, &str)]) -> bool {
+        selector.iter().all(|&(a, v)| self.get(a) == Some(v))
+    }
+
+    /// The canonical `axis=value axis=value` label.
+    pub fn label(&self) -> String {
+        self.axes
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Wall-clock cost of one cell, carried *next to* the deterministic
+/// results (never inside them) and fed to `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// The cell's [`CellKey::label`].
+    pub label: String,
+    /// Wall-clock time the cell's run call took.
+    pub wall: Duration,
+}
+
+/// The aggregated outcome of one sweep execution.
+#[derive(Debug, Clone)]
+pub struct SweepRun<R> {
+    /// One result per cell, in **specification order** (independent of
+    /// completion order and thread count).
+    pub results: Vec<(CellKey, R)>,
+    /// Per-cell wall times, in the same order.
+    pub timings: Vec<CellTiming>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+/// The machine's available parallelism (the `--jobs` default).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `--jobs N` / `--jobs=N` flag out of an argument list.
+/// `Ok(None)` when absent; `0` means "use [`available_jobs`]".
+pub fn parse_jobs<I: IntoIterator<Item = String>>(args: I) -> Result<Option<usize>, String> {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" {
+            args.next().ok_or("--jobs needs a value")?
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("--jobs: not a number: {value}"))?;
+        return Ok(Some(if n == 0 { available_jobs() } else { n }));
+    }
+    Ok(None)
+}
+
+/// Reads `--jobs` from the process arguments, defaulting to `default`
+/// (pass [`available_jobs()`] for simulation sweeps, `1` for wall-clock
+/// microbenchmarks whose measurements parallel cells would distort).
+/// Exits with a usage message on a malformed value.
+pub fn jobs_flag_or(default: usize) -> usize {
+    match parse_jobs(std::env::args().skip(1)) {
+        Ok(n) => n.unwrap_or(default),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The deterministic aggregator: re-keys `(cell index, value)` completion
+/// records — arriving in **any** order — into specification order.
+///
+/// # Panics
+///
+/// Panics if an index is out of range, duplicated, or missing: a sweep
+/// must complete every cell exactly once.
+pub fn merge_completions<T>(
+    count: usize,
+    completions: impl IntoIterator<Item = (usize, T)>,
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(count, || None);
+    for (index, value) in completions {
+        assert!(index < count, "cell index {index} out of range ({count})");
+        assert!(slots[index].is_none(), "cell {index} completed twice");
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("cell {i} never completed")))
+        .collect()
+}
+
+/// Runs every cell of `cells` under `run`, fanned across up to `jobs`
+/// worker threads, and returns results in specification order.
+///
+/// `jobs <= 1` executes the cells inline on the calling thread — no
+/// threads are spawned, preserving the serial path byte for byte. With
+/// more jobs, workers pull cells off a shared atomic cursor (so a slow
+/// cell never blocks the others) and the aggregator restores
+/// specification order regardless of which worker finished first.
+pub fn run_sweep<C, R, F>(cells: &[(CellKey, C)], jobs: usize, run: F) -> SweepRun<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&CellKey, &C) -> R + Sync,
+{
+    let start = Instant::now();
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    let timed = |key: &CellKey, cell: &C| {
+        let t0 = Instant::now();
+        let result = run(key, cell);
+        (result, t0.elapsed())
+    };
+    let (results, walls): (Vec<R>, Vec<Duration>) = if jobs <= 1 {
+        cells.iter().map(|(key, cell)| timed(key, cell)).unzip()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R, Duration)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let timed = &timed;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((key, cell)) = cells.get(i) else {
+                        break;
+                    };
+                    let (result, wall) = timed(key, cell);
+                    if tx.send((i, result, wall)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            merge_completions(cells.len(), rx.into_iter().map(|(i, r, w)| (i, (r, w))))
+                .into_iter()
+                .unzip()
+        })
+    };
+    SweepRun {
+        results: cells
+            .iter()
+            .map(|(key, _)| key.clone())
+            .zip(results)
+            .collect(),
+        timings: cells
+            .iter()
+            .zip(&walls)
+            .map(|((key, _), &wall)| CellTiming {
+                label: key.label(),
+                wall,
+            })
+            .collect(),
+        jobs,
+        wall: start.elapsed(),
+    }
+}
+
+/// Builds one scheduler instance for one cell (called inside the worker
+/// thread, so the scheduler itself never crosses threads).
+pub type SchedulerFactory = Box<dyn Fn() -> Box<dyn WorkflowScheduler> + Send + Sync>;
+
+/// One simulation cell: a workload, a cluster, a config, and a scheduler
+/// factory. Cells are shared-nothing; the expensive workload is borrowed.
+pub struct SimCell<'w> {
+    workflows: &'w [WorkflowSpec],
+    cluster: ClusterConfig,
+    config: SimConfig,
+    factory: SchedulerFactory,
+}
+
+impl fmt::Debug for SimCell<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCell")
+            .field("workflows", &self.workflows.len())
+            .field("cluster", &self.cluster)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'w> SimCell<'w> {
+    /// A cell with an explicit scheduler factory (for schedulers the
+    /// [`SchedulerKind`] enum cannot express, e.g. WOHA with padding).
+    pub fn new(
+        workflows: &'w [WorkflowSpec],
+        cluster: ClusterConfig,
+        config: SimConfig,
+        factory: SchedulerFactory,
+    ) -> Self {
+        SimCell {
+            workflows,
+            cluster,
+            config,
+            factory,
+        }
+    }
+
+    /// A cell running one of the stock [`SchedulerKind`]s.
+    pub fn for_kind(
+        kind: SchedulerKind,
+        workflows: &'w [WorkflowSpec],
+        cluster: ClusterConfig,
+        config: SimConfig,
+    ) -> Self {
+        let total = cluster.total_slots(SlotKind::Map) + cluster.total_slots(SlotKind::Reduce);
+        SimCell::new(
+            workflows,
+            cluster,
+            config,
+            Box::new(move || kind.build(total)),
+        )
+    }
+
+    fn run(&self) -> SimReport {
+        let mut scheduler = (self.factory)();
+        run_simulation(
+            self.workflows,
+            scheduler.as_mut(),
+            &self.cluster,
+            &self.config,
+        )
+    }
+}
+
+/// A scenario grid: [`SimCell`]s keyed by [`CellKey`], executed by
+/// [`SimSweep::run`]. This is the `SweepSpec` every ported bench binary
+/// builds instead of hand-rolling nested scenario loops.
+#[derive(Debug, Default)]
+pub struct SimSweep<'w> {
+    cells: Vec<(CellKey, SimCell<'w>)>,
+}
+
+impl<'w> SimSweep<'w> {
+    /// An empty grid.
+    pub fn new() -> Self {
+        SimSweep { cells: Vec::new() }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds one cell.
+    pub fn push(&mut self, key: CellKey, cell: SimCell<'w>) -> &mut Self {
+        self.cells.push((key, cell));
+        self
+    }
+
+    /// Adds one cell per scheduler kind, keyed `base + scheduler=<kind>`,
+    /// all sharing the same workload, cluster, and config.
+    pub fn push_kinds(
+        &mut self,
+        base: &CellKey,
+        kinds: &[SchedulerKind],
+        workflows: &'w [WorkflowSpec],
+        cluster: &ClusterConfig,
+        config: &SimConfig,
+    ) -> &mut Self {
+        for &kind in kinds {
+            self.push(
+                base.clone().with("scheduler", kind),
+                SimCell::for_kind(kind, workflows, cluster.clone(), config.clone()),
+            );
+        }
+        self
+    }
+
+    /// Runs the grid across up to `jobs` worker threads. Results come
+    /// back in the order the cells were pushed, whatever the completion
+    /// order was.
+    pub fn run(&self, jobs: usize) -> SimSweepRun {
+        let run = run_sweep(&self.cells, jobs, |_, cell: &SimCell| cell.run());
+        SimSweepRun {
+            cells: run.results,
+            timings: run.timings,
+            jobs: run.jobs,
+            wall: run.wall,
+        }
+    }
+}
+
+/// The aggregated reports of one [`SimSweep::run`], in specification
+/// order.
+#[derive(Debug, Clone)]
+pub struct SimSweepRun {
+    /// `(key, report)` per cell, in specification order.
+    pub cells: Vec<(CellKey, SimReport)>,
+    /// Per-cell wall times, in the same order.
+    pub timings: Vec<CellTiming>,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SimSweepRun {
+    /// The report of the first cell matching every `(axis, value)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cell matches.
+    pub fn report(&self, selector: &[(&str, &str)]) -> &SimReport {
+        &self
+            .cells
+            .iter()
+            .find(|(key, _)| key.matches(selector))
+            .unwrap_or_else(|| panic!("no cell matches {selector:?}"))
+            .1
+    }
+
+    /// Splits the run back into per-cell reports, in specification order.
+    pub fn into_reports(self) -> Vec<SimReport> {
+        self.cells.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The canonical aggregated JSON: every cell's key and report, wall
+    /// clock normalized out — byte-identical for byte-identical scenario
+    /// outcomes, regardless of `jobs`.
+    pub fn canonical_json(&self) -> String {
+        let cells: Vec<CanonicalCell> = self
+            .cells
+            .iter()
+            .map(|(key, report)| CanonicalCell {
+                cell: key.label(),
+                report: canonical_report(report),
+            })
+            .collect();
+        let mut json = serde_json::to_string_pretty(&cells).expect("reports serialize");
+        json.push('\n');
+        json
+    }
+}
+
+#[derive(Serialize)]
+struct CanonicalCell {
+    cell: String,
+    report: SimReport,
+}
+
+/// A copy of `report` with its one wall-clock field
+/// ([`SimReport::scheduler_nanos`]) zeroed, so serialized output depends
+/// only on the simulated outcome. (Report equality already ignores the
+/// field; serialization must too before bytes can be compared.)
+pub fn canonical_report(report: &SimReport) -> SimReport {
+    let mut canonical = report.clone();
+    canonical.scheduler_nanos = 0;
+    canonical
+}
+
+/// Deterministic pretty JSON of one report, wall clock normalized out.
+/// The golden-report regression corpus under `tests/golden/` stores
+/// exactly this form.
+pub fn canonical_report_json(report: &SimReport) -> String {
+    let mut json =
+        serde_json::to_string_pretty(&canonical_report(report)).expect("report serializes");
+    json.push('\n');
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{fig2_cluster, fig2_workflows};
+
+    #[test]
+    fn cell_key_labels_and_lookup() {
+        let key = CellKey::new().with("mtbf", "8h").with("scheduler", "EDF");
+        assert_eq!(key.label(), "mtbf=8h scheduler=EDF");
+        assert_eq!(key.get("mtbf"), Some("8h"));
+        assert_eq!(key.get("absent"), None);
+        assert!(key.matches(&[("scheduler", "EDF")]));
+        assert!(!key.matches(&[("scheduler", "FIFO")]));
+        assert_eq!(key.to_string(), key.label());
+    }
+
+    #[test]
+    fn parse_jobs_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(args(&["--quick"])).unwrap(), None);
+        assert_eq!(parse_jobs(args(&["--jobs", "4"])).unwrap(), Some(4));
+        assert_eq!(parse_jobs(args(&["--jobs=7"])).unwrap(), Some(7));
+        assert_eq!(
+            parse_jobs(args(&["--jobs", "0"])).unwrap(),
+            Some(available_jobs())
+        );
+        assert!(parse_jobs(args(&["--jobs"])).is_err());
+        assert!(parse_jobs(args(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn merge_restores_specification_order() {
+        let shuffled = vec![(2usize, "c"), (0, "a"), (3, "d"), (1, "b")];
+        assert_eq!(merge_completions(4, shuffled), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never completed")]
+    fn merge_rejects_missing_cells() {
+        merge_completions(2, vec![(0usize, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn merge_rejects_duplicate_cells() {
+        merge_completions(2, vec![(0usize, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn run_sweep_is_jobs_invariant() {
+        let cells: Vec<(CellKey, u64)> =
+            (0..13).map(|i| (CellKey::new().with("i", i), i)).collect();
+        // A deliberately uneven workload so completion order differs from
+        // specification order under parallel execution.
+        let run = |_: &CellKey, &i: &u64| -> u64 {
+            let spin = (13 - i) * 1_000;
+            (0..spin).fold(i, |acc, x| acc.wrapping_add(x * x))
+        };
+        let serial = run_sweep(&cells, 1, run);
+        for jobs in [2, 4, 8] {
+            let parallel = run_sweep(&cells, jobs, run);
+            assert_eq!(serial.results, parallel.results, "jobs={jobs}");
+        }
+        assert_eq!(serial.timings.len(), cells.len());
+        assert!(serial.jobs == 1);
+    }
+
+    #[test]
+    fn sim_sweep_matches_direct_runs_and_canonical_json_is_jobs_invariant() {
+        let workflows = fig2_workflows();
+        let cluster = fig2_cluster();
+        let config = SimConfig::default();
+        let kinds = [SchedulerKind::Fifo, SchedulerKind::Edf];
+        let mut sweep = SimSweep::new();
+        sweep.push_kinds(&CellKey::new(), &kinds, &workflows, &cluster, &config);
+        let serial = sweep.run(1);
+        assert_eq!(serial.cells.len(), 2);
+        for (kind, (key, report)) in kinds.iter().zip(&serial.cells) {
+            assert_eq!(key.get("scheduler"), Some(kind.to_string().as_str()));
+            let direct = crate::runner::run_one(*kind, &workflows, &cluster, &config);
+            assert_eq!(report, &direct, "{kind}");
+        }
+        let parallel = sweep.run(8);
+        assert_eq!(parallel.canonical_json(), serial.canonical_json());
+        assert_eq!(
+            serial.report(&[("scheduler", "EDF")]),
+            &crate::runner::run_one(SchedulerKind::Edf, &workflows, &cluster, &config)
+        );
+    }
+
+    #[test]
+    fn canonical_report_zeroes_wall_clock() {
+        let workflows = fig2_workflows();
+        let report = crate::runner::run_one(
+            SchedulerKind::Fifo,
+            &workflows,
+            &fig2_cluster(),
+            &SimConfig::default(),
+        );
+        let canon = canonical_report(&report);
+        assert_eq!(canon.scheduler_nanos, 0);
+        assert_eq!(canon, report, "equality ignores wall clock");
+        assert!(canonical_report_json(&report).contains("\"scheduler_nanos\": 0"));
+    }
+}

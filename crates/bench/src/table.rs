@@ -99,6 +99,19 @@ impl Table {
     }
 }
 
+/// Collects values in first-appearance order, dropping duplicates — the
+/// shared "axis labels of a sweep" helper the experiment tables use to
+/// turn cell lists back into ordered column sets.
+pub fn ordered_unique<T: Clone + PartialEq>(items: impl IntoIterator<Item = T>) -> Vec<T> {
+    let mut seen: Vec<T> = Vec::new();
+    for item in items {
+        if !seen.contains(&item) {
+            seen.push(item);
+        }
+    }
+    seen
+}
+
 /// Formats a float with 3 significant decimals, trimming noise.
 pub fn fmt_f64(v: f64) -> String {
     format!("{v:.3}")
@@ -146,5 +159,14 @@ mod tests {
     fn formatters() {
         assert_eq!(fmt_f64(0.12345), "0.123");
         assert_eq!(fmt_secs(woha_model::SimDuration::from_secs(90)), "90");
+    }
+
+    #[test]
+    fn ordered_unique_keeps_first_appearance_order() {
+        assert_eq!(
+            ordered_unique(["b", "a", "b", "c", "a"]),
+            vec!["b", "a", "c"]
+        );
+        assert_eq!(ordered_unique(Vec::<u32>::new()), Vec::<u32>::new());
     }
 }

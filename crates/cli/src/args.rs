@@ -30,7 +30,7 @@ pub enum Command {
     },
     /// `woha-cli simulate <workflow.xml[@release]>... [--cluster NxMxR]
     /// [--scheduler S] [--index dsl|btree|pheap|naive] [--no-batch]
-    /// [--jitter F] [--seed N] [--failures P] [--mtbf D]
+    /// [--jitter F] [--seed N] [--jobs N] [--failures P] [--mtbf D]
     /// [--mttr D] [--detect-missed N] [--blacklist-after N]
     /// [--predict-failures] [--pad-plans] [--risk-placement]
     /// [--adaptive-blacklist T]
@@ -62,6 +62,10 @@ pub enum Command {
         jitter: f64,
         /// Jitter/failure seed.
         seed: u64,
+        /// Worker threads for the `--scheduler all` comparison sweep
+        /// (0 = available parallelism; ignored for a single scheduler,
+        /// and results are identical for any value).
+        jobs: usize,
         /// Task failure probability.
         failures: f64,
         /// Track per-node failure propensity (the prediction layer).
@@ -202,6 +206,9 @@ USAGE:
                           scheduler probes, the pre-batching behaviour)
       --jitter F          task duration jitter fraction (default 0)
       --seed N            jitter/failure seed (default 0)
+      --jobs N            worker threads for the --scheduler all sweep
+                          (default 0 = available parallelism; results are
+                          identical for any N)
       --failures P        task failure probability (default 0)
       --mtbf D            mean time between node crashes, e.g. 30m
                           (default: no node faults)
@@ -426,6 +433,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut seed = 0u64;
             let mut failures = 0.0f64;
             let mut json = false;
+            let mut jobs = 0usize;
             let mut mtbf = None;
             let mut mttr = None;
             let mut detect_missed = None;
@@ -476,6 +484,11 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                         seed = next_value(&mut it, "--seed")?
                             .parse()
                             .map_err(|_| err("--seed needs an integer"))?;
+                    }
+                    "--jobs" => {
+                        jobs = next_value(&mut it, "--jobs")?
+                            .parse()
+                            .map_err(|_| err("--jobs needs an integer"))?;
                     }
                     "--failures" => {
                         failures = next_value(&mut it, "--failures")?
@@ -650,6 +663,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 batch,
                 jitter,
                 seed,
+                jobs,
                 failures,
                 predict_failures,
                 pad_plans,
@@ -895,6 +909,8 @@ mod tests {
             "0.1",
             "--seed",
             "7",
+            "--jobs",
+            "3",
             "--failures",
             "0.05",
             "--index",
@@ -913,6 +929,7 @@ mod tests {
                 batch,
                 jitter,
                 seed,
+                jobs,
                 failures,
                 predict_failures,
                 pad_plans,
@@ -938,6 +955,7 @@ mod tests {
                 assert!(!batch);
                 assert_eq!(jitter, 0.1);
                 assert_eq!(seed, 7);
+                assert_eq!(jobs, 3);
                 assert_eq!(failures, 0.05);
                 assert!(!admission);
                 assert_eq!(trace_out, None);

@@ -4,6 +4,7 @@
 use crate::args::{Command, TraceFormat, WorkflowArg, USAGE};
 use std::error::Error;
 use std::fmt::Write as _;
+use woha_bench::sweep::{available_jobs, run_sweep, CellKey};
 use woha_core::{
     generate_plan, AdmissionController, EdfScheduler, FairScheduler, FifoScheduler, JobPriorities,
     PadConfig, PriorityPolicy, QueueStrategy, WohaConfig, WohaScheduler,
@@ -41,6 +42,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             batch,
             jitter,
             seed,
+            jobs,
             failures,
             predict_failures,
             pad_plans,
@@ -61,6 +63,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             batch,
             jitter,
             seed,
+            jobs,
             failures,
             predict_failures.then(|| PredictionConfig {
                 risk_placement,
@@ -185,6 +188,7 @@ fn simulate(
     batch: bool,
     jitter: f64,
     seed: u64,
+    jobs: usize,
     failures: f64,
     prediction: Option<PredictionConfig>,
     pad_plans: bool,
@@ -227,13 +231,21 @@ fn simulate(
         vec![scheduler]
     };
 
-    let mut reports = Vec::new();
-    for name in names {
+    // The scheduler comparison fans over the sweep orchestrator's worker
+    // pool (`--jobs`, default available parallelism); a single scheduler
+    // is a one-cell sweep and runs inline. Each cell consumes a fresh
+    // source and (when enabled) a fresh admission controller, so compared
+    // schedulers see the same world, and the orchestrator returns reports
+    // in `names` order regardless of completion order or thread count.
+    let jobs = if jobs == 0 { available_jobs() } else { jobs };
+    let cells: Vec<(CellKey, &str)> = names
+        .iter()
+        .map(|&name| (CellKey::new().with("scheduler", name), name))
+        .collect();
+    let run_cell = |name: &str| -> Result<SimReport, String> {
         let mut s = build_scheduler(name, total_slots, index, padding);
-        // Each run consumes a fresh source and (when enabled) a fresh
-        // admission controller, so compared schedulers see the same world.
         let mut gate = admission.then(|| AdmissionController::new(cluster));
-        let report = match arrivals {
+        match arrivals {
             Some(path) => {
                 let mut source =
                     JsonlSource::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -246,11 +258,12 @@ fn simulate(
                     trace_out,
                     trace_format,
                     metrics_out,
-                )?;
+                )
+                .map_err(|e| e.to_string())?;
                 if let Some(e) = source.error() {
-                    return Err(format!("{path}: {e}").into());
+                    return Err(format!("{path}: {e}"));
                 }
-                report
+                Ok(report)
             }
             None => {
                 let mut source = VecSource::new(specs.clone());
@@ -263,10 +276,14 @@ fn simulate(
                     trace_out,
                     trace_format,
                     metrics_out,
-                )?
+                )
+                .map_err(|e| e.to_string())
             }
-        };
-        reports.push(report);
+        }
+    };
+    let mut reports = Vec::new();
+    for (_, result) in run_sweep(&cells, jobs, |_, &name| run_cell(name)).results {
+        reports.push(result?);
     }
 
     if json {

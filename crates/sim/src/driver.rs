@@ -63,7 +63,9 @@ use crate::snapshot::{
 };
 use crate::state::{JobPhase, WorkflowPool};
 use serde::Value;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
+
+use crate::hash::FastMap;
 use std::fmt;
 use woha_model::{JobId, NodeId, SimDuration, SimTime, SlotKind, WorkflowId, WorkflowSpec};
 use woha_trace::{SourcePoll, VecSource, WorkloadSource};
@@ -389,16 +391,16 @@ struct Sim<'a> {
     recorder: Option<TimelineRecorder>,
     node_count: usize,
     /// Pending map-task ids per job (locality mode only).
-    pending_map_ids: HashMap<(WorkflowId, JobId), Vec<u32>>,
+    pending_map_ids: FastMap<(WorkflowId, JobId), Vec<u32>>,
     /// Consecutive declined non-local offers per job (delay scheduling).
-    delay_skips: HashMap<(WorkflowId, JobId), u32>,
+    delay_skips: FastMap<(WorkflowId, JobId), u32>,
     local_map_tasks: u64,
     remote_map_tasks: u64,
     delay_skip_count: u64,
     scheduler_nanos: u64,
     // Attempt bookkeeping (speculation and/or fault mode).
-    attempts: HashMap<u64, Attempt>,
-    groups: HashMap<u64, AttemptGroup>,
+    attempts: FastMap<u64, Attempt>,
+    groups: FastMap<u64, AttemptGroup>,
     next_attempt: u64,
     next_group: u64,
     stragglers: u64,
@@ -424,7 +426,7 @@ struct Sim<'a> {
     lost_pending: Vec<Vec<LostTask>>,
     /// Nodes hosting each incomplete job's completed map outputs (one entry
     /// per completed map execution; jobs with reducers only).
-    map_output_hosts: HashMap<(WorkflowId, JobId), Vec<NodeId>>,
+    map_output_hosts: FastMap<(WorkflowId, JobId), Vec<NodeId>>,
     node_failures: u64,
     node_recoveries: u64,
     nodes_blacklisted: u64,
@@ -2528,14 +2530,14 @@ fn run_inner_clocked<'a>(
         events_processed: 0,
         recorder: config.effective_timelines().then(TimelineRecorder::default),
         node_count: cluster.node_count(),
-        pending_map_ids: HashMap::new(),
-        delay_skips: HashMap::new(),
+        pending_map_ids: FastMap::default(),
+        delay_skips: FastMap::default(),
         local_map_tasks: 0,
         remote_map_tasks: 0,
         delay_skip_count: 0,
         scheduler_nanos: 0,
-        attempts: HashMap::new(),
-        groups: HashMap::new(),
+        attempts: FastMap::default(),
+        groups: FastMap::default(),
         next_attempt: 1,
         next_group: 1,
         stragglers: 0,
@@ -2552,7 +2554,7 @@ fn run_inner_clocked<'a>(
         crash_count: vec![0; node_count],
         heartbeat_live: vec![true; node_count],
         lost_pending: vec![Vec::new(); node_count],
-        map_output_hosts: HashMap::new(),
+        map_output_hosts: FastMap::default(),
         node_failures: 0,
         node_recoveries: 0,
         nodes_blacklisted: 0,

@@ -45,6 +45,7 @@ pub mod driver;
 pub mod event;
 pub mod fault;
 pub mod gate;
+pub mod hash;
 pub mod health;
 pub mod metrics;
 pub mod obs;
@@ -62,6 +63,7 @@ pub use driver::{
 };
 pub use fault::{FaultConfig, FaultStream, MasterFaultConfig, ScriptedFault};
 pub use gate::{AdmissionGate, AdmitAll};
+pub use hash::{FastMap, FxBuildHasher, FxHasher};
 pub use health::{HealthRecord, NodeHealth, PredictionConfig, PredictionReport};
 pub use metrics::{
     AdmissionReport, Counter, Gauge, Histogram, MetricsRegistry, RecoveryReport, RejectCount,
@@ -77,3 +79,24 @@ pub use scheduler::{
 };
 pub use snapshot::MasterSnapshot;
 pub use state::{JobPhase, JobState, WorkflowPool, WorkflowState};
+
+/// Compile-time Send/Sync audit of the types a parallel sweep moves (or
+/// shares) across worker threads: the bench orchestrator borrows workload
+/// specs and clones configs into `std::thread::scope` workers, and each
+/// worker returns a [`SimReport`]. A non-Send field added to any of these
+/// (an `Rc`, a raw pointer, a thread-local handle) would silently force
+/// sweeps back to one thread — this turns that mistake into a compile
+/// error naming the type.
+#[allow(dead_code)]
+const SEND_SYNC_AUDIT: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<ClusterConfig>();
+    assert_send_sync::<FaultConfig>();
+    assert_send_sync::<MasterFaultConfig>();
+    assert_send_sync::<PredictionConfig>();
+    assert_send_sync::<ObservabilityConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<MasterSnapshot>();
+    assert_send_sync::<woha_model::WorkflowSpec>();
+};
